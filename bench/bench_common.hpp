@@ -1,0 +1,75 @@
+#pragma once
+// Shared machinery for the table/figure reproduction harnesses.
+//
+// Every harness accepts:
+//   --scale small|paper   (default small: minutes on one CPU core)
+//   --rounds N            override round count
+//   --clients N           override population size
+//   --sampled M           override clients per round
+//   --seed S
+//   --csv PATH            dump per-round series for plotting
+//   --quiet               suppress per-round logging
+
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/experiment.hpp"
+#include "core/runner.hpp"
+#include "util/logging.hpp"
+
+namespace fedguard::bench {
+
+/// One attack scenario column of Fig. 4 / Table IV.
+struct Scenario {
+  std::string name;
+  attacks::AttackType attack;
+  double malicious_fraction;
+};
+
+/// The paper's four attack scenarios plus the no-attack reference
+/// (Section IV-B; Fig. 4 panels and Table IV columns).
+inline std::vector<Scenario> paper_scenarios() {
+  return {
+      {"Additive Noise 50%", attacks::AttackType::AdditiveNoise, 0.5},
+      {"Label Flipping 30%", attacks::AttackType::LabelFlip, 0.3},
+      {"Sign Flipping 50%", attacks::AttackType::SignFlip, 0.5},
+      {"Same Value 50%", attacks::AttackType::SameValue, 0.5},
+      {"No Attack", attacks::AttackType::None, 0.0},
+  };
+}
+
+/// The five strategies compared in the paper's evaluation (Section IV-C).
+inline std::vector<core::StrategyKind> paper_strategies() {
+  return {core::StrategyKind::FedAvg, core::StrategyKind::GeoMed,
+          core::StrategyKind::Krum, core::StrategyKind::Spectral,
+          core::StrategyKind::FedGuard};
+}
+
+/// Resolve the base ExperimentConfig from --scale and the common overrides.
+inline core::ExperimentConfig config_from_cli(const core::CliOptions& options) {
+  core::ExperimentConfig config = options.get("scale", "small") == "paper"
+                                      ? core::ExperimentConfig::paper_scale()
+                                      : core::ExperimentConfig::small_scale();
+  config.rounds = static_cast<std::size_t>(
+      options.get_int("rounds", static_cast<std::int64_t>(config.rounds)));
+  config.num_clients = static_cast<std::size_t>(
+      options.get_int("clients", static_cast<std::int64_t>(config.num_clients)));
+  config.clients_per_round = static_cast<std::size_t>(
+      options.get_int("sampled", static_cast<std::int64_t>(config.clients_per_round)));
+  config.seed = static_cast<std::uint64_t>(
+      options.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  if (options.has("quiet")) util::set_log_level(util::LogLevel::Warn);
+  return config;
+}
+
+/// Run one (strategy, scenario) cell.
+inline fl::RunHistory run_cell(core::ExperimentConfig config, core::StrategyKind strategy,
+                               const Scenario& scenario) {
+  config.strategy = strategy;
+  config.attack = scenario.attack;
+  config.malicious_fraction = scenario.malicious_fraction;
+  return core::run_experiment(config);
+}
+
+}  // namespace fedguard::bench

@@ -1,0 +1,109 @@
+// Micro-benchmarks of the numeric substrate: GEMM variants, im2col, and full
+// layer forward/backward passes at the shapes used by the paper's models.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fedguard;
+using tensor::Tensor;
+
+Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t{std::move(shape)};
+  util::Rng rng{seed};
+  for (auto& v : t.data()) v = rng.uniform_float(-1.0f, 1.0f);
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c{{n, n}};
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_MatmulTransB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 3);
+  const Tensor b = random_tensor({n, n}, 4);
+  Tensor c{{n, n}};
+  for (auto _ : state) {
+    tensor::matmul_trans_b(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+}
+BENCHMARK(BM_MatmulTransB)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_Im2Col(benchmark::State& state) {
+  // The paper CNN's first layer geometry: 1x28x28, 5x5 kernel, pad 2.
+  const tensor::ConvGeometry g{1, 28, 28, 5, 2};
+  const Tensor image = random_tensor({g.in_channels, g.in_h, g.in_w}, 5);
+  Tensor columns;
+  for (auto _ : state) {
+    tensor::im2col(image.data(), g, columns);
+    benchmark::DoNotOptimize(columns.raw());
+  }
+}
+BENCHMARK(BM_Im2Col)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{6};
+  nn::Conv2d conv{1, 32, 5, 28, 28, rng, 2};
+  const Tensor input = random_tensor({batch, 1, 28, 28}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input).raw());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{8};
+  nn::Conv2d conv{1, 32, 5, 28, 28, rng, 2};
+  const Tensor input = random_tensor({batch, 1, 28, 28}, 9);
+  const Tensor output = conv.forward(input);
+  const Tensor grad = random_tensor(output.shape(), 10);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.backward(grad).raw());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_LinearForward(benchmark::State& state) {
+  // The paper CNN's dominant FC layer: 3136 -> 512.
+  util::Rng rng{11};
+  nn::Linear linear{3136, 512, rng};
+  const Tensor input = random_tensor({32, 3136}, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear.forward(input).raw());
+  }
+}
+BENCHMARK(BM_LinearForward)->Unit(benchmark::kMicrosecond);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const Tensor logits = random_tensor({256, 10}, 13);
+  Tensor probs;
+  for (auto _ : state) {
+    tensor::softmax_rows(logits, probs);
+    benchmark::DoNotOptimize(probs.raw());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablation and micro benches.
+# Usage: scripts/run_all_benches.sh [build-dir] (default: build)
+set -u
+BUILD_DIR="${1:-build}"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo
+  echo "===================================================================="
+  echo "### $(basename "$b")"
+  echo "===================================================================="
+  case "$b" in
+    *micro*) "$b" ;;
+    *) "$b" --quiet ;;
+  esac
+done

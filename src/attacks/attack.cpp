@@ -1,0 +1,107 @@
+#include "attacks/attack.hpp"
+#include <cassert>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::attacks {
+
+const char* to_string(AttackType type) noexcept {
+  switch (type) {
+    case AttackType::None: return "none";
+    case AttackType::SameValue: return "same_value";
+    case AttackType::SignFlip: return "sign_flip";
+    case AttackType::AdditiveNoise: return "additive_noise";
+    case AttackType::LabelFlip: return "label_flip";
+    case AttackType::Scaling: return "scaling";
+    case AttackType::RandomUpdate: return "random_update";
+  }
+  return "unknown";
+}
+
+AttackType attack_type_from_string(const std::string& text) {
+  if (text == "none") return AttackType::None;
+  if (text == "same_value") return AttackType::SameValue;
+  if (text == "sign_flip") return AttackType::SignFlip;
+  if (text == "additive_noise") return AttackType::AdditiveNoise;
+  if (text == "label_flip") return AttackType::LabelFlip;
+  if (text == "scaling") return AttackType::Scaling;
+  if (text == "random_update") return AttackType::RandomUpdate;
+  throw std::invalid_argument{"unknown attack type: " + text};
+}
+
+bool is_model_attack(AttackType type) noexcept {
+  return type == AttackType::SameValue || type == AttackType::SignFlip ||
+         type == AttackType::AdditiveNoise || type == AttackType::Scaling ||
+         type == AttackType::RandomUpdate;
+}
+
+void SameValueAttack::apply(std::span<float> update, std::span<const float> /*global*/,
+                            std::size_t /*round*/) const {
+  std::fill(update.begin(), update.end(), constant_);
+}
+
+void SignFlipAttack::apply(std::span<float> update, std::span<const float> /*global*/,
+                           std::size_t /*round*/) const {
+  for (auto& v : update) v = -v;
+}
+
+void AdditiveNoiseAttack::apply(std::span<float> update, std::span<const float> /*global*/,
+                                std::size_t round) const {
+  // Same (collusion_seed, round) -> identical noise stream: colluding clients
+  // submit identically perturbed updates.
+  util::Rng rng{collusion_seed_ ^ (0x9e3779b97f4a7c15ULL * (round + 1))};
+  for (auto& v : update) v += static_cast<float>(rng.normal(0.0, stddev_));
+}
+
+void ScalingAttack::apply(std::span<float> update, std::span<const float> global,
+                          std::size_t /*round*/) const {
+  assert(update.size() == global.size());
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    update[i] = global[i] + boost_ * (update[i] - global[i]);
+  }
+}
+
+void RandomUpdateAttack::apply(std::span<float> update, std::span<const float> /*global*/,
+                               std::size_t round) const {
+  // Independent per round; not coordinated (unlike additive noise).
+  util::Rng rng{seed_ ^ (0xd1b54a32d192ed03ULL * (round + 1))};
+  for (auto& v : update) v = static_cast<float>(rng.normal(0.0, stddev_));
+}
+
+std::unique_ptr<ModelAttack> make_model_attack(AttackType type,
+                                               const ModelAttackOptions& options) {
+  switch (type) {
+    case AttackType::SameValue:
+      return std::make_unique<SameValueAttack>(options.same_value_constant);
+    case AttackType::SignFlip:
+      return std::make_unique<SignFlipAttack>();
+    case AttackType::AdditiveNoise:
+      return std::make_unique<AdditiveNoiseAttack>(options.noise_stddev,
+                                                   options.collusion_seed);
+    case AttackType::Scaling:
+      return std::make_unique<ScalingAttack>(options.scaling_boost);
+    case AttackType::RandomUpdate:
+      return std::make_unique<RandomUpdateAttack>(options.noise_stddev,
+                                                  options.collusion_seed);
+    default:
+      return nullptr;
+  }
+}
+
+std::vector<bool> make_malicious_mask(std::size_t num_clients, double fraction,
+                                      std::uint64_t seed) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument{"make_malicious_mask: fraction must be in [0, 1]"};
+  }
+  const auto malicious_count =
+      static_cast<std::size_t>(fraction * static_cast<double>(num_clients));
+  util::Rng rng{seed};
+  std::vector<bool> mask(num_clients, false);
+  for (const std::size_t id : rng.sample_without_replacement(num_clients, malicious_count)) {
+    mask[id] = true;
+  }
+  return mask;
+}
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,139 @@
+#pragma once
+// Poisoning attacks (Section IV-B of the paper).
+//
+// Model poisoning attacks transform the flat local parameter vector ψ after
+// local training and before upload:
+//   - SameValueAttack:    ψ = c * 1          (c = 1 in the paper)
+//   - SignFlipAttack:     ψ = -ψ
+//   - AdditiveNoiseAttack ψ = ψ + ε, with all colluding clients agreeing on
+//                         the SAME Gaussian ε per round (shared seed).
+// The label-flipping data poisoning attack lives in label_flip.hpp as it
+// operates on the client's training data instead.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fedguard::attacks {
+
+/// Attack kinds evaluated in the paper (SameValue, SignFlip, AdditiveNoise,
+/// LabelFlip), None for the clean baseline, plus two extensions from the
+/// wider poisoning literature:
+///  - Scaling: model replacement (Bagdasaryan et al.) — the attacker submits
+///    ψ0 + λ(ψ_mal − ψ0), boosting its malicious direction to survive
+///    averaging; defeats plain FedAvg, caught by norm bounding.
+///  - RandomUpdate: submit weights drawn from N(0, σ) — an unsophisticated
+///    untargeted attack.
+enum class AttackType {
+  None,
+  SameValue,
+  SignFlip,
+  AdditiveNoise,
+  LabelFlip,
+  Scaling,
+  RandomUpdate,
+};
+
+[[nodiscard]] const char* to_string(AttackType type) noexcept;
+/// Parse "none" / "same_value" / "sign_flip" / "additive_noise" /
+/// "label_flip"; throws std::invalid_argument on unknown names.
+[[nodiscard]] AttackType attack_type_from_string(const std::string& text);
+/// True for attacks applied to the uploaded parameter vector.
+[[nodiscard]] bool is_model_attack(AttackType type) noexcept;
+
+/// Transformation of an uploaded parameter vector. `round` lets colluding
+/// attackers coordinate (identical noise per round); `global` is the round's
+/// broadcast ψ0, which model-replacement attacks scale against (TM-2: the
+/// federated model is visible to all parties).
+class ModelAttack {
+ public:
+  virtual ~ModelAttack() = default;
+  virtual void apply(std::span<float> update, std::span<const float> global,
+                     std::size_t round) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// ψ = c * 1 (Li et al., RSA).
+class SameValueAttack final : public ModelAttack {
+ public:
+  explicit SameValueAttack(float constant = 1.0f) : constant_{constant} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "same_value"; }
+
+ private:
+  float constant_;
+};
+
+/// ψ = -ψ. Magnitudes are preserved, defeating norm-threshold defenses.
+class SignFlipAttack final : public ModelAttack {
+ public:
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "sign_flip"; }
+};
+
+/// ψ = ψ + ε with ε ~ N(0, stddev). All clients constructed with the same
+/// collusion_seed produce the identical ε in the same round (TM-5).
+class AdditiveNoiseAttack final : public ModelAttack {
+ public:
+  AdditiveNoiseAttack(double stddev, std::uint64_t collusion_seed)
+      : stddev_{stddev}, collusion_seed_{collusion_seed} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "additive_noise"; }
+
+ private:
+  double stddev_;
+  std::uint64_t collusion_seed_;
+};
+
+/// Model replacement: ψ = ψ0 + λ(ψ − ψ0). With λ ≈ m the attacker's delta
+/// survives FedAvg intact (Bagdasaryan et al. 2020).
+class ScalingAttack final : public ModelAttack {
+ public:
+  explicit ScalingAttack(float boost_factor) : boost_{boost_factor} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "scaling"; }
+
+ private:
+  float boost_;
+};
+
+/// ψ ~ N(0, stddev) elementwise, independent per client and round.
+class RandomUpdateAttack final : public ModelAttack {
+ public:
+  RandomUpdateAttack(double stddev, std::uint64_t seed) : stddev_{stddev}, seed_{seed} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "random_update"; }
+
+ private:
+  double stddev_;
+  std::uint64_t seed_;
+};
+
+/// Knobs consumed by make_model_attack (each attack reads the ones it needs).
+struct ModelAttackOptions {
+  float same_value_constant = 1.0f;  // paper: c = 1
+  double noise_stddev = 1.0;         // additive noise / random update σ
+  float scaling_boost = 10.0f;       // λ for the scaling attack
+  std::uint64_t collusion_seed = 42;
+};
+
+/// Build the ModelAttack instance for a model-attack type; returns nullptr
+/// for None / data attacks.
+[[nodiscard]] std::unique_ptr<ModelAttack> make_model_attack(AttackType type,
+                                                             const ModelAttackOptions& options);
+
+/// Deterministically choose which clients are malicious: a uniform subset of
+/// floor(fraction * num_clients) client ids.
+[[nodiscard]] std::vector<bool> make_malicious_mask(std::size_t num_clients, double fraction,
+                                                    std::uint64_t seed);
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,28 @@
+#include "attacks/label_flip.hpp"
+
+namespace fedguard::attacks {
+
+std::vector<std::pair<int, int>> default_flip_pairs() { return {{5, 7}, {4, 2}}; }
+
+std::size_t apply_label_flip(data::Dataset& dataset,
+                             const std::vector<std::pair<int, int>>& pairs) {
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const int label = dataset.label(i);
+    for (const auto& [a, b] : pairs) {
+      if (label == a) {
+        dataset.set_label(i, b);
+        ++changed;
+        break;
+      }
+      if (label == b) {
+        dataset.set_label(i, a);
+        ++changed;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace fedguard::attacks

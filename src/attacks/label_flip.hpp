@@ -1,0 +1,24 @@
+#pragma once
+// Label-flipping data poisoning attack (Fang et al.). Malicious clients swap
+// the labels of selected class pairs in their local training data before
+// training both their classifier and (importantly, per §VI-B of the paper)
+// their CVAE — so a label-flipping client also ships a poisoned decoder.
+//
+// The paper flips digits 5 <-> 7 and 4 <-> 2.
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace fedguard::attacks {
+
+/// Default flip pairs used in the paper's experiments.
+[[nodiscard]] std::vector<std::pair<int, int>> default_flip_pairs();
+
+/// Swap labels of each pair (both directions: a->b and b->a) in-place.
+/// Returns the number of labels changed.
+std::size_t apply_label_flip(data::Dataset& dataset,
+                             const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,47 @@
+#include "core/cli.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::core {
+
+CliOptions CliOptions::parse(int argc, const char* const* argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg{argv[i]};
+    if (arg.rfind("--", 0) != 0) continue;  // skip positional args
+    arg = arg.substr(2);
+    // "--key=value" form.
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      options.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" form, unless the next token is another flag / absent.
+    if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      options.values_[arg] = argv[++i];
+    } else {
+      options.values_[arg] = "1";
+    }
+  }
+  return options;
+}
+
+bool CliOptions::has(const std::string& key) const { return values_.contains(key); }
+
+std::string CliOptions::get(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliOptions::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliOptions::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+}  // namespace fedguard::core

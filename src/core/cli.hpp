@@ -1,0 +1,27 @@
+#pragma once
+// Minimal command-line option parsing shared by the bench harnesses and
+// examples. Flags are "--key value" pairs plus boolean "--key" switches.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fedguard::core {
+
+class CliOptions {
+ public:
+  /// Parse argv; unknown flags are collected verbatim. Throws
+  /// std::invalid_argument on a value-flag at end of argv.
+  static CliOptions parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace fedguard::core

@@ -1,0 +1,111 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::core {
+
+const char* to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::FedAvg: return "fedavg";
+    case StrategyKind::GeoMed: return "geomed";
+    case StrategyKind::Krum: return "krum";
+    case StrategyKind::MultiKrum: return "multi_krum";
+    case StrategyKind::Median: return "median";
+    case StrategyKind::TrimmedMean: return "trimmed_mean";
+    case StrategyKind::NormThreshold: return "norm_threshold";
+    case StrategyKind::Bulyan: return "bulyan";
+    case StrategyKind::AuxAudit: return "aux_audit";
+    case StrategyKind::Spectral: return "spectral";
+    case StrategyKind::FedGuard: return "fedguard";
+  }
+  return "unknown";
+}
+
+StrategyKind strategy_kind_from_string(const std::string& text) {
+  if (text == "fedavg") return StrategyKind::FedAvg;
+  if (text == "geomed") return StrategyKind::GeoMed;
+  if (text == "krum") return StrategyKind::Krum;
+  if (text == "multi_krum") return StrategyKind::MultiKrum;
+  if (text == "median") return StrategyKind::Median;
+  if (text == "trimmed_mean") return StrategyKind::TrimmedMean;
+  if (text == "norm_threshold") return StrategyKind::NormThreshold;
+  if (text == "bulyan") return StrategyKind::Bulyan;
+  if (text == "aux_audit") return StrategyKind::AuxAudit;
+  if (text == "spectral") return StrategyKind::Spectral;
+  if (text == "fedguard") return StrategyKind::FedGuard;
+  throw std::invalid_argument{"unknown strategy: " + text};
+}
+
+ExperimentConfig ExperimentConfig::small_scale() {
+  ExperimentConfig config;
+  config.train_samples = 2400;
+  config.test_samples = 600;
+  config.auxiliary_samples = 400;
+  config.num_clients = 24;
+  config.clients_per_round = 8;
+  config.rounds = 12;
+  config.arch = models::ClassifierArch::Mlp;
+
+  // lr 0.05 with momentum 0.9 is the stability sweet spot at this scale:
+  // 0.1 slowly diverges over many local epochs.
+  config.client.local_epochs = 3;
+  config.client.batch_size = 16;
+  config.client.learning_rate = 0.05f;
+  config.client.momentum = 0.9f;
+  config.client.cvae_epochs = 40;
+  config.client.cvae_batch_size = 8;
+  config.client.cvae_learning_rate = 3e-3f;
+
+  // Scaled-down CVAE: keeps the Table III shape (shared hidden, two heads,
+  // sigmoid output mirroring the conditioned input) at a size a client can
+  // train on one core in under a second. The latent is deliberately tiny:
+  // with ~100 samples per client a high-dimensional approximate posterior
+  // never fills the N(0,1) prior, and prior samples decode to garbage; at
+  // latent=2 the prior-sample digits classify at >0.9 (see DESIGN.md §1).
+  config.cvae.input_dim = config.image_size * config.image_size;
+  config.cvae.num_classes = 10;
+  config.cvae.hidden = 96;
+  config.cvae.latent = 2;
+
+  config.fedguard_total_samples = 100;
+
+  config.spectral.surrogate_dim = 1024;
+  config.spectral.pretrain_rounds = 5;
+  config.spectral.pretrain_clients = 8;
+  config.spectral.vae_epochs = 60;
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::paper_scale() {
+  ExperimentConfig config;
+  // Full MNIST size: 60k train / 10k test in the original; the synthetic
+  // substitute generates the same counts.
+  config.train_samples = 60000;
+  config.test_samples = 10000;
+  config.auxiliary_samples = 2000;
+  config.dirichlet_alpha = 10.0;
+  config.num_clients = 100;
+  config.clients_per_round = 50;
+  config.rounds = 50;
+  config.arch = models::ClassifierArch::PaperCnn;
+
+  config.client.local_epochs = 5;   // paper §IV-A
+  config.client.batch_size = 64;
+  config.client.learning_rate = 0.05f;
+  config.client.momentum = 0.9f;
+  config.client.cvae_epochs = 30;   // paper §IV-D
+  config.client.cvae_batch_size = 64;
+  config.client.cvae_learning_rate = 1e-3f;
+
+  // Table III CVAE.
+  config.cvae = models::CvaeSpec{};
+
+  config.fedguard_total_samples = 100;  // t = 2m = 100
+
+  config.spectral.surrogate_dim = 5130;  // output layer of the Table II CNN
+  config.spectral.pretrain_rounds = 8;
+  config.spectral.pretrain_clients = 10;
+  return config;
+}
+
+}  // namespace fedguard::core

@@ -1,0 +1,103 @@
+#pragma once
+// Experiment configuration — the single knob panel for every scenario in the
+// paper's evaluation. Two presets are provided:
+//
+//   small_scale(): the default for benches/tests; same pipeline and dynamics
+//                  at a size that regenerates every table/figure on one CPU
+//                  core in minutes (reduced N/m/R, TinyCnn-class models).
+//   paper_scale(): the paper's exact setup — N=100 clients, m=50 per round,
+//                  R=50 rounds, Dirichlet(α=10), Table II classifier,
+//                  Table III CVAE, 5 local epochs, 30 CVAE epochs, t=100.
+
+#include <cstdint>
+#include <string>
+
+#include "attacks/attack.hpp"
+#include "attacks/label_flip.hpp"
+#include "defenses/fedguard.hpp"
+#include "defenses/spectral.hpp"
+#include "fl/client.hpp"
+#include "models/classifier.hpp"
+#include "models/cvae.hpp"
+
+namespace fedguard::core {
+
+enum class StrategyKind {
+  FedAvg,
+  GeoMed,
+  Krum,
+  MultiKrum,
+  Median,
+  TrimmedMean,
+  NormThreshold,
+  Bulyan,
+  AuxAudit,  // PDGAN-style auxiliary-dataset audit (idealized)
+  Spectral,
+  FedGuard,
+};
+
+[[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
+[[nodiscard]] StrategyKind strategy_kind_from_string(const std::string& text);
+
+struct ExperimentConfig {
+  // ---- Dataset --------------------------------------------------------------
+  std::size_t train_samples = 2400;
+  std::size_t test_samples = 600;
+  std::size_t auxiliary_samples = 400;  // server-side public data (Spectral)
+  std::size_t image_size = 28;
+  double dirichlet_alpha = 10.0;  // paper: α = 10 (Hsu et al.)
+
+  // ---- Federation ------------------------------------------------------------
+  std::size_t num_clients = 24;        // paper: 100
+  std::size_t clients_per_round = 8;   // paper: m = 50
+  std::size_t rounds = 12;             // paper: R = 50
+  float server_learning_rate = 1.0f;   // Fig. 5 ablates 0.3
+  double straggler_probability = 0.0;  // sampled-client dropout simulation
+  bool track_per_class_accuracy = false;  // targeted-attack analysis
+
+  // ---- Client training --------------------------------------------------------
+  fl::ClientConfig client;
+
+  // ---- Models ----------------------------------------------------------------
+  models::ClassifierArch arch = models::ClassifierArch::Mlp;
+  models::CvaeSpec cvae;  // input_dim is forced to image pixels by the runner
+
+  // ---- Attack scenario ---------------------------------------------------------
+  attacks::AttackType attack = attacks::AttackType::None;
+  double malicious_fraction = 0.0;
+  float same_value_constant = 1.0f;  // paper: c = 1
+  double noise_stddev = 1.0;         // additive noise / random update scale
+  float scaling_boost = 10.0f;       // λ for the scaling (model replacement) attack
+  std::vector<std::pair<int, int>> flip_pairs = attacks::default_flip_pairs();
+
+  // ---- Defense strategy ----------------------------------------------------------
+  StrategyKind strategy = StrategyKind::FedGuard;
+  std::size_t fedguard_total_samples = 100;  // t (paper: 2m = 100)
+  defenses::FedGuardConfig::SampleMode fedguard_sample_mode =
+      defenses::FedGuardConfig::SampleMode::Split;
+  defenses::InternalOperator fedguard_internal_operator =
+      defenses::InternalOperator::FedAvg;
+  defenses::FedGuardConfig::ScoreMetric fedguard_score_metric =
+      defenses::FedGuardConfig::ScoreMetric::Accuracy;
+  double krum_byzantine_fraction = 0.25;
+  std::size_t multi_krum_k = 3;
+  double trimmed_mean_fraction = 0.2;
+  double norm_threshold_multiplier = 1.0;
+  double bulyan_byzantine_fraction = 0.2;
+  std::size_t aux_audit_warmup_rounds = 0;  // PDGAN-style init phase length
+  defenses::SpectralConfig spectral;
+
+  std::uint64_t seed = 42;
+
+  /// Reduced-scale preset (the constructed default, spelled out).
+  [[nodiscard]] static ExperimentConfig small_scale();
+  /// The paper's exact configuration (GRID'5000 scale; hours on one core).
+  [[nodiscard]] static ExperimentConfig paper_scale();
+
+  /// Image geometry implied by the dataset fields.
+  [[nodiscard]] models::ImageGeometry geometry() const noexcept {
+    return models::ImageGeometry{1, image_size, image_size, 10};
+  }
+};
+
+}  // namespace fedguard::core

@@ -1,0 +1,124 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace fedguard::core {
+
+std::string format_accuracy(const util::TrailingStats& stats) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%% +- %.2f%%", stats.mean * 100.0,
+                stats.stddev * 100.0);
+  return buffer;
+}
+
+std::string format_bytes(double bytes) {
+  char buffer[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f B", bytes);
+  }
+  return buffer;
+}
+
+void print_table4(std::ostream& out, const std::vector<std::string>& scenario_names,
+                  const std::vector<Table4Row>& rows, std::size_t window) {
+  out << "Average accuracy and standard deviation over the last " << window
+      << " rounds (cf. paper Table IV)\n";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%-16s", "Strategy");
+  out << buffer;
+  for (const auto& name : scenario_names) {
+    std::snprintf(buffer, sizeof(buffer), " | %-24s", name.c_str());
+    out << buffer;
+  }
+  out << "\n";
+  out << std::string(16 + scenario_names.size() * 27, '-') << "\n";
+  for (const auto& row : rows) {
+    std::snprintf(buffer, sizeof(buffer), "%-16s", row.strategy.c_str());
+    out << buffer;
+    for (const auto& cell : row.cells) {
+      std::snprintf(buffer, sizeof(buffer), " | %-24s", format_accuracy(cell).c_str());
+      out << buffer;
+    }
+    out << "\n";
+  }
+}
+
+void print_table5(std::ostream& out, const std::vector<Table5Row>& rows) {
+  out << "System overhead of the defensive strategies (cf. paper Table V)\n";
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), "%-16s | %-14s | %-22s | %-22s | %-20s",
+                "Strategy", "Uploads/round", "Downloads/round", "Total comm/round",
+                "Training time/round");
+  out << buffer << "\n" << std::string(106, '-') << "\n";
+  const double base_download = rows.empty() ? 0.0 : rows.front().download_bytes;
+  const double base_total =
+      rows.empty() ? 0.0 : rows.front().upload_bytes + rows.front().download_bytes;
+  const double base_seconds = rows.empty() ? 0.0 : rows.front().seconds_per_round;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const double total = row.upload_bytes + row.download_bytes;
+    std::string download = format_bytes(row.download_bytes);
+    std::string total_text = format_bytes(total);
+    char seconds_text[64];
+    std::snprintf(seconds_text, sizeof(seconds_text), "%.2f s", row.seconds_per_round);
+    std::string seconds{seconds_text};
+    if (i > 0) {
+      char pct[32];
+      if (base_download > 0.0) {
+        std::snprintf(pct, sizeof(pct), " (%+.0f%%)",
+                      (row.download_bytes / base_download - 1.0) * 100.0);
+        download += pct;
+      }
+      if (base_total > 0.0) {
+        std::snprintf(pct, sizeof(pct), " (%+.0f%%)", (total / base_total - 1.0) * 100.0);
+        total_text += pct;
+      }
+      if (base_seconds > 0.0) {
+        std::snprintf(pct, sizeof(pct), " (%+.0f%%)",
+                      (row.seconds_per_round / base_seconds - 1.0) * 100.0);
+        seconds += pct;
+      }
+    }
+    std::snprintf(buffer, sizeof(buffer), "%-16s | %-14s | %-22s | %-22s | %-20s",
+                  row.strategy.c_str(), format_bytes(row.upload_bytes).c_str(),
+                  download.c_str(), total_text.c_str(), seconds.c_str());
+    out << buffer << "\n";
+  }
+}
+
+void print_accuracy_series(std::ostream& out, const std::vector<fl::RunHistory>& runs) {
+  if (runs.empty()) return;
+  char buffer[64];
+  out << "round";
+  for (const auto& run : runs) {
+    std::snprintf(buffer, sizeof(buffer), ",%s", run.strategy.c_str());
+    out << buffer;
+  }
+  out << "\n";
+  const std::size_t rounds =
+      std::max_element(runs.begin(), runs.end(), [](const auto& a, const auto& b) {
+        return a.rounds.size() < b.rounds.size();
+      })->rounds.size();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    out << r;
+    for (const auto& run : runs) {
+      if (r < run.rounds.size()) {
+        std::snprintf(buffer, sizeof(buffer), ",%.4f", run.rounds[r].test_accuracy);
+        out << buffer;
+      } else {
+        out << ",";
+      }
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace fedguard::core

@@ -1,0 +1,34 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+                       std::size_t batch_size, std::uint64_t seed)
+    : dataset_{dataset},
+      indices_{std::move(indices)},
+      batch_size_{batch_size},
+      rng_{seed} {
+  if (batch_size_ == 0) throw std::invalid_argument{"DataLoader: batch_size must be > 0"};
+  for (const std::size_t i : indices_) {
+    if (i >= dataset_.size()) throw std::out_of_range{"DataLoader: index out of range"};
+  }
+  start_epoch();
+}
+
+void DataLoader::start_epoch() {
+  rng_.shuffle(indices_);
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Dataset::Batch& batch) {
+  if (cursor_ >= indices_.size()) return false;
+  const std::size_t n = std::min(batch_size_, indices_.size() - cursor_);
+  batch = dataset_.gather(std::span<const std::size_t>{indices_}.subspan(cursor_, n));
+  cursor_ += n;
+  return true;
+}
+
+}  // namespace fedguard::data

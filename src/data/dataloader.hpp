@@ -1,0 +1,38 @@
+#pragma once
+// Mini-batch iteration over a subset of a Dataset, reshuffled each epoch.
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedguard::data {
+
+class DataLoader {
+ public:
+  /// Iterates `indices` into `dataset` in mini-batches. The dataset must
+  /// outlive the loader.
+  DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+             std::size_t batch_size, std::uint64_t seed);
+
+  /// Reshuffle and restart the epoch.
+  void start_epoch();
+
+  /// Fetch the next batch; returns false at epoch end. The final batch of an
+  /// epoch may be smaller than batch_size.
+  [[nodiscard]] bool next(Dataset::Batch& batch);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return indices_.size(); }
+  [[nodiscard]] std::size_t batches_per_epoch() const noexcept {
+    return (indices_.size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  const Dataset& dataset_;
+  std::vector<std::size_t> indices_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace fedguard::data

@@ -1,0 +1,56 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::data {
+
+Dataset::Dataset(tensor::Tensor images, std::vector<int> labels, std::size_t num_classes)
+    : images_{std::move(images)}, labels_{std::move(labels)}, num_classes_{num_classes} {
+  if (images_.rank() != 4 || images_.dim(0) != labels_.size()) {
+    throw std::invalid_argument{"Dataset: images must be [N, C, H, W] with N == labels"};
+  }
+  for (const int label : labels_) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+      throw std::invalid_argument{"Dataset: label out of range"};
+    }
+  }
+}
+
+std::span<const float> Dataset::image(std::size_t i) const noexcept {
+  return images_.data().subspan(i * pixels(), pixels());
+}
+
+Dataset::Batch Dataset::gather(std::span<const std::size_t> indices) const {
+  Batch batch;
+  batch.images = tensor::Tensor{{indices.size(), channels(), height(), width()}};
+  batch.labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = image(indices[i]);
+    std::copy(src.begin(), src.end(), batch.images.data().begin() +
+                                          static_cast<std::ptrdiff_t>(i * pixels()));
+    batch.labels[i] = labels_[indices[i]];
+  }
+  return batch;
+}
+
+tensor::Tensor Dataset::gather_flat(std::span<const std::size_t> indices) const {
+  tensor::Tensor out{{indices.size(), pixels()}};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = image(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Batch batch = gather(indices);
+  return Dataset{std::move(batch.images), std::move(batch.labels), num_classes_};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (const int label : labels_) ++histogram[static_cast<std::size_t>(label)];
+  return histogram;
+}
+
+}  // namespace fedguard::data

@@ -1,0 +1,58 @@
+#pragma once
+// Labelled image dataset container. Images are stored as a single
+// [N, C, H, W] tensor with values in [0, 1]; labels are ints in
+// [0, num_classes).
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedguard::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Takes ownership of images [N, C, H, W] and labels (N entries).
+  Dataset(tensor::Tensor images, std::vector<int> labels, std::size_t num_classes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t channels() const noexcept { return images_.dim(1); }
+  [[nodiscard]] std::size_t height() const noexcept { return images_.dim(2); }
+  [[nodiscard]] std::size_t width() const noexcept { return images_.dim(3); }
+  [[nodiscard]] std::size_t pixels() const noexcept { return channels() * height() * width(); }
+
+  [[nodiscard]] const tensor::Tensor& images() const noexcept { return images_; }
+  [[nodiscard]] std::span<const int> labels() const noexcept { return labels_; }
+  [[nodiscard]] int label(std::size_t i) const noexcept { return labels_[i]; }
+  /// Mutable label access (used by the label-flipping data poisoning attack).
+  void set_label(std::size_t i, int label) noexcept { labels_[i] = label; }
+
+  /// Flat pixel view of sample `i` (length pixels()).
+  [[nodiscard]] std::span<const float> image(std::size_t i) const noexcept;
+
+  /// Gather samples by index into a [n, C, H, W] batch tensor + labels.
+  struct Batch {
+    tensor::Tensor images;    // [n, C, H, W]
+    std::vector<int> labels;  // n entries
+  };
+  [[nodiscard]] Batch gather(std::span<const std::size_t> indices) const;
+
+  /// All samples of `indices`, flattened to [n, pixels] (CVAE input format).
+  [[nodiscard]] tensor::Tensor gather_flat(std::span<const std::size_t> indices) const;
+
+  /// New dataset holding copies of the given samples.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts (num_classes entries).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+ private:
+  tensor::Tensor images_;  // [N, C, H, W]
+  std::vector<int> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace fedguard::data

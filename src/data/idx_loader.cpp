@@ -1,0 +1,82 @@
+#include "data/idx_loader.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace fedguard::data {
+
+namespace {
+
+std::uint32_t read_be_u32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw std::runtime_error{"idx: truncated header"};
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) | static_cast<std::uint32_t>(bytes[3]);
+}
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;
+constexpr std::uint32_t kLabelsMagic = 0x00000801;
+
+}  // namespace
+
+Dataset load_idx_dataset(const std::string& images_path, const std::string& labels_path,
+                         std::size_t num_classes) {
+  std::ifstream images_file{images_path, std::ios::binary};
+  if (!images_file) throw std::runtime_error{"idx: cannot open " + images_path};
+  std::ifstream labels_file{labels_path, std::ios::binary};
+  if (!labels_file) throw std::runtime_error{"idx: cannot open " + labels_path};
+
+  if (read_be_u32(images_file) != kImagesMagic) {
+    throw std::runtime_error{"idx: bad images magic in " + images_path};
+  }
+  const std::uint32_t image_count = read_be_u32(images_file);
+  const std::uint32_t rows = read_be_u32(images_file);
+  const std::uint32_t cols = read_be_u32(images_file);
+
+  if (read_be_u32(labels_file) != kLabelsMagic) {
+    throw std::runtime_error{"idx: bad labels magic in " + labels_path};
+  }
+  const std::uint32_t label_count = read_be_u32(labels_file);
+  if (image_count != label_count) {
+    throw std::runtime_error{"idx: image/label count mismatch"};
+  }
+
+  const std::size_t pixels = static_cast<std::size_t>(rows) * cols;
+  tensor::Tensor images{{image_count, 1, rows, cols}};
+  std::vector<unsigned char> row_buffer(pixels);
+  for (std::size_t n = 0; n < image_count; ++n) {
+    images_file.read(reinterpret_cast<char*>(row_buffer.data()),
+                     static_cast<std::streamsize>(pixels));
+    if (!images_file) throw std::runtime_error{"idx: truncated image data"};
+    float* dst = images.raw() + n * pixels;
+    for (std::size_t i = 0; i < pixels; ++i) {
+      dst[i] = static_cast<float>(row_buffer[i]) / 255.0f;
+    }
+  }
+
+  std::vector<int> labels(image_count);
+  std::vector<unsigned char> label_buffer(image_count);
+  labels_file.read(reinterpret_cast<char*>(label_buffer.data()),
+                   static_cast<std::streamsize>(image_count));
+  if (!labels_file) throw std::runtime_error{"idx: truncated label data"};
+  for (std::size_t i = 0; i < image_count; ++i) labels[i] = label_buffer[i];
+
+  return Dataset{std::move(images), std::move(labels), num_classes};
+}
+
+bool idx_dataset_available(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream images_file{images_path, std::ios::binary};
+  std::ifstream labels_file{labels_path, std::ios::binary};
+  if (!images_file || !labels_file) return false;
+  try {
+    return read_be_u32(images_file) == kImagesMagic &&
+           read_be_u32(labels_file) == kLabelsMagic;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace fedguard::data

@@ -1,0 +1,26 @@
+#pragma once
+// Loader for the IDX file format used by the original MNIST distribution
+// (http://yann.lecun.com/exdb/mnist/). When the real dataset files are
+// available on disk, they can be used instead of the synthetic substitute:
+//
+//   Dataset train = load_idx_dataset("train-images-idx3-ubyte",
+//                                    "train-labels-idx1-ubyte");
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace fedguard::data {
+
+/// Parse an IDX3 (images, magic 0x00000803) + IDX1 (labels, magic 0x00000801)
+/// pair into a Dataset with pixel values scaled to [0, 1].
+/// Throws std::runtime_error on I/O or format errors.
+[[nodiscard]] Dataset load_idx_dataset(const std::string& images_path,
+                                       const std::string& labels_path,
+                                       std::size_t num_classes = 10);
+
+/// True if both files exist and start with the expected IDX magic numbers.
+[[nodiscard]] bool idx_dataset_available(const std::string& images_path,
+                                         const std::string& labels_path);
+
+}  // namespace fedguard::data

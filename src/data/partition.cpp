@@ -1,0 +1,129 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedguard::data {
+
+Partition dirichlet_partition(const Dataset& dataset, std::size_t num_clients, double alpha,
+                              std::uint64_t seed) {
+  if (num_clients == 0) throw std::invalid_argument{"dirichlet_partition: no clients"};
+  if (alpha <= 0.0) throw std::invalid_argument{"dirichlet_partition: alpha must be > 0"};
+  util::Rng rng{seed};
+
+  // Bucket sample indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  Partition partition(num_clients);
+  const std::vector<double> alpha_vector(num_clients, alpha);
+  for (const auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const std::vector<double> proportions = rng.dirichlet(alpha_vector);
+    // Largest-remainder apportionment of bucket.size() samples.
+    std::vector<std::size_t> counts(num_clients, 0);
+    std::vector<std::pair<double, std::size_t>> remainders(num_clients);
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      const double exact = proportions[c] * static_cast<double>(bucket.size());
+      counts[c] = static_cast<std::size_t>(exact);
+      remainders[c] = {exact - static_cast<double>(counts[c]), c};
+      assigned += counts[c];
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = 0; assigned < bucket.size(); ++k, ++assigned) {
+      ++counts[remainders[k % num_clients].second];
+    }
+    std::size_t offset = 0;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      partition[c].insert(partition[c].end(), bucket.begin() + static_cast<std::ptrdiff_t>(offset),
+                          bucket.begin() + static_cast<std::ptrdiff_t>(offset + counts[c]));
+      offset += counts[c];
+    }
+  }
+
+  // Guarantee every client at least one sample: steal from the largest.
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    if (!partition[c].empty()) continue;
+    const auto largest = std::max_element(
+        partition.begin(), partition.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() <= 1) {
+      throw std::runtime_error{"dirichlet_partition: not enough samples for all clients"};
+    }
+    partition[c].push_back(largest->back());
+    largest->pop_back();
+  }
+
+  for (auto& client : partition) rng.shuffle(client);
+  return partition;
+}
+
+Partition iid_partition(std::size_t dataset_size, std::size_t num_clients,
+                        std::uint64_t seed) {
+  if (num_clients == 0) throw std::invalid_argument{"iid_partition: no clients"};
+  util::Rng rng{seed};
+  std::vector<std::size_t> order(dataset_size);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < dataset_size; ++i) {
+    partition[i % num_clients].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition shard_partition(const Dataset& dataset, std::size_t num_clients,
+                          std::size_t shards_per_client, std::uint64_t seed) {
+  if (num_clients == 0 || shards_per_client == 0) {
+    throw std::invalid_argument{"shard_partition: invalid arguments"};
+  }
+  util::Rng rng{seed};
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&dataset](std::size_t a, std::size_t b) {
+    return dataset.label(a) < dataset.label(b);
+  });
+
+  const std::size_t shard_count = num_clients * shards_per_client;
+  const std::size_t shard_size = dataset.size() / shard_count;
+  if (shard_size == 0) {
+    throw std::invalid_argument{"shard_partition: more shards than samples"};
+  }
+  std::vector<std::size_t> shard_order(shard_count);
+  std::iota(shard_order.begin(), shard_order.end(), std::size_t{0});
+  rng.shuffle(shard_order);
+
+  Partition partition(num_clients);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t client = s / shards_per_client;
+    const std::size_t shard = shard_order[s];
+    const std::size_t begin = shard * shard_size;
+    // The last shard absorbs the remainder.
+    const std::size_t end = (shard == shard_count - 1) ? dataset.size() : begin + shard_size;
+    partition[client].insert(partition[client].end(),
+                             order.begin() + static_cast<std::ptrdiff_t>(begin),
+                             order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  for (auto& client : partition) rng.shuffle(client);
+  return partition;
+}
+
+std::vector<std::vector<std::size_t>> partition_class_histogram(const Dataset& dataset,
+                                                                const Partition& partition) {
+  std::vector<std::vector<std::size_t>> histogram(partition.size());
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    histogram[c].assign(dataset.num_classes(), 0);
+    for (const std::size_t i : partition[c]) {
+      ++histogram[c][static_cast<std::size_t>(dataset.label(i))];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace fedguard::data

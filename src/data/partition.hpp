@@ -1,0 +1,38 @@
+#pragma once
+// Client data partitioners. The paper splits MNIST between N=100 clients
+// using a Dirichlet distribution with alpha=10 (Hsu, Qi & Brown 2019) to
+// simulate realistic non-IID federated data.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fedguard::data {
+
+/// One index list per client; indices refer into the source dataset.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Dirichlet partition (Hsu et al.): for each class, draw client proportions
+/// from Dir(alpha * 1_N) and split that class's samples accordingly. Larger
+/// alpha -> closer to IID. Every client is guaranteed at least one sample
+/// (singleton backfill from the largest client).
+[[nodiscard]] Partition dirichlet_partition(const Dataset& dataset, std::size_t num_clients,
+                                            double alpha, std::uint64_t seed);
+
+/// Uniform IID split (shuffle then deal round-robin).
+[[nodiscard]] Partition iid_partition(std::size_t dataset_size, std::size_t num_clients,
+                                      std::uint64_t seed);
+
+/// Pathological shard split (McMahan et al. 2016): sort by label, cut into
+/// num_clients * shards_per_client shards, deal shards_per_client to each
+/// client. Gives each client very few classes.
+[[nodiscard]] Partition shard_partition(const Dataset& dataset, std::size_t num_clients,
+                                        std::size_t shards_per_client, std::uint64_t seed);
+
+/// Per-client per-class sample counts (diagnostics / tests).
+[[nodiscard]] std::vector<std::vector<std::size_t>> partition_class_histogram(
+    const Dataset& dataset, const Partition& partition);
+
+}  // namespace fedguard::data

@@ -1,0 +1,222 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedguard::data {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+using Polyline = std::vector<Point>;
+
+/// Closed circle approximation as a polyline.
+Polyline circle(double cx, double cy, double rx, double ry, int segments = 14) {
+  Polyline out;
+  out.reserve(static_cast<std::size_t>(segments) + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const double t = 2.0 * 3.14159265358979323846 * i / segments;
+    out.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return out;
+}
+
+/// Stroke skeletons per digit, in a unit box (x right, y down), content
+/// roughly within [0.2, 0.8].
+std::vector<Polyline> digit_skeleton(int digit) {
+  switch (digit) {
+    case 0:
+      return {circle(0.5, 0.5, 0.21, 0.29)};
+    case 1:
+      return {{{0.38, 0.32}, {0.52, 0.2}, {0.52, 0.8}}};
+    case 2:
+      return {{{0.28, 0.36},
+               {0.33, 0.24},
+               {0.5, 0.2},
+               {0.67, 0.26},
+               {0.71, 0.38},
+               {0.6, 0.52},
+               {0.42, 0.64},
+               {0.28, 0.8},
+               {0.74, 0.8}}};
+    case 3:
+      return {{{0.3, 0.27},
+               {0.46, 0.2},
+               {0.64, 0.26},
+               {0.66, 0.38},
+               {0.52, 0.48},
+               {0.68, 0.58},
+               {0.66, 0.72},
+               {0.46, 0.8},
+               {0.29, 0.72}}};
+    case 4:
+      return {{{0.62, 0.8}, {0.62, 0.2}, {0.26, 0.62}, {0.78, 0.62}}};
+    case 5:
+      return {{{0.7, 0.2},
+               {0.33, 0.2},
+               {0.3, 0.46},
+               {0.52, 0.42},
+               {0.68, 0.52},
+               {0.68, 0.68},
+               {0.5, 0.8},
+               {0.3, 0.74}}};
+    case 6: {
+      Polyline hook{{0.64, 0.2}, {0.46, 0.32}, {0.34, 0.5}, {0.3, 0.64}};
+      return {hook, circle(0.47, 0.64, 0.17, 0.16)};
+    }
+    case 7:
+      return {{{0.26, 0.2}, {0.74, 0.2}, {0.46, 0.8}}};
+    case 8:
+      return {circle(0.5, 0.35, 0.16, 0.15), circle(0.5, 0.65, 0.19, 0.16)};
+    case 9: {
+      Polyline tail{{0.66, 0.38}, {0.64, 0.6}, {0.56, 0.8}};
+      return {circle(0.52, 0.36, 0.16, 0.16), tail};
+    }
+    default:
+      throw std::invalid_argument{"digit_skeleton: digit must be 0..9"};
+  }
+}
+
+/// Squared distance from point p to segment ab.
+double segment_distance_squared(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x, aby = b.y - a.y;
+  const double apx = p.x - a.x, apy = p.y - a.y;
+  const double ab2 = abx * abx + aby * aby;
+  double t = ab2 > 0.0 ? (apx * abx + apy * aby) / ab2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = apx - t * abx, dy = apy - t * aby;
+  return dx * dx + dy * dy;
+}
+
+struct Affine {
+  // [x'; y'] = M [x - 0.5; y - 0.5] + [0.5 + tx; 0.5 + ty]
+  double m00, m01, m10, m11, tx, ty;
+
+  [[nodiscard]] Point apply(const Point& p) const noexcept {
+    const double x = p.x - 0.5, y = p.y - 0.5;
+    return {m00 * x + m01 * y + 0.5 + tx, m10 * x + m11 * y + 0.5 + ty};
+  }
+};
+
+Affine random_affine(util::Rng& rng, const SyntheticMnistOptions& o) {
+  const double theta = rng.normal(0.0, o.rotation_stddev_deg * 3.14159265358979323846 / 180.0);
+  const double sx = 1.0 + rng.normal(0.0, o.scale_jitter);
+  const double sy = 1.0 + rng.normal(0.0, o.scale_jitter);
+  const double shear = rng.normal(0.0, o.shear_stddev);
+  const double c = std::cos(theta), s = std::sin(theta);
+  Affine a;
+  // rotation * shear * scale
+  a.m00 = c * sx + (-s) * shear * sx;
+  a.m01 = (-s) * sy;
+  a.m10 = s * sx + c * shear * sx;
+  a.m11 = c * sy;
+  a.tx = rng.normal(0.0, o.translate_jitter);
+  a.ty = rng.normal(0.0, o.translate_jitter);
+  return a;
+}
+
+}  // namespace
+
+std::vector<float> render_digit(int digit, util::Rng& rng,
+                                const SyntheticMnistOptions& o) {
+  const std::size_t size = o.image_size;
+  const double scale = static_cast<double>(size);
+  std::vector<float> image(size * size, 0.0f);
+
+  const Affine affine = random_affine(rng, o);
+  std::vector<Polyline> strokes = digit_skeleton(digit);
+  for (auto& stroke : strokes) {
+    for (auto& point : stroke) point = affine.apply(point);
+  }
+
+  const double thickness =
+      std::max(0.6, rng.normal(o.thickness_mean, o.thickness_jitter)) * (scale / 28.0);
+  const double radius2 = thickness * thickness;
+  const double falloff = thickness * 0.9;
+
+  // Rasterize: intensity from distance to the nearest stroke segment.
+  for (std::size_t py = 0; py < size; ++py) {
+    for (std::size_t px = 0; px < size; ++px) {
+      const Point p{(static_cast<double>(px) + 0.5) / scale,
+                    (static_cast<double>(py) + 0.5) / scale};
+      double best2 = 1e9;
+      for (const auto& stroke : strokes) {
+        for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+          best2 = std::min(best2, segment_distance_squared(p, stroke[i], stroke[i + 1]));
+        }
+      }
+      const double d = std::sqrt(best2) * scale;  // distance in pixels
+      double intensity;
+      if (d * d <= radius2) {
+        intensity = 1.0;
+      } else {
+        const double overshoot = d - thickness;
+        intensity = std::max(0.0, 1.0 - overshoot / falloff);
+      }
+      image[py * size + px] = static_cast<float>(intensity);
+    }
+  }
+
+  if (o.pixel_noise_stddev > 0.0) {
+    for (auto& v : image) {
+      v = std::clamp(v + static_cast<float>(rng.normal(0.0, o.pixel_noise_stddev)), 0.0f,
+                     1.0f);
+    }
+  }
+  return image;
+}
+
+Dataset generate_synthetic_mnist_per_class(std::span<const std::size_t> class_counts,
+                                           std::uint64_t seed,
+                                           const SyntheticMnistOptions& options) {
+  if (class_counts.size() != 10) {
+    throw std::invalid_argument{"generate_synthetic_mnist_per_class: need 10 class counts"};
+  }
+  const std::size_t total = std::accumulate(class_counts.begin(), class_counts.end(),
+                                            std::size_t{0});
+  const std::size_t size = options.image_size;
+  util::Rng rng{seed};
+
+  tensor::Tensor images{{total, 1, size, size}};
+  std::vector<int> labels;
+  labels.reserve(total);
+  std::size_t offset = 0;
+  for (int digit = 0; digit < 10; ++digit) {
+    for (std::size_t i = 0; i < class_counts[static_cast<std::size_t>(digit)]; ++i) {
+      const std::vector<float> pixels = render_digit(digit, rng, options);
+      std::copy(pixels.begin(), pixels.end(),
+                images.data().begin() + static_cast<std::ptrdiff_t>(offset * size * size));
+      labels.push_back(digit);
+      ++offset;
+    }
+  }
+
+  // Shuffle sample order so contiguous index ranges are class-mixed.
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  tensor::Tensor shuffled{{total, 1, size, size}};
+  std::vector<int> shuffled_labels(total);
+  const std::size_t pixel_count = size * size;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto src = images.data().subspan(order[i] * pixel_count, pixel_count);
+    std::copy(src.begin(), src.end(),
+              shuffled.data().begin() + static_cast<std::ptrdiff_t>(i * pixel_count));
+    shuffled_labels[i] = labels[order[i]];
+  }
+  return Dataset{std::move(shuffled), std::move(shuffled_labels), 10};
+}
+
+Dataset generate_synthetic_mnist(std::size_t count, std::uint64_t seed,
+                                 const SyntheticMnistOptions& options) {
+  std::vector<std::size_t> class_counts(10, count / 10);
+  for (std::size_t i = 0; i < count % 10; ++i) ++class_counts[i];
+  return generate_synthetic_mnist_per_class(class_counts, seed, options);
+}
+
+}  // namespace fedguard::data

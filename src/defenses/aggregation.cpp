@@ -1,0 +1,78 @@
+#include "defenses/aggregation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::defenses {
+
+std::size_t validate_updates(std::span<const ClientUpdate> updates) {
+  if (updates.empty()) {
+    throw std::invalid_argument{"aggregation: no updates"};
+  }
+  const std::size_t dim = updates.front().psi.size();
+  if (dim == 0) throw std::invalid_argument{"aggregation: empty parameter vector"};
+  for (const auto& update : updates) {
+    if (update.psi.size() != dim) {
+      throw std::invalid_argument{"aggregation: parameter dimension mismatch"};
+    }
+  }
+  return dim;
+}
+
+std::vector<float> weighted_mean(std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  double total_weight = 0.0;
+  for (const auto& update : updates) {
+    total_weight += static_cast<double>(update.num_samples);
+  }
+  std::vector<double> accumulator(dim, 0.0);
+  if (total_weight == 0.0) {
+    for (const auto& update : updates) {
+      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += update.psi[i];
+    }
+    total_weight = static_cast<double>(updates.size());
+  } else {
+    for (const auto& update : updates) {
+      const double w = static_cast<double>(update.num_samples);
+      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += w * update.psi[i];
+    }
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    out[i] = static_cast<float>(accumulator[i] / total_weight);
+  }
+  return out;
+}
+
+std::vector<float> mean_of(std::span<const ClientUpdate> updates,
+                           std::span<const std::size_t> selected) {
+  if (selected.empty()) throw std::invalid_argument{"mean_of: empty selection"};
+  const std::size_t dim = validate_updates(updates);
+  std::vector<double> accumulator(dim, 0.0);
+  for (const std::size_t k : selected) {
+    for (std::size_t i = 0; i < dim; ++i) accumulator[i] += updates[k].psi[i];
+  }
+  std::vector<float> out(dim);
+  const double inv = 1.0 / static_cast<double>(selected.size());
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(accumulator[i] * inv);
+  return out;
+}
+
+DetectionStats compute_detection_stats(std::span<const ClientUpdate> updates,
+                                       const AggregationResult& result) {
+  DetectionStats stats;
+  const auto rejected = [&result](int id) {
+    return std::find(result.rejected_clients.begin(), result.rejected_clients.end(), id) !=
+           result.rejected_clients.end();
+  };
+  for (const auto& update : updates) {
+    const bool was_rejected = rejected(update.client_id);
+    if (update.truly_malicious && was_rejected) ++stats.true_positives;
+    else if (update.truly_malicious) ++stats.false_negatives;
+    else if (was_rejected) ++stats.false_positives;
+    else ++stats.true_negatives;
+  }
+  return stats;
+}
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,79 @@
+#pragma once
+// Aggregation strategy interface shared by the FL server and all defenses.
+//
+// Per federated round the server hands the strategy the set of uploaded
+// client updates; the strategy returns the new global parameter vector plus
+// the accept/reject split it decided on (for diagnostics and the detection
+// metrics reported by the benches).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedguard::defenses {
+
+/// One client's upload for a round. `psi` is the flat classifier parameter
+/// vector after local training (possibly poisoned); `theta` is the flat CVAE
+/// decoder parameter vector (only populated when the strategy requests
+/// decoders, i.e. FedGuard).
+struct ClientUpdate {
+  int client_id = -1;
+  std::vector<float> psi;
+  std::vector<float> theta;
+  std::size_t num_samples = 0;
+  bool truly_malicious = false;  // ground truth, for detection metrics only
+};
+
+struct AggregationContext {
+  std::size_t round = 0;
+  /// Current global parameters (pre-round); same length as every psi.
+  std::span<const float> global_parameters;
+};
+
+struct AggregationResult {
+  std::vector<float> parameters;
+  std::vector<int> accepted_clients;
+  std::vector<int> rejected_clients;
+};
+
+class AggregationStrategy {
+ public:
+  virtual ~AggregationStrategy() = default;
+
+  [[nodiscard]] virtual AggregationResult aggregate(const AggregationContext& context,
+                                                    std::span<const ClientUpdate> updates) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True if clients must also upload their CVAE decoder parameters
+  /// (FedGuard only); drives the Table V traffic accounting.
+  [[nodiscard]] virtual bool wants_decoders() const { return false; }
+};
+
+// ---- Shared helpers used by several strategies -------------------------------
+
+/// Sample-count weighted arithmetic mean of the given updates' psi vectors.
+/// Falls back to the unweighted mean when all counts are zero.
+[[nodiscard]] std::vector<float> weighted_mean(std::span<const ClientUpdate> updates);
+
+/// Unweighted mean of selected updates (by index into `updates`).
+[[nodiscard]] std::vector<float> mean_of(std::span<const ClientUpdate> updates,
+                                         std::span<const std::size_t> selected);
+
+/// Throws std::invalid_argument unless all updates exist and share one
+/// parameter dimension; returns that dimension.
+std::size_t validate_updates(std::span<const ClientUpdate> updates);
+
+/// Detection quality of a round's accept/reject split against ground truth.
+struct DetectionStats {
+  std::size_t true_positives = 0;   // malicious rejected
+  std::size_t false_positives = 0;  // benign rejected
+  std::size_t true_negatives = 0;   // benign accepted
+  std::size_t false_negatives = 0;  // malicious accepted
+};
+[[nodiscard]] DetectionStats compute_detection_stats(std::span<const ClientUpdate> updates,
+                                                     const AggregationResult& result);
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,68 @@
+#include "defenses/auxiliary_audit.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+
+AuxiliaryAuditAggregator::AuxiliaryAuditAggregator(models::ClassifierArch arch,
+                                                   models::ImageGeometry geometry,
+                                                   data::Dataset auxiliary,
+                                                   std::size_t warmup_rounds,
+                                                   std::uint64_t seed)
+    : auxiliary_{std::move(auxiliary)},
+      warmup_rounds_{warmup_rounds},
+      scratch_{std::make_unique<models::Classifier>(arch, geometry, seed)} {
+  if (auxiliary_.empty()) {
+    throw std::invalid_argument{"AuxiliaryAuditAggregator: auxiliary dataset is empty"};
+  }
+  std::vector<std::size_t> all(auxiliary_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  data::Dataset::Batch batch = auxiliary_.gather(all);
+  audit_images_ = std::move(batch.images);
+  audit_labels_ = std::move(batch.labels);
+}
+
+AuxiliaryAuditAggregator::~AuxiliaryAuditAggregator() = default;
+
+AggregationResult AuxiliaryAuditAggregator::aggregate(const AggregationContext& context,
+                                                      std::span<const ClientUpdate> updates) {
+  validate_updates(updates);
+  AggregationResult result;
+  if (context.round < warmup_rounds_) {
+    // PDGAN initialization phase: aggregate everything (the window during
+    // which the system is vulnerable — paper §II / §VI-A).
+    last_scores_.assign(updates.size(), 0.0);
+    result.parameters = weighted_mean(updates);
+    for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+    return result;
+  }
+
+  last_scores_.resize(updates.size());
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    scratch_->load_parameters_flat(updates[k].psi);
+    last_scores_[k] = scratch_->evaluate_accuracy(audit_images_, audit_labels_);
+  }
+  const double threshold = util::mean(std::span<const double>{last_scores_});
+
+  std::vector<ClientUpdate> kept;
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    if (last_scores_[k] >= threshold) {
+      kept.push_back(updates[k]);
+      result.accepted_clients.push_back(updates[k].client_id);
+    } else {
+      result.rejected_clients.push_back(updates[k].client_id);
+    }
+  }
+  if (kept.empty()) {
+    kept.assign(updates.begin(), updates.end());
+    result.accepted_clients = result.rejected_clients;
+    result.rejected_clients.clear();
+  }
+  result.parameters = weighted_mean(kept);
+  return result;
+}
+
+}  // namespace fedguard::defenses

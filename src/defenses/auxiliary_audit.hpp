@@ -1,0 +1,48 @@
+#pragma once
+// Auxiliary-dataset audit — a PDGAN-style baseline (Zhao et al. 2019) reduced
+// to its essence. PDGAN trains a server-side GAN on an auxiliary dataset and
+// audits each client's accuracy on generated data; since the generator only
+// approximates the auxiliary data, auditing on the auxiliary dataset directly
+// is the idealized upper bound of that family. Like PDGAN it requires
+// server-side data (the assumption FedGuard removes) and supports an
+// initialization phase during which no filtering happens (PDGAN reports
+// 400-600 warm-up rounds; configurable here).
+//
+// Filtering rule mirrors FedGuard's selective aggregation: keep updates at or
+// above the round's mean auxiliary accuracy, FedAvg the survivors.
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "defenses/aggregation.hpp"
+#include "models/classifier.hpp"
+
+namespace fedguard::defenses {
+
+class AuxiliaryAuditAggregator final : public AggregationStrategy {
+ public:
+  /// `warmup_rounds`: rounds of plain FedAvg before auditing starts (PDGAN's
+  /// initialization phase; 0 = audit from the first round).
+  AuxiliaryAuditAggregator(models::ClassifierArch arch, models::ImageGeometry geometry,
+                           data::Dataset auxiliary, std::size_t warmup_rounds = 0,
+                           std::uint64_t seed = 1);
+  ~AuxiliaryAuditAggregator() override;
+
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "aux_audit"; }
+
+  [[nodiscard]] const std::vector<double>& last_scores() const noexcept {
+    return last_scores_;
+  }
+
+ private:
+  data::Dataset auxiliary_;
+  std::size_t warmup_rounds_;
+  std::unique_ptr<models::Classifier> scratch_;
+  tensor::Tensor audit_images_;
+  std::vector<int> audit_labels_;
+  std::vector<double> last_scores_;
+};
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,75 @@
+#include "defenses/bulyan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "defenses/krum.hpp"
+
+namespace fedguard::defenses {
+
+AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*context*/,
+                                              std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  const std::size_t count = updates.size();
+
+  auto f = static_cast<std::size_t>(byzantine_fraction_ * static_cast<double>(count));
+  // Selection set size n - 2f, at least 1.
+  std::size_t selection_size = (count > 2 * f) ? count - 2 * f : 1;
+
+  // Stage 1: iterative Krum selection without replacement.
+  std::vector<std::size_t> remaining(count);
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  std::vector<std::size_t> selected;
+  std::vector<float> points;
+  while (selected.size() < selection_size && remaining.size() > 0) {
+    if (remaining.size() == 1) {
+      selected.push_back(remaining.front());
+      remaining.clear();
+      break;
+    }
+    points.clear();
+    points.reserve(remaining.size() * dim);
+    for (const std::size_t k : remaining) {
+      points.insert(points.end(), updates[k].psi.begin(), updates[k].psi.end());
+    }
+    const std::vector<double> scores = krum_scores(points, remaining.size(), dim, f);
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(scores.begin(), scores.end()) - scores.begin());
+    selected.push_back(remaining[best]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+
+  // Stage 2: per-coordinate, average the selection_size - 2f values closest
+  // to the coordinate median (trimmed mean around the median).
+  std::size_t beta = (selected.size() > 2 * f) ? selected.size() - 2 * f : 1;
+  AggregationResult result;
+  result.parameters.resize(dim);
+  std::vector<float> column(selected.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+      column[k] = updates[selected[k]].psi[i];
+    }
+    std::sort(column.begin(), column.end());
+    const float median_value = column[column.size() / 2];
+    // Sort by distance to the median and average the closest beta.
+    std::partial_sort(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(beta),
+                      column.end(), [median_value](float a, float b) {
+                        return std::abs(a - median_value) < std::abs(b - median_value);
+                      });
+    double total = 0.0;
+    for (std::size_t k = 0; k < beta; ++k) total += column[k];
+    result.parameters[i] = static_cast<float>(total / static_cast<double>(beta));
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    if (std::find(selected.begin(), selected.end(), k) != selected.end()) {
+      result.accepted_clients.push_back(updates[k].client_id);
+    } else {
+      result.rejected_clients.push_back(updates[k].client_id);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedguard::defenses

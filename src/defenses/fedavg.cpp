@@ -1,0 +1,14 @@
+#include "defenses/fedavg.hpp"
+
+namespace fedguard::defenses {
+
+AggregationResult FedAvgAggregator::aggregate(const AggregationContext& /*context*/,
+                                              std::span<const ClientUpdate> updates) {
+  AggregationResult result;
+  result.parameters = weighted_mean(updates);
+  result.accepted_clients.reserve(updates.size());
+  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+  return result;
+}
+
+}  // namespace fedguard::defenses

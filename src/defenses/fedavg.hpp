@@ -1,0 +1,16 @@
+#pragma once
+// FedAvg (McMahan et al. 2016): sample-count weighted average of all client
+// updates. The undefended baseline.
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::defenses {
+
+class FedAvgAggregator final : public AggregationStrategy {
+ public:
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "fedavg"; }
+};
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,182 @@
+#include "defenses/fedguard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "defenses/geomed.hpp"
+#include "defenses/median.hpp"
+#include "nn/loss.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+
+const char* to_string(InternalOperator op) noexcept {
+  switch (op) {
+    case InternalOperator::FedAvg: return "fedavg";
+    case InternalOperator::GeoMed: return "geomed";
+    case InternalOperator::Median: return "median";
+  }
+  return "unknown";
+}
+
+FedGuardAggregator::FedGuardAggregator(FedGuardConfig config, models::ClassifierArch arch,
+                                       models::ImageGeometry geometry, std::uint64_t seed)
+    : config_{std::move(config)},
+      geometry_{geometry},
+      rng_{seed},
+      scratch_classifier_{std::make_unique<models::Classifier>(arch, geometry, seed)},
+      scratch_decoder_{std::make_unique<models::CvaeDecoder>(config_.cvae_spec, seed)} {
+  if (config_.cvae_spec.input_dim != geometry.pixels()) {
+    throw std::invalid_argument{"FedGuardAggregator: CVAE input_dim != image pixels"};
+  }
+  if (config_.class_alpha.empty()) {
+    config_.class_alpha.assign(config_.cvae_spec.num_classes,
+                               1.0 / static_cast<double>(config_.cvae_spec.num_classes));
+  }
+  if (config_.class_alpha.size() != config_.cvae_spec.num_classes) {
+    throw std::invalid_argument{"FedGuardAggregator: class_alpha size mismatch"};
+  }
+  if (config_.total_samples == 0) {
+    throw std::invalid_argument{"FedGuardAggregator: total_samples must be > 0"};
+  }
+}
+
+FedGuardAggregator::~FedGuardAggregator() = default;
+
+AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*context*/,
+                                                std::span<const ClientUpdate> updates) {
+  validate_updates(updates);
+  const std::size_t decoder_dim = scratch_decoder_->parameter_count();
+  for (const auto& update : updates) {
+    if (update.theta.size() != decoder_dim) {
+      throw std::invalid_argument{"FedGuardAggregator: decoder dimension mismatch"};
+    }
+  }
+  const std::size_t active = updates.size();
+  const std::size_t latent = config_.cvae_spec.latent;
+
+  // (1) Shared latent + conditioning samples [z_t], [y_t] (Alg. 1 lines 2-3).
+  const std::size_t t = config_.total_samples;
+  const tensor::Tensor z = models::sample_standard_normal(t, latent, rng_);
+  const std::vector<int> y =
+      models::sample_categorical_labels(t, config_.class_alpha, rng_);
+
+  // (2) Synthesize D_syn from the uploaded decoders (Alg. 1 line 4).
+  // Split mode: decoder j synthesizes the j-th slice of the shared samples
+  // (|D_syn| = t). PerDecoder mode: every decoder synthesizes all t samples
+  // (|D_syn| = |J| * t).
+  std::vector<float> syn_pixels;
+  std::vector<int> syn_labels;
+  const std::size_t pixels = geometry_.pixels();
+  auto decode_range = [&](const ClientUpdate& update, std::size_t begin, std::size_t count) {
+    scratch_decoder_->load_parameters_flat(update.theta);
+    tensor::Tensor z_slice{{count, latent}};
+    std::vector<int> y_slice(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto src = z.row(begin + i);
+      std::copy(src.begin(), src.end(), z_slice.row(i).begin());
+      y_slice[i] = y[begin + i];
+    }
+    const tensor::Tensor images = scratch_decoder_->decode(z_slice, y_slice);
+    syn_pixels.insert(syn_pixels.end(), images.data().begin(), images.data().end());
+    syn_labels.insert(syn_labels.end(), y_slice.begin(), y_slice.end());
+  };
+
+  if (config_.sample_mode == FedGuardConfig::SampleMode::PerDecoder) {
+    for (const auto& update : updates) decode_range(update, 0, t);
+  } else {
+    // Distribute t samples over |J| decoders, remainder to the first ones.
+    const std::size_t base = t / active;
+    const std::size_t extra = t % active;
+    std::size_t offset = 0;
+    for (std::size_t j = 0; j < active; ++j) {
+      const std::size_t count = base + (j < extra ? 1 : 0);
+      if (count == 0) continue;
+      decode_range(updates[j], offset, count);
+      offset += count;
+    }
+  }
+
+  const std::size_t syn_count = syn_labels.size();
+  tensor::Tensor syn_images = tensor::Tensor::from_data(
+      {syn_count, geometry_.channels, geometry_.height, geometry_.width},
+      std::move(syn_pixels));
+
+  // (3) Score each client's classifier on D_syn (Alg. 1 line 5).
+  last_scores_.assign(active, 0.0);
+  for (std::size_t j = 0; j < active; ++j) {
+    scratch_classifier_->load_parameters_flat(updates[j].psi);
+    if (config_.score_metric == FedGuardConfig::ScoreMetric::Balanced) {
+      // Mean per-class recall over the classes present in D_syn: a targeted
+      // attack that sacrifices a class pair cannot hide behind the other
+      // classes' accuracy.
+      const std::vector<double> recalls =
+          scratch_classifier_->evaluate_per_class(syn_images, syn_labels);
+      std::vector<bool> present(recalls.size(), false);
+      for (const int label : syn_labels) present[static_cast<std::size_t>(label)] = true;
+      double total = 0.0;
+      std::size_t classes_present = 0;
+      for (std::size_t c = 0; c < recalls.size(); ++c) {
+        if (present[c]) {
+          total += recalls[c];
+          ++classes_present;
+        }
+      }
+      last_scores_[j] = classes_present > 0 ? total / static_cast<double>(classes_present)
+                                            : 0.0;
+    } else {
+      last_scores_[j] = scratch_classifier_->evaluate_accuracy(syn_images, syn_labels);
+    }
+  }
+  (void)pixels;
+
+  // (4) Selective aggregation: keep ACC_j >= mean(ACC) (Alg. 1 lines 6-7).
+  last_threshold_ = util::mean(std::span<const double>{last_scores_});
+  std::vector<ClientUpdate> kept;
+  AggregationResult result;
+  for (std::size_t j = 0; j < active; ++j) {
+    if (last_scores_[j] >= last_threshold_) {
+      kept.push_back(updates[j]);
+      result.accepted_clients.push_back(updates[j].client_id);
+    } else {
+      result.rejected_clients.push_back(updates[j].client_id);
+    }
+  }
+  if (kept.empty()) {
+    // Cannot happen with a finite mean (the max is always >= mean), but stay
+    // defensive against NaN scores.
+    kept.assign(updates.begin(), updates.end());
+    result.accepted_clients = result.rejected_clients;
+    result.rejected_clients.clear();
+  }
+
+  switch (config_.internal_operator) {
+    case InternalOperator::FedAvg:
+      result.parameters = weighted_mean(kept);
+      break;
+    case InternalOperator::GeoMed: {
+      const std::size_t dim = kept.front().psi.size();
+      std::vector<float> points;
+      points.reserve(kept.size() * dim);
+      for (const auto& update : kept) {
+        points.insert(points.end(), update.psi.begin(), update.psi.end());
+      }
+      result.parameters = geometric_median(points, kept.size(), dim);
+      break;
+    }
+    case InternalOperator::Median: {
+      const std::size_t dim = kept.front().psi.size();
+      std::vector<float> points;
+      points.reserve(kept.size() * dim);
+      for (const auto& update : kept) {
+        points.insert(points.end(), update.psi.begin(), update.psi.end());
+      }
+      result.parameters = coordinate_median(points, kept.size(), dim);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,78 @@
+#include "defenses/geomed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+
+std::vector<float> geometric_median(std::span<const float> points, std::size_t count,
+                                    std::size_t dim, std::size_t max_iterations,
+                                    double tolerance) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"geometric_median: bad dimensions"};
+  }
+  // Start from the arithmetic mean.
+  std::vector<double> current(dim, 0.0);
+  for (std::size_t k = 0; k < count; ++k) {
+    for (std::size_t i = 0; i < dim; ++i) current[i] += points[k * dim + i];
+  }
+  for (auto& v : current) v /= static_cast<double>(count);
+
+  std::vector<double> next(dim);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double weight_total = 0.0;
+    bool at_point = false;
+    for (std::size_t k = 0; k < count; ++k) {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double d = static_cast<double>(points[k * dim + i]) - current[i];
+        dist2 += d * d;
+      }
+      const double dist = std::sqrt(dist2);
+      if (dist < 1e-12) {
+        // Weiszfeld is undefined exactly at a sample point; accept it as the
+        // (local) solution — a sample point coinciding with the median is a
+        // valid optimum for our purposes.
+        at_point = true;
+        break;
+      }
+      const double w = 1.0 / dist;
+      weight_total += w;
+      for (std::size_t i = 0; i < dim; ++i) next[i] += w * points[k * dim + i];
+    }
+    if (at_point) break;
+    double movement2 = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      next[i] /= weight_total;
+      const double d = next[i] - current[i];
+      movement2 += d * d;
+      current[i] = next[i];
+    }
+    if (std::sqrt(movement2) < tolerance) break;
+  }
+
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(current[i]);
+  return out;
+}
+
+AggregationResult GeoMedAggregator::aggregate(const AggregationContext& /*context*/,
+                                              std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  std::vector<float> points;
+  points.reserve(updates.size() * dim);
+  for (const auto& update : updates) {
+    points.insert(points.end(), update.psi.begin(), update.psi.end());
+  }
+  AggregationResult result;
+  result.parameters =
+      geometric_median(points, updates.size(), dim, max_iterations_, tolerance_);
+  // GeoMed uses every update (robustness comes from the operator itself).
+  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+  return result;
+}
+
+}  // namespace fedguard::defenses

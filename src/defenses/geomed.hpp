@@ -1,0 +1,31 @@
+#pragma once
+// Geometric median aggregation (Chen, Su & Xu 2018). The global update is
+// the point minimizing the sum of Euclidean distances to all client updates,
+// computed with Weiszfeld's iteration.
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::defenses {
+
+class GeoMedAggregator final : public AggregationStrategy {
+ public:
+  explicit GeoMedAggregator(std::size_t max_iterations = 50, double tolerance = 1e-6)
+      : max_iterations_{max_iterations}, tolerance_{tolerance} {}
+
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "geomed"; }
+
+ private:
+  std::size_t max_iterations_;
+  double tolerance_;
+};
+
+/// Weiszfeld iteration over row vectors; exposed for direct testing.
+/// `points` is a flattened [count, dim] array.
+[[nodiscard]] std::vector<float> geometric_median(std::span<const float> points,
+                                                  std::size_t count, std::size_t dim,
+                                                  std::size_t max_iterations = 50,
+                                                  double tolerance = 1e-6);
+
+}  // namespace fedguard::defenses

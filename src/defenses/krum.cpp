@@ -1,0 +1,80 @@
+#include "defenses/krum.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+
+std::vector<double> krum_scores(std::span<const float> points, std::size_t count,
+                                std::size_t dim, std::size_t byzantine_count) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"krum_scores: bad dimensions"};
+  }
+  // Clamp f so each update has at least one neighbour in its score.
+  std::size_t f = byzantine_count;
+  if (count < 3) f = 0;
+  else if (f + 2 >= count) f = count - 3;
+  const std::size_t neighbours = count - f - 2 > 0 ? count - f - 2 : 1;
+
+  // Pairwise squared distances.
+  std::vector<double> distance2(count * count, 0.0);
+  for (std::size_t a = 0; a < count; ++a) {
+    for (std::size_t b = a + 1; b < count; ++b) {
+      const double d2 = util::squared_distance(points.subspan(a * dim, dim),
+                                               points.subspan(b * dim, dim));
+      distance2[a * count + b] = d2;
+      distance2[b * count + a] = d2;
+    }
+  }
+
+  std::vector<double> scores(count, 0.0);
+  std::vector<double> row;
+  for (std::size_t a = 0; a < count; ++a) {
+    row.clear();
+    for (std::size_t b = 0; b < count; ++b) {
+      if (b != a) row.push_back(distance2[a * count + b]);
+    }
+    const std::size_t k = std::min(neighbours, row.size());
+    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), row.end());
+    scores[a] = std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
+  }
+  return scores;
+}
+
+AggregationResult KrumAggregator::aggregate(const AggregationContext& /*context*/,
+                                            std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  const std::size_t count = updates.size();
+  std::vector<float> points;
+  points.reserve(count * dim);
+  for (const auto& update : updates) {
+    points.insert(points.end(), update.psi.begin(), update.psi.end());
+  }
+  const auto byzantine_count =
+      static_cast<std::size_t>(byzantine_fraction_ * static_cast<double>(count));
+  const std::vector<double> scores = krum_scores(points, count, dim, byzantine_count);
+
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  const std::size_t keep = std::min(std::max<std::size_t>(multi_k_, 1), count);
+  AggregationResult result;
+  std::vector<std::size_t> selected(order.begin(),
+                                    order.begin() + static_cast<std::ptrdiff_t>(keep));
+  result.parameters = mean_of(updates, selected);
+  for (std::size_t k = 0; k < count; ++k) {
+    if (std::find(selected.begin(), selected.end(), k) != selected.end()) {
+      result.accepted_clients.push_back(updates[k].client_id);
+    } else {
+      result.rejected_clients.push_back(updates[k].client_id);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,35 @@
+#pragma once
+// Krum and Multi-Krum (Blanchard et al. 2017). Each update is scored by the
+// sum of squared distances to its n - f - 2 nearest neighbours; Krum selects
+// the single best-scored update as the global model, Multi-Krum averages the
+// k best.
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::defenses {
+
+class KrumAggregator final : public AggregationStrategy {
+ public:
+  /// `byzantine_estimate_fraction` is the assumed fraction f/n of malicious
+  /// updates; f is clamped so that n - f - 2 >= 1. `multi_k` = 1 gives plain
+  /// Krum; larger values average the multi_k best-scored updates.
+  explicit KrumAggregator(double byzantine_estimate_fraction = 0.25, std::size_t multi_k = 1)
+      : byzantine_fraction_{byzantine_estimate_fraction}, multi_k_{multi_k} {}
+
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override {
+    return multi_k_ > 1 ? "multi_krum" : "krum";
+  }
+
+ private:
+  double byzantine_fraction_;
+  std::size_t multi_k_;
+};
+
+/// Krum scores for a flattened [count, dim] point set given the byzantine
+/// count f (clamped internally). Exposed for direct testing.
+[[nodiscard]] std::vector<double> krum_scores(std::span<const float> points, std::size_t count,
+                                              std::size_t dim, std::size_t byzantine_count);
+
+}  // namespace fedguard::defenses

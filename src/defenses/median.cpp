@@ -1,0 +1,46 @@
+#include "defenses/median.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::defenses {
+
+std::vector<float> coordinate_median(std::span<const float> points, std::size_t count,
+                                     std::size_t dim) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"coordinate_median: bad dimensions"};
+  }
+  std::vector<float> out(dim);
+  std::vector<float> column(count);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < count; ++k) column[k] = points[k * dim + i];
+    const std::size_t mid = count / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    if (count % 2 == 1) {
+      out[i] = column[mid];
+    } else {
+      const float upper = column[mid];
+      std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                       column.end());
+      out[i] = 0.5f * (column[mid - 1] + upper);
+    }
+  }
+  return out;
+}
+
+AggregationResult CoordinateMedianAggregator::aggregate(
+    const AggregationContext& /*context*/, std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  std::vector<float> points;
+  points.reserve(updates.size() * dim);
+  for (const auto& update : updates) {
+    points.insert(points.end(), update.psi.begin(), update.psi.end());
+  }
+  AggregationResult result;
+  result.parameters = coordinate_median(points, updates.size(), dim);
+  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+  return result;
+}
+
+}  // namespace fedguard::defenses

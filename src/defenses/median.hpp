@@ -1,0 +1,21 @@
+#pragma once
+// Coordinate-wise median aggregation (Yin et al. 2018). Robust-aggregation
+// extension mentioned by the paper's related work; also available as
+// FedGuard's internal operator.
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::defenses {
+
+class CoordinateMedianAggregator final : public AggregationStrategy {
+ public:
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "median"; }
+};
+
+/// Coordinate-wise median over a flattened [count, dim] point set.
+[[nodiscard]] std::vector<float> coordinate_median(std::span<const float> points,
+                                                   std::size_t count, std::size_t dim);
+
+}  // namespace fedguard::defenses

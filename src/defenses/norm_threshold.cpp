@@ -1,0 +1,47 @@
+#include "defenses/norm_threshold.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+
+AggregationResult NormThresholdAggregator::aggregate(const AggregationContext& context,
+                                                     std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  if (context.global_parameters.size() != dim) {
+    throw std::invalid_argument{"norm_threshold: global parameter dimension mismatch"};
+  }
+  const auto global = context.global_parameters;
+
+  // Deltas from the global model and their norms.
+  std::vector<std::vector<float>> deltas(updates.size());
+  std::vector<double> norms(updates.size());
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    deltas[k].resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) deltas[k][i] = updates[k].psi[i] - global[i];
+    norms[k] = util::l2_norm(deltas[k]);
+  }
+
+  const double threshold = util::median(std::span<const double>{norms}) * threshold_multiplier_;
+
+  // Clip oversized deltas to the threshold and average.
+  std::vector<double> accumulator(dim, 0.0);
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    const double scale = (threshold > 0.0 && norms[k] > threshold) ? threshold / norms[k] : 1.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      accumulator[i] += static_cast<double>(deltas[k][i]) * scale;
+    }
+  }
+
+  AggregationResult result;
+  result.parameters.resize(dim);
+  const double inv = 1.0 / static_cast<double>(updates.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    result.parameters[i] = static_cast<float>(global[i] + accumulator[i] * inv);
+  }
+  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+  return result;
+}
+
+}  // namespace fedguard::defenses

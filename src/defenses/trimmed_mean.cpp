@@ -1,0 +1,50 @@
+#include "defenses/trimmed_mean.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::defenses {
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
+    : trim_fraction_{trim_fraction} {
+  if (trim_fraction < 0.0 || trim_fraction >= 0.5) {
+    throw std::invalid_argument{"TrimmedMeanAggregator: trim_fraction must be in [0, 0.5)"};
+  }
+}
+
+std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count,
+                                std::size_t dim, double trim_fraction) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"trimmed_mean: bad dimensions"};
+  }
+  auto trim = static_cast<std::size_t>(trim_fraction * static_cast<double>(count));
+  if (2 * trim >= count) trim = (count - 1) / 2;
+  const std::size_t kept = count - 2 * trim;
+
+  std::vector<float> out(dim);
+  std::vector<float> column(count);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < count; ++k) column[k] = points[k * dim + i];
+    std::sort(column.begin(), column.end());
+    double total = 0.0;
+    for (std::size_t k = trim; k < count - trim; ++k) total += column[k];
+    out[i] = static_cast<float>(total / static_cast<double>(kept));
+  }
+  return out;
+}
+
+AggregationResult TrimmedMeanAggregator::aggregate(const AggregationContext& /*context*/,
+                                                   std::span<const ClientUpdate> updates) {
+  const std::size_t dim = validate_updates(updates);
+  std::vector<float> points;
+  points.reserve(updates.size() * dim);
+  for (const auto& update : updates) {
+    points.insert(points.end(), update.psi.begin(), update.psi.end());
+  }
+  AggregationResult result;
+  result.parameters = trimmed_mean(points, updates.size(), dim, trim_fraction_);
+  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
+  return result;
+}
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,26 @@
+#pragma once
+// Coordinate-wise trimmed mean (Yin et al. 2018): drop the beta-fraction
+// smallest and largest values of each coordinate, average the rest.
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::defenses {
+
+class TrimmedMeanAggregator final : public AggregationStrategy {
+ public:
+  /// `trim_fraction` in [0, 0.5): fraction trimmed from EACH side.
+  explicit TrimmedMeanAggregator(double trim_fraction = 0.2);
+
+  AggregationResult aggregate(const AggregationContext& context,
+                              std::span<const ClientUpdate> updates) override;
+  [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
+
+ private:
+  double trim_fraction_;
+};
+
+/// Trimmed mean over a flattened [count, dim] point set.
+[[nodiscard]] std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count,
+                                              std::size_t dim, double trim_fraction);
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,99 @@
+#include "fl/metrics.hpp"
+
+#include "util/csv.hpp"
+
+namespace fedguard::fl {
+
+std::vector<double> RunHistory::accuracy_series() const {
+  std::vector<double> series;
+  series.reserve(rounds.size());
+  for (const auto& record : rounds) series.push_back(record.test_accuracy);
+  return series;
+}
+
+util::TrailingStats RunHistory::trailing_accuracy(std::size_t window) const {
+  const std::vector<double> series = accuracy_series();
+  return util::trailing_stats(series, window);
+}
+
+double RunHistory::mean_round_seconds() const {
+  if (rounds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& record : rounds) total += record.round_seconds;
+  return total / static_cast<double>(rounds.size());
+}
+
+double RunHistory::median_round_seconds() const {
+  std::vector<double> seconds;
+  seconds.reserve(rounds.size());
+  for (const auto& record : rounds) seconds.push_back(record.round_seconds);
+  return util::median(std::span<const double>{seconds});
+}
+
+double RunHistory::mean_upload_bytes() const {
+  if (rounds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& record : rounds) total += static_cast<double>(record.server_upload_bytes);
+  return total / static_cast<double>(rounds.size());
+}
+
+double RunHistory::mean_download_bytes() const {
+  if (rounds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& record : rounds) total += static_cast<double>(record.server_download_bytes);
+  return total / static_cast<double>(rounds.size());
+}
+
+double RunHistory::true_positive_rate() const {
+  std::size_t malicious = 0, rejected = 0;
+  for (const auto& record : rounds) {
+    malicious += record.sampled_malicious;
+    rejected += record.rejected_malicious;
+  }
+  return malicious == 0 ? 0.0
+                        : static_cast<double>(rejected) / static_cast<double>(malicious);
+}
+
+double RunHistory::false_positive_rate() const {
+  std::size_t benign = 0, rejected = 0;
+  for (const auto& record : rounds) {
+    benign += record.sampled_clients - record.sampled_malicious;
+    rejected += record.rejected_benign;
+  }
+  return benign == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(benign);
+}
+
+double RunHistory::trailing_class_accuracy(std::size_t class_id,
+                                           std::size_t window) const {
+  std::vector<double> series;
+  for (const auto& record : rounds) {
+    if (class_id < record.per_class_accuracy.size()) {
+      series.push_back(record.per_class_accuracy[class_id]);
+    }
+  }
+  if (series.empty()) return 0.0;
+  return util::trailing_stats(series, window).mean;
+}
+
+void RunHistory::write_csv(const std::string& path) const {
+  util::CsvWriter csv{path,
+                      {"round", "strategy", "attack", "malicious_fraction", "test_accuracy",
+                       "round_seconds", "upload_bytes", "download_bytes", "sampled",
+                       "sampled_malicious", "rejected", "rejected_malicious",
+                       "rejected_benign"}};
+  for (const auto& r : rounds) {
+    csv.write_row({util::CsvWriter::cell(r.round), strategy, attack,
+                   util::CsvWriter::cell(malicious_fraction),
+                   util::CsvWriter::cell(r.test_accuracy),
+                   util::CsvWriter::cell(r.round_seconds),
+                   util::CsvWriter::cell(r.server_upload_bytes),
+                   util::CsvWriter::cell(r.server_download_bytes),
+                   util::CsvWriter::cell(r.sampled_clients),
+                   util::CsvWriter::cell(r.sampled_malicious),
+                   util::CsvWriter::cell(r.rejected_clients),
+                   util::CsvWriter::cell(r.rejected_malicious),
+                   util::CsvWriter::cell(r.rejected_benign)});
+  }
+}
+
+}  // namespace fedguard::fl

@@ -1,0 +1,181 @@
+#include "fl/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/parameter_vector.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+#include "util/timer.hpp"
+
+namespace fedguard::fl {
+
+Server::Server(ServerConfig config, std::vector<std::unique_ptr<Client>>& clients,
+               defenses::AggregationStrategy& strategy, const data::Dataset& test_set,
+               models::ClassifierArch arch, models::ImageGeometry geometry)
+    : config_{config},
+      clients_{clients},
+      strategy_{strategy},
+      test_set_{test_set},
+      arch_{arch},
+      geometry_{geometry},
+      eval_classifier_{std::make_unique<models::Classifier>(arch, geometry, config.seed)},
+      rng_{config.seed} {
+  if (clients_.empty()) throw std::invalid_argument{"Server: no clients"};
+  if (config_.clients_per_round == 0 || config_.clients_per_round > clients_.size()) {
+    throw std::invalid_argument{"Server: clients_per_round out of range"};
+  }
+  // Model initialization (Alg. 1 line 15): ψ0 from the eval classifier's init.
+  global_parameters_ = eval_classifier_->parameters_flat();
+}
+
+double Server::evaluate_global() {
+  eval_classifier_->load_parameters_flat(global_parameters_);
+  const std::size_t total = test_set_.size();
+  if (total == 0) return 0.0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices(config_.eval_batch_size);
+  for (std::size_t start = 0; start < total; start += config_.eval_batch_size) {
+    const std::size_t n = std::min(config_.eval_batch_size, total - start);
+    indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
+    const data::Dataset::Batch batch = test_set_.gather(indices);
+    correct += static_cast<std::size_t>(
+        eval_classifier_->evaluate_accuracy(batch.images, batch.labels) *
+            static_cast<double>(n) +
+        0.5);
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+RoundRecord Server::run_round(std::size_t round) {
+  const util::Stopwatch stopwatch;
+  RoundRecord record;
+  record.round = round;
+
+  // Uniform sampling of m participating clients (Alg. 1 line 17).
+  std::vector<std::size_t> sampled =
+      rng_.sample_without_replacement(clients_.size(), config_.clients_per_round);
+  record.sampled_clients = sampled.size();
+
+  // Straggler simulation: sampled clients may fail to respond this round.
+  if (config_.straggler_probability > 0.0) {
+    std::vector<std::size_t> responders;
+    for (const std::size_t id : sampled) {
+      if (!rng_.bernoulli(config_.straggler_probability)) responders.push_back(id);
+    }
+    record.stragglers = sampled.size() - responders.size();
+    if (responders.empty()) {
+      // Nobody responded: the global model is unchanged this round.
+      record.test_accuracy = evaluate_global();
+      if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
+      record.round_seconds = stopwatch.seconds();
+      return record;
+    }
+    sampled = std::move(responders);
+  }
+
+  // Client work items run concurrently on the pool (one process per client
+  // on the paper's testbed).
+  std::vector<defenses::ClientUpdate> updates(sampled.size());
+  parallel::parallel_for(parallel::global_pool(), 0, sampled.size(), [&](std::size_t k) {
+    updates[k] = clients_[sampled[k]]->run_round(global_parameters_, round);
+  });
+  for (const auto& update : updates) {
+    if (update.truly_malicious) ++record.sampled_malicious;
+  }
+
+  // Traffic accounting (Table V).
+  const std::size_t psi_wire = nn::parameter_wire_bytes(global_parameters_.size());
+  record.server_upload_bytes = sampled.size() * psi_wire;
+  record.server_download_bytes = sampled.size() * psi_wire;
+  if (strategy_.wants_decoders()) {
+    for (const auto& update : updates) {
+      record.server_download_bytes += nn::parameter_wire_bytes(update.theta.size());
+    }
+  }
+
+  // Aggregate and apply the server learning rate.
+  defenses::AggregationContext context;
+  context.round = round;
+  context.global_parameters = global_parameters_;
+  const defenses::AggregationResult result = strategy_.aggregate(context, updates);
+  if (result.parameters.size() != global_parameters_.size()) {
+    throw std::runtime_error{"Server: strategy returned wrong parameter dimension"};
+  }
+  const float eta = config_.server_learning_rate;
+  for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
+    global_parameters_[i] += eta * (result.parameters[i] - global_parameters_[i]);
+  }
+
+  // Detection bookkeeping.
+  const defenses::DetectionStats detection =
+      defenses::compute_detection_stats(updates, result);
+  record.rejected_clients = result.rejected_clients.size();
+  record.rejected_malicious = detection.true_positives;
+  record.rejected_benign = detection.false_positives;
+
+  record.test_accuracy = evaluate_global();
+  if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
+  record.round_seconds = stopwatch.seconds();
+  return record;
+}
+
+std::vector<double> Server::evaluate_per_class() {
+  eval_classifier_->load_parameters_flat(global_parameters_);
+  const std::size_t classes = geometry_.num_classes;
+  std::vector<std::size_t> correct(classes, 0), total(classes, 0);
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < test_set_.size(); start += config_.eval_batch_size) {
+    const std::size_t n = std::min(config_.eval_batch_size, test_set_.size() - start);
+    indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
+    const data::Dataset::Batch batch = test_set_.gather(indices);
+    const std::vector<double> recall =
+        eval_classifier_->evaluate_per_class(batch.images, batch.labels);
+    // Convert batch recalls back to counts to merge across batches.
+    std::vector<std::size_t> batch_total(classes, 0);
+    for (const int label : batch.labels) ++batch_total[static_cast<std::size_t>(label)];
+    for (std::size_t c = 0; c < classes; ++c) {
+      total[c] += batch_total[c];
+      correct[c] += static_cast<std::size_t>(recall[c] * static_cast<double>(batch_total[c]) + 0.5);
+    }
+  }
+  std::vector<double> out(classes, 0.0);
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (total[c] > 0) out[c] = static_cast<double>(correct[c]) / static_cast<double>(total[c]);
+  }
+  return out;
+}
+
+void Server::save_global(const std::string& path) const {
+  util::save_f32_vector(path, global_parameters_);
+}
+
+void Server::load_global(const std::string& path) {
+  std::vector<float> loaded = util::load_f32_vector(path);
+  if (loaded.size() != global_parameters_.size()) {
+    throw std::runtime_error{"Server::load_global: dimension mismatch (" +
+                             std::to_string(loaded.size()) + " vs " +
+                             std::to_string(global_parameters_.size()) + ")"};
+  }
+  global_parameters_ = std::move(loaded);
+}
+
+RunHistory Server::run() {
+  RunHistory history;
+  history.strategy = strategy_.name();
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    const RoundRecord record = run_round(round);
+    util::log_info(
+        "round %3zu | %-14s | acc %6.2f%% | sampled %zu (mal %zu) | rejected %zu "
+        "(mal %zu, benign %zu) | %.2fs",
+        round, history.strategy.c_str(), record.test_accuracy * 100.0,
+        record.sampled_clients, record.sampled_malicious, record.rejected_clients,
+        record.rejected_malicious, record.rejected_benign, record.round_seconds);
+    history.rounds.push_back(record);
+  }
+  return history;
+}
+
+}  // namespace fedguard::fl

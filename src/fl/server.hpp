@@ -1,0 +1,75 @@
+#pragma once
+// Federated server (Alg. 1 lines 14-20): model initialization, per-round
+// uniform sampling of m clients, parallel execution of client work items,
+// aggregation through the configured strategy, and the server-learning-rate
+// update ψ0 <- ψ0 + η (ψ_agg - ψ0) that Fig. 5 ablates.
+//
+// Traffic accounting (Table V): every round the server uploads ψ0 to each of
+// the m sampled clients and downloads their ψ (plus θ when the strategy
+// requests decoders). Transfers are charged at serialized wire size.
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "defenses/aggregation.hpp"
+#include "fl/client.hpp"
+#include "fl/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fedguard::fl {
+
+struct ServerConfig {
+  std::size_t clients_per_round = 50;  // m (paper: 50 of N=100)
+  std::size_t rounds = 50;             // R
+  float server_learning_rate = 1.0f;   // η (Fig. 5: 0.3 for stability)
+  std::size_t eval_batch_size = 256;   // test-set evaluation batching
+  std::uint64_t seed = 1;
+  /// Record per-class test recall each round (targeted-attack analysis).
+  bool track_per_class_accuracy = false;
+  /// Probability that a sampled client fails to respond in a round
+  /// (straggler / dropout simulation). Its traffic is not charged.
+  double straggler_probability = 0.0;
+};
+
+class Server {
+ public:
+  /// `clients`, `strategy` and `test_set` must outlive the server.
+  Server(ServerConfig config, std::vector<std::unique_ptr<Client>>& clients,
+         defenses::AggregationStrategy& strategy, const data::Dataset& test_set,
+         models::ClassifierArch arch, models::ImageGeometry geometry);
+
+  /// Run all configured rounds and return the full history.
+  [[nodiscard]] RunHistory run();
+
+  /// Execute a single federated round (exposed for tests / step-wise use).
+  [[nodiscard]] RoundRecord run_round(std::size_t round);
+
+  [[nodiscard]] std::span<const float> global_parameters() const noexcept {
+    return global_parameters_;
+  }
+  /// Accuracy of the current global model on the held-out test set.
+  [[nodiscard]] double evaluate_global();
+  /// Per-class recall of the current global model on the test set.
+  [[nodiscard]] std::vector<double> evaluate_per_class();
+
+  /// Persist the current global parameter vector (resume long runs / deploy
+  /// the trained model). Throws std::runtime_error on I/O failure.
+  void save_global(const std::string& path) const;
+  /// Restore a global parameter vector saved by save_global; dimension must
+  /// match the configured architecture.
+  void load_global(const std::string& path);
+
+ private:
+  ServerConfig config_;
+  std::vector<std::unique_ptr<Client>>& clients_;
+  defenses::AggregationStrategy& strategy_;
+  const data::Dataset& test_set_;
+  models::ClassifierArch arch_;
+  models::ImageGeometry geometry_;
+  std::vector<float> global_parameters_;
+  std::unique_ptr<models::Classifier> eval_classifier_;
+  util::Rng rng_;
+};
+
+}  // namespace fedguard::fl

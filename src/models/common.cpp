@@ -1,0 +1,51 @@
+#include "models/common.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fedguard::models {
+
+tensor::Tensor one_hot(std::span<const int> labels, std::size_t num_classes) {
+  tensor::Tensor out{{labels.size(), num_classes}};
+  for (std::size_t n = 0; n < labels.size(); ++n) {
+    const int label = labels[n];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::invalid_argument{"one_hot: label out of range"};
+    }
+    out.at(n, static_cast<std::size_t>(label)) = 1.0f;
+  }
+  return out;
+}
+
+tensor::Tensor concat_columns(const tensor::Tensor& a, const tensor::Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
+  const std::size_t rows = a.dim(0);
+  const std::size_t ca = a.dim(1), cb = b.dim(1);
+  tensor::Tensor out{{rows, ca + cb}};
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto dst = out.row(r);
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    std::copy(ra.begin(), ra.end(), dst.begin());
+    std::copy(rb.begin(), rb.end(), dst.begin() + static_cast<std::ptrdiff_t>(ca));
+  }
+  return out;
+}
+
+void split_columns(const tensor::Tensor& joined, std::size_t left_cols, tensor::Tensor& left,
+                   tensor::Tensor& right) {
+  assert(joined.rank() == 2 && left_cols <= joined.dim(1));
+  const std::size_t rows = joined.dim(0);
+  const std::size_t right_cols = joined.dim(1) - left_cols;
+  left = tensor::Tensor{{rows, left_cols}};
+  right = tensor::Tensor{{rows, right_cols}};
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto src = joined.row(r);
+    std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(left_cols),
+              left.row(r).begin());
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(left_cols), src.end(),
+              right.row(r).begin());
+  }
+}
+
+}  // namespace fedguard::models

@@ -1,0 +1,21 @@
+#pragma once
+// Shared helpers for the model zoo: one-hot encoding and column-wise
+// concatenation used by the conditional pathways of the CVAE.
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fedguard::models {
+
+/// One-hot encode labels into [N, num_classes].
+[[nodiscard]] tensor::Tensor one_hot(std::span<const int> labels, std::size_t num_classes);
+
+/// Concatenate two rank-2 tensors along columns: [N, A] ++ [N, B] -> [N, A+B].
+[[nodiscard]] tensor::Tensor concat_columns(const tensor::Tensor& a, const tensor::Tensor& b);
+
+/// Split the column gradient of a concatenated tensor back into two parts.
+void split_columns(const tensor::Tensor& joined, std::size_t left_cols, tensor::Tensor& left,
+                   tensor::Tensor& right);
+
+}  // namespace fedguard::models

@@ -1,0 +1,85 @@
+#include "net/message.hpp"
+
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace fedguard::net {
+
+std::vector<std::byte> encode_frame(const Message& message) {
+  util::ByteWriter writer;
+  writer.write_u32(kFrameMagic);
+  writer.write_u32(static_cast<std::uint32_t>(message.type));
+  writer.write_u64(message.payload.size());
+  std::vector<std::byte> out = writer.bytes();
+  out.insert(out.end(), message.payload.begin(), message.payload.end());
+  return out;
+}
+
+std::vector<std::byte> encode_hello(int client_id) {
+  util::ByteWriter writer;
+  writer.write_u32(static_cast<std::uint32_t>(client_id));
+  return writer.bytes();
+}
+
+int decode_hello(std::span<const std::byte> payload) {
+  util::ByteReader reader{payload};
+  return static_cast<int>(reader.read_u32());
+}
+
+std::vector<std::byte> encode_round_request(const RoundRequest& request) {
+  util::ByteWriter writer;
+  writer.write_u64(request.round);
+  writer.write_u32(request.want_decoder ? 1 : 0);
+  writer.write_f32_span(request.global_parameters);
+  return writer.bytes();
+}
+
+RoundRequest decode_round_request(std::span<const std::byte> payload) {
+  util::ByteReader reader{payload};
+  RoundRequest request;
+  try {
+    request.round = static_cast<std::size_t>(reader.read_u64());
+    request.want_decoder = reader.read_u32() != 0;
+    const auto count = static_cast<std::size_t>(reader.read_u64());
+    request.global_parameters = reader.read_f32_vector(count);
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error{"decode_round_request: truncated payload"};
+  }
+  return request;
+}
+
+std::vector<std::byte> encode_client_update(const defenses::ClientUpdate& update) {
+  util::ByteWriter writer;
+  writer.write_u32(static_cast<std::uint32_t>(update.client_id));
+  writer.write_u64(update.num_samples);
+  writer.write_u32(update.truly_malicious ? 1 : 0);
+  writer.write_f32_span(update.psi);
+  writer.write_f32_span(update.theta);
+  return writer.bytes();
+}
+
+defenses::ClientUpdate decode_client_update(std::span<const std::byte> payload) {
+  util::ByteReader reader{payload};
+  defenses::ClientUpdate update;
+  try {
+    update.client_id = static_cast<int>(reader.read_u32());
+    update.num_samples = static_cast<std::size_t>(reader.read_u64());
+    update.truly_malicious = reader.read_u32() != 0;
+    const auto psi_count = static_cast<std::size_t>(reader.read_u64());
+    update.psi = reader.read_f32_vector(psi_count);
+    const auto theta_count = static_cast<std::size_t>(reader.read_u64());
+    update.theta = reader.read_f32_vector(theta_count);
+  } catch (const std::out_of_range&) {
+    throw std::runtime_error{"decode_client_update: truncated payload"};
+  }
+  return update;
+}
+
+std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count) {
+  return kFrameHeaderBytes + sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*n*/ +
+         sizeof(std::uint32_t) /*malicious*/ + util::f32_vector_wire_size(psi_count) +
+         util::f32_vector_wire_size(theta_count);
+}
+
+}  // namespace fedguard::net

@@ -1,0 +1,60 @@
+#pragma once
+// Wire protocol for the distributed deployment mode: the paper runs the
+// server and 100 clients as separate processes over 10 Gb ethernet (§IV-E).
+// Frames are length-prefixed; payloads use the util::serialize primitives.
+//
+// Frame layout: u32 magic "FGNM" | u32 type | u64 payload bytes | payload.
+//
+// Round-trip per federated round:
+//   server -> client : RoundRequest { round, server_lr-applied ψ0, want_theta }
+//   client -> server : RoundReply   { ClientUpdate }
+//   server -> client : Shutdown     (at the end of the run)
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "defenses/aggregation.hpp"
+
+namespace fedguard::net {
+
+enum class MessageType : std::uint32_t {
+  Hello = 1,         // client -> server: announce client id
+  RoundRequest = 2,  // server -> client: global parameters for this round
+  RoundReply = 3,    // client -> server: trained (possibly poisoned) update
+  Shutdown = 4,      // server -> client: terminate
+};
+
+struct Message {
+  MessageType type;
+  std::vector<std::byte> payload;
+};
+
+/// Serialize a message into a framed byte buffer.
+[[nodiscard]] std::vector<std::byte> encode_frame(const Message& message);
+
+/// Payload encoders / decoders. Decoders throw std::runtime_error on
+/// malformed payloads.
+[[nodiscard]] std::vector<std::byte> encode_hello(int client_id);
+[[nodiscard]] int decode_hello(std::span<const std::byte> payload);
+
+struct RoundRequest {
+  std::size_t round = 0;
+  bool want_decoder = false;  // FedGuard asks for θ alongside ψ
+  std::vector<float> global_parameters;
+};
+[[nodiscard]] std::vector<std::byte> encode_round_request(const RoundRequest& request);
+[[nodiscard]] RoundRequest decode_round_request(std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> encode_client_update(const defenses::ClientUpdate& update);
+[[nodiscard]] defenses::ClientUpdate decode_client_update(std::span<const std::byte> payload);
+
+/// Exact on-wire frame size for an update (traffic accounting parity between
+/// the simulator and the socket deployment).
+[[nodiscard]] std::size_t client_update_frame_bytes(std::size_t psi_count,
+                                                    std::size_t theta_count);
+
+inline constexpr std::uint32_t kFrameMagic = 0x46474e4d;  // "FGNM"
+inline constexpr std::size_t kFrameHeaderBytes = 16;      // magic + type + length
+
+}  // namespace fedguard::net

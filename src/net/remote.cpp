@@ -1,0 +1,162 @@
+#include "net/remote.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace fedguard::net {
+
+RemoteServer::RemoteServer(RemoteServerConfig config,
+                           defenses::AggregationStrategy& strategy,
+                           const data::Dataset& test_set, models::ClassifierArch arch,
+                           models::ImageGeometry geometry)
+    : config_{config},
+      strategy_{strategy},
+      test_set_{test_set},
+      geometry_{geometry},
+      listener_{config.port},
+      eval_classifier_{std::make_unique<models::Classifier>(arch, geometry, config.seed)},
+      rng_{config.seed} {
+  if (config_.expected_clients == 0) {
+    throw std::invalid_argument{"RemoteServer: expected_clients must be > 0"};
+  }
+  if (config_.clients_per_round == 0 ||
+      config_.clients_per_round > config_.expected_clients) {
+    throw std::invalid_argument{"RemoteServer: clients_per_round out of range"};
+  }
+  global_parameters_ = eval_classifier_->parameters_flat();
+}
+
+fl::RunHistory RemoteServer::run() {
+  // Accept phase: clients announce their id via Hello.
+  std::map<int, TcpStream> sessions;
+  while (sessions.size() < config_.expected_clients) {
+    TcpStream stream = listener_.accept();
+    const Message hello = stream.receive_message();
+    if (hello.type != MessageType::Hello) {
+      throw std::runtime_error{"RemoteServer: expected Hello"};
+    }
+    const int client_id = decode_hello(hello.payload);
+    if (!sessions.emplace(client_id, std::move(stream)).second) {
+      throw std::runtime_error{"RemoteServer: duplicate client id " +
+                               std::to_string(client_id)};
+    }
+  }
+  std::vector<int> client_ids;
+  client_ids.reserve(sessions.size());
+  for (const auto& [id, stream] : sessions) client_ids.push_back(id);
+  util::log_info("remote server: %zu clients connected on port %u", sessions.size(),
+                 static_cast<unsigned>(port()));
+
+  fl::RunHistory history;
+  history.strategy = strategy_.name();
+  const bool want_decoder = strategy_.wants_decoders();
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    const util::Stopwatch stopwatch;
+    fl::RoundRecord record;
+    record.round = round;
+
+    const std::vector<std::size_t> sampled =
+        rng_.sample_without_replacement(client_ids.size(), config_.clients_per_round);
+    record.sampled_clients = sampled.size();
+
+    // Broadcast the round request to the sampled clients...
+    RoundRequest request;
+    request.round = round;
+    request.want_decoder = want_decoder;
+    request.global_parameters = global_parameters_;
+    const std::vector<std::byte> request_payload = encode_round_request(request);
+    for (const std::size_t k : sampled) {
+      TcpStream& stream = sessions.at(client_ids[k]);
+      stream.send_message({MessageType::RoundRequest, request_payload});
+      record.server_upload_bytes += kFrameHeaderBytes + request_payload.size();
+    }
+    // ...then collect their updates (clients compute concurrently; collection
+    // order follows the sample order).
+    std::vector<defenses::ClientUpdate> updates;
+    updates.reserve(sampled.size());
+    for (const std::size_t k : sampled) {
+      TcpStream& stream = sessions.at(client_ids[k]);
+      const Message reply = stream.receive_message();
+      if (reply.type != MessageType::RoundReply) {
+        throw std::runtime_error{"RemoteServer: expected RoundReply"};
+      }
+      record.server_download_bytes += kFrameHeaderBytes + reply.payload.size();
+      updates.push_back(decode_client_update(reply.payload));
+      if (updates.back().truly_malicious) ++record.sampled_malicious;
+    }
+
+    defenses::AggregationContext context;
+    context.round = round;
+    context.global_parameters = global_parameters_;
+    const defenses::AggregationResult result = strategy_.aggregate(context, updates);
+    if (result.parameters.size() != global_parameters_.size()) {
+      throw std::runtime_error{"RemoteServer: wrong aggregate dimension"};
+    }
+    for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
+      global_parameters_[i] +=
+          config_.server_learning_rate * (result.parameters[i] - global_parameters_[i]);
+    }
+    const defenses::DetectionStats detection =
+        defenses::compute_detection_stats(updates, result);
+    record.rejected_clients = result.rejected_clients.size();
+    record.rejected_malicious = detection.true_positives;
+    record.rejected_benign = detection.false_positives;
+
+    // Evaluate on the held-out test set.
+    eval_classifier_->load_parameters_flat(global_parameters_);
+    std::size_t correct = 0;
+    std::vector<std::size_t> indices;
+    for (std::size_t start = 0; start < test_set_.size();
+         start += config_.eval_batch_size) {
+      const std::size_t n = std::min(config_.eval_batch_size, test_set_.size() - start);
+      indices.resize(n);
+      for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
+      const data::Dataset::Batch batch = test_set_.gather(indices);
+      correct += static_cast<std::size_t>(
+          eval_classifier_->evaluate_accuracy(batch.images, batch.labels) *
+              static_cast<double>(n) +
+          0.5);
+    }
+    record.test_accuracy = test_set_.empty()
+                               ? 0.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(test_set_.size());
+    record.round_seconds = stopwatch.seconds();
+    util::log_info("remote round %zu: acc %.2f%%, %zu updates over TCP", round,
+                   record.test_accuracy * 100.0, updates.size());
+    history.rounds.push_back(record);
+  }
+
+  for (auto& [id, stream] : sessions) {
+    stream.send_message({MessageType::Shutdown, {}});
+  }
+  return history;
+}
+
+std::size_t run_remote_client(const std::string& host, std::uint16_t port,
+                              fl::Client& client) {
+  TcpStream stream = TcpStream::connect(host, port);
+  stream.send_message({MessageType::Hello, encode_hello(client.id())});
+
+  std::size_t rounds_served = 0;
+  for (;;) {
+    const Message message = stream.receive_message();
+    if (message.type == MessageType::Shutdown) break;
+    if (message.type != MessageType::RoundRequest) {
+      throw std::runtime_error{"run_remote_client: unexpected message"};
+    }
+    const RoundRequest request = decode_round_request(message.payload);
+    defenses::ClientUpdate update =
+        client.run_round(request.global_parameters, request.round);
+    if (!request.want_decoder) update.theta.clear();  // don't ship unused θ
+    stream.send_message({MessageType::RoundReply, encode_client_update(update)});
+    ++rounds_served;
+  }
+  return rounds_served;
+}
+
+}  // namespace fedguard::net

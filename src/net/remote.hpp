@@ -1,0 +1,66 @@
+#pragma once
+// Distributed federation over TCP: the deployment shape of the paper's
+// testbed (one server process, N client processes; §IV-E). The server
+// accepts all clients, then per round sends the global parameters to the
+// sampled subset, collects their updates, aggregates with any
+// AggregationStrategy, and evaluates — semantically identical to the
+// in-process fl::Server, with traffic now crossing real sockets.
+//
+// The client side is a loop suitable for a standalone process (see
+// examples/distributed_demo.cpp): connect, announce the client id, answer
+// RoundRequests with locally trained updates until Shutdown.
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "defenses/aggregation.hpp"
+#include "fl/client.hpp"
+#include "fl/metrics.hpp"
+#include "net/socket.hpp"
+
+namespace fedguard::net {
+
+struct RemoteServerConfig {
+  std::uint16_t port = 0;              // 0 = ephemeral (read back via port())
+  std::size_t expected_clients = 0;    // N: accept() until all are connected
+  std::size_t clients_per_round = 1;   // m
+  std::size_t rounds = 1;              // R
+  float server_learning_rate = 1.0f;
+  std::size_t eval_batch_size = 256;
+  std::uint64_t seed = 1;
+};
+
+/// Server endpoint of the distributed federation.
+class RemoteServer {
+ public:
+  /// Binds immediately so clients can start connecting; `strategy` and
+  /// `test_set` must outlive the server.
+  RemoteServer(RemoteServerConfig config, defenses::AggregationStrategy& strategy,
+               const data::Dataset& test_set, models::ClassifierArch arch,
+               models::ImageGeometry geometry);
+
+  /// The bound port (useful when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Accept all expected clients, run every round, send Shutdown, and return
+  /// the run history. Blocking; run client loops on other threads/processes.
+  [[nodiscard]] fl::RunHistory run();
+
+ private:
+  RemoteServerConfig config_;
+  defenses::AggregationStrategy& strategy_;
+  const data::Dataset& test_set_;
+  models::ImageGeometry geometry_;
+  TcpListener listener_;
+  std::unique_ptr<models::Classifier> eval_classifier_;
+  std::vector<float> global_parameters_;
+  util::Rng rng_;
+};
+
+/// Client endpoint: serves rounds from `client` until the server shuts the
+/// session down. Returns the number of rounds served.
+std::size_t run_remote_client(const std::string& host, std::uint16_t port,
+                              fl::Client& client);
+
+}  // namespace fedguard::net

@@ -1,0 +1,148 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace fedguard::net {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error{"TcpStream::connect: bad address " + host};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd);
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{fd};
+}
+
+void TcpStream::send_all(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::recv_all(std::span<std::byte> data) {
+  std::size_t received = 0;
+  while (received < data.size()) {
+    const ssize_t n = ::recv(fd_, data.data() + received, data.size() - received, 0);
+    if (n == 0) throw std::runtime_error{"recv: connection closed"};
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::send_message(const Message& message) {
+  send_all(encode_frame(message));
+}
+
+Message TcpStream::receive_message() {
+  std::vector<std::byte> header(kFrameHeaderBytes);
+  recv_all(header);
+  util::ByteReader reader{header};
+  if (reader.read_u32() != kFrameMagic) {
+    throw std::runtime_error{"receive_message: bad frame magic"};
+  }
+  Message message;
+  message.type = static_cast<MessageType>(reader.read_u32());
+  const auto length = static_cast<std::size_t>(reader.read_u64());
+  // 1 GiB sanity bound: a corrupt length must not trigger a huge allocation.
+  if (length > (1ULL << 30)) {
+    throw std::runtime_error{"receive_message: frame too large"};
+  }
+  message.payload.resize(length);
+  if (length > 0) recv_all(message.payload);
+  return message;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd_);
+    throw_errno("bind");
+  }
+  if (::listen(fd_, 128) != 0) {
+    ::close(fd_);
+    throw_errno("listen");
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    ::close(fd_);
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(address.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpStream TcpListener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{fd};
+}
+
+}  // namespace fedguard::net

@@ -1,0 +1,62 @@
+#pragma once
+// RAII wrappers over POSIX TCP sockets: just enough transport for the
+// distributed federation (blocking, length-framed messages, loopback-tested).
+
+#include <cstdint>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace fedguard::net {
+
+/// Connected byte stream. Movable, closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) noexcept : fd_{fd} {}
+  ~TcpStream();
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to host:port (IPv4 dotted or "localhost").
+  /// Throws std::runtime_error on failure.
+  [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Blocking full-buffer send; throws std::runtime_error on error/EOF.
+  void send_all(std::span<const std::byte> data);
+  /// Blocking full-buffer receive; throws std::runtime_error on error/EOF.
+  void recv_all(std::span<std::byte> data);
+
+  /// Send one framed message.
+  void send_message(const Message& message);
+  /// Receive one framed message (validates magic). Throws on malformed frames.
+  [[nodiscard]] Message receive_message();
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket. Binding port 0 selects an ephemeral port (see port()).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Block until a client connects.
+  [[nodiscard]] TcpStream accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace fedguard::net

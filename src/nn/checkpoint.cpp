@@ -1,0 +1,73 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace fedguard::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x46474331;  // "FGC1"
+}
+
+void save_checkpoint(const std::string& path, Module& module) {
+  util::ByteWriter writer;
+  writer.write_u32(kMagic);
+  const auto parameters = module.parameters();
+  writer.write_u64(parameters.size());
+  for (const Parameter* p : parameters) {
+    writer.write_string(p->name);
+    writer.write_u64(p->value.rank());
+    for (std::size_t axis = 0; axis < p->value.rank(); ++axis) {
+      writer.write_u64(p->value.dim(axis));
+    }
+    writer.write_f32_span(p->value.data());
+  }
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) throw std::runtime_error{"save_checkpoint: cannot open " + path};
+  file.write(reinterpret_cast<const char*>(writer.bytes().data()),
+             static_cast<std::streamsize>(writer.size()));
+  if (!file) throw std::runtime_error{"save_checkpoint: write failed for " + path};
+}
+
+void load_checkpoint(const std::string& path, Module& module) {
+  std::ifstream file{path, std::ios::binary | std::ios::ate};
+  if (!file) throw std::runtime_error{"load_checkpoint: cannot open " + path};
+  const auto size = static_cast<std::size_t>(file.tellg());
+  file.seekg(0);
+  std::vector<std::byte> buffer(size);
+  file.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(size));
+  if (!file) throw std::runtime_error{"load_checkpoint: read failed for " + path};
+
+  util::ByteReader reader{buffer};
+  if (reader.read_u32() != kMagic) {
+    throw std::runtime_error{"load_checkpoint: bad magic in " + path};
+  }
+  const auto parameters = module.parameters();
+  const auto stored = static_cast<std::size_t>(reader.read_u64());
+  if (stored != parameters.size()) {
+    throw std::invalid_argument{"load_checkpoint: parameter count mismatch"};
+  }
+  for (Parameter* p : parameters) {
+    const std::string name = reader.read_string();
+    if (name != p->name) {
+      throw std::invalid_argument{"load_checkpoint: parameter name mismatch: expected '" +
+                                  p->name + "', found '" + name + "'"};
+    }
+    const auto rank = static_cast<std::size_t>(reader.read_u64());
+    std::vector<std::size_t> shape(rank);
+    for (auto& dim : shape) dim = static_cast<std::size_t>(reader.read_u64());
+    if (shape != p->value.shape()) {
+      throw std::invalid_argument{"load_checkpoint: shape mismatch for '" + name + "'"};
+    }
+    const auto count = static_cast<std::size_t>(reader.read_u64());
+    if (count != p->value.size()) {
+      throw std::invalid_argument{"load_checkpoint: size mismatch for '" + name + "'"};
+    }
+    const std::vector<float> values = reader.read_f32_vector(count);
+    std::copy(values.begin(), values.end(), p->value.raw());
+  }
+}
+
+}  // namespace fedguard::nn

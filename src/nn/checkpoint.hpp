@@ -1,0 +1,23 @@
+#pragma once
+// Named-parameter checkpointing: save/restore a module's trainable state to a
+// binary file. Names and shapes are validated on load, so loading a
+// checkpoint into a mismatched architecture fails loudly instead of silently
+// scrambling weights. Used to persist the global model across server restarts
+// and by the examples.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace fedguard::nn {
+
+/// Write every parameter (name, shape, values) of `module` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, Module& module);
+
+/// Restore parameters saved by save_checkpoint. Throws std::runtime_error on
+/// I/O or format errors and std::invalid_argument when the checkpoint does
+/// not match the module's parameter names/shapes (in declaration order).
+void load_checkpoint(const std::string& path, Module& module);
+
+}  // namespace fedguard::nn

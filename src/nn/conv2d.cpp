@@ -1,0 +1,103 @@
+#include "nn/conv2d.hpp"
+#include <cmath>
+
+#include <stdexcept>
+
+#include "tensor/init.hpp"
+
+namespace fedguard::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t in_h, std::size_t in_w, util::Rng& rng, std::size_t padding,
+               bool with_bias)
+    : out_channels_{out_channels},
+      with_bias_{with_bias},
+      geometry_{in_channels, in_h, in_w, kernel, padding},
+      weight_{{out_channels, in_channels * kernel * kernel}, "conv.weight"},
+      bias_{{out_channels}, "conv.bias"} {
+  if (kernel == 0 || kernel > in_h + 2 * padding || kernel > in_w + 2 * padding) {
+    throw std::invalid_argument{"Conv2d: kernel does not fit input"};
+  }
+  tensor::init_kaiming_uniform(weight_.value, rng, geometry_.patch_size());
+  if (with_bias_) {
+    const float bound = 1.0f / std::sqrt(static_cast<float>(geometry_.patch_size()));
+    tensor::init_uniform(bias_.value, rng, -bound, bound);
+  }
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
+  const auto& g = geometry_;
+  if (input.rank() != 4 || input.dim(1) != g.in_channels || input.dim(2) != g.in_h ||
+      input.dim(3) != g.in_w) {
+    throw std::invalid_argument{"Conv2d::forward: input shape mismatch, got " +
+                                input.shape_string()};
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t pixels = oh * ow;
+  const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
+  tensor::Tensor out{{batch, out_channels_, oh, ow}};
+  tensor::Tensor result{{out_channels_, pixels}};
+  for (std::size_t n = 0; n < batch; ++n) {
+    tensor::im2col(input.data().subspan(n * image_size, image_size), g, scratch_columns_);
+    tensor::matmul(weight_.value, scratch_columns_, result);
+    float* dst = out.raw() + n * out_channels_ * pixels;
+    const float* src = result.raw();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = with_bias_ ? bias_.value[oc] : 0.0f;
+      for (std::size_t p = 0; p < pixels; ++p) dst[oc * pixels + p] = src[oc * pixels + p] + b;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
+  const auto& g = geometry_;
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t pixels = oh * ow;
+  if (grad_output.rank() != 4 || grad_output.dim(0) != batch ||
+      grad_output.dim(1) != out_channels_ || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow) {
+    throw std::invalid_argument{"Conv2d::backward: gradient shape mismatch"};
+  }
+  const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
+  tensor::Tensor grad_input{cached_input_.shape()};
+  tensor::Tensor grad_cols{{g.patch_size(), pixels}};
+  // View one sample of grad_output as a [out_channels, pixels] matrix.
+  tensor::Tensor grad_mat{{out_channels_, pixels}};
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* go = grad_output.raw() + n * out_channels_ * pixels;
+    std::copy(go, go + out_channels_ * pixels, grad_mat.raw());
+    // dW += dY [oc, pix] * cols^T  => use matmul_trans_b(dY, cols) since
+    // cols is [patch, pix]: dW[oc, patch] = sum_pix dY[oc,pix]*cols[patch,pix].
+    tensor::im2col(cached_input_.data().subspan(n * image_size, image_size), g,
+                   scratch_columns_);
+    {
+      // Accumulate into weight_.grad without zeroing: temp then axpy.
+      tensor::Tensor dw{{out_channels_, g.patch_size()}};
+      tensor::matmul_trans_b(grad_mat, scratch_columns_, dw);
+      tensor::axpy(1.0f, dw.data(), weight_.grad.data());
+    }
+    if (with_bias_) {
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < pixels; ++p) acc += go[oc * pixels + p];
+        bias_.grad[oc] += acc;
+      }
+    }
+    // dcols [patch, pix] = W^T [patch, oc] * dY [oc, pix]
+    tensor::matmul_trans_a(weight_.value, grad_mat, grad_cols);
+    tensor::col2im_accumulate(grad_cols, g,
+                              grad_input.data().subspan(n * image_size, image_size));
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (with_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,38 @@
+#pragma once
+// 2-D convolution (stride 1, square kernel, symmetric zero padding) via
+// im2col + GEMM. Matches the paper's classifier layers (5x5 kernels with
+// padding 2, Table II).
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace fedguard::nn {
+
+class Conv2d final : public Module {
+ public:
+  /// Input [N, in_channels, in_h, in_w] -> output
+  /// [N, out_channels, in_h+2*padding-kernel+1, in_w+2*padding-kernel+1].
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t in_h, std::size_t in_w, util::Rng& rng, std::size_t padding = 0,
+         bool with_bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_channels_; }
+  [[nodiscard]] const tensor::ConvGeometry& geometry() const noexcept { return geometry_; }
+
+ private:
+  std::size_t out_channels_;
+  bool with_bias_;
+  tensor::ConvGeometry geometry_;
+  Parameter weight_;  // [out_channels, in_channels*k*k]
+  Parameter bias_;    // [out_channels]
+  tensor::Tensor cached_input_;    // [N, C, H, W]
+  tensor::Tensor scratch_columns_; // im2col buffer reused across samples
+};
+
+}  // namespace fedguard::nn

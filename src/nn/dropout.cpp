@@ -1,0 +1,46 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::nn {
+
+Dropout::Dropout(double p, util::Rng& rng) : p_{p}, rng_{rng.fork(0xd70)} {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument{"Dropout: p must be in [0, 1)"};
+  }
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
+  if (!training() || p_ == 0.0) {
+    identity_pass_ = true;
+    return input;
+  }
+  identity_pass_ = false;
+  mask_ = tensor::Tensor{input.shape()};
+  tensor::Tensor out{input.shape()};
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  const auto in = input.data();
+  auto mask = mask_.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    mask[i] = m;
+    dst[i] = in[i] * m;
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_output) {
+  if (identity_pass_) return grad_output;
+  if (!grad_output.same_shape(mask_)) {
+    throw std::invalid_argument{"Dropout::backward: gradient shape mismatch"};
+  }
+  tensor::Tensor grad_input{grad_output.shape()};
+  const auto go = grad_output.data();
+  const auto mask = mask_.data();
+  auto dst = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) dst[i] = go[i] * mask[i];
+  return grad_input;
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,27 @@
+#pragma once
+// Inverted dropout: active only in training mode; identity in eval mode.
+// Not used by the paper's reference architectures but provided for the
+// pluggable-classifier API surface (and exercised in tests).
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace fedguard::nn {
+
+class Dropout final : public Module {
+ public:
+  /// `p` is the drop probability in [0, 1).
+  Dropout(double p, util::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+  tensor::Tensor mask_;  // scaled keep mask from the last training forward
+  bool identity_pass_ = true;
+};
+
+}  // namespace fedguard::nn

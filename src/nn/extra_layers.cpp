@@ -1,0 +1,133 @@
+#include "nn/extra_layers.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fedguard::nn {
+
+tensor::Tensor LeakyReLU::forward(const tensor::Tensor& input) {
+  mask_ = tensor::Tensor{input.shape()};
+  tensor::Tensor out{input.shape()};
+  const auto in = input.data();
+  auto mask = mask_.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float m = in[i] > 0.0f ? 1.0f : slope_;
+    mask[i] = m;
+    dst[i] = in[i] * m;
+  }
+  return out;
+}
+
+tensor::Tensor LeakyReLU::backward(const tensor::Tensor& grad_output) {
+  if (!grad_output.same_shape(mask_)) {
+    throw std::invalid_argument{"LeakyReLU::backward: gradient shape mismatch"};
+  }
+  tensor::Tensor grad_input{grad_output.shape()};
+  const auto go = grad_output.data();
+  const auto mask = mask_.data();
+  auto dst = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) dst[i] = go[i] * mask[i];
+  return grad_input;
+}
+
+tensor::Tensor Softmax::forward(const tensor::Tensor& input) {
+  if (input.rank() != 2) {
+    throw std::invalid_argument{"Softmax::forward: expected [N, D]"};
+  }
+  tensor::softmax_rows(input, output_);
+  return output_;
+}
+
+tensor::Tensor Softmax::backward(const tensor::Tensor& grad_output) {
+  if (!grad_output.same_shape(output_)) {
+    throw std::invalid_argument{"Softmax::backward: gradient shape mismatch"};
+  }
+  tensor::Tensor grad_input{grad_output.shape()};
+  for (std::size_t r = 0; r < grad_output.dim(0); ++r) {
+    const auto y = output_.row(r);
+    const auto dy = grad_output.row(r);
+    auto dx = grad_input.row(r);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      dot += static_cast<double>(dy[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      dx[i] = y[i] * (dy[i] - static_cast<float>(dot));
+    }
+  }
+  return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel) : kernel_{kernel} {
+  if (kernel == 0) throw std::invalid_argument{"AvgPool2d: kernel must be positive"};
+}
+
+tensor::Tensor AvgPool2d::forward(const tensor::Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument{"AvgPool2d::forward: expected [N, C, H, W]"};
+  }
+  const std::size_t batch = input.dim(0), channels = input.dim(1);
+  const std::size_t in_h = input.dim(2), in_w = input.dim(3);
+  const std::size_t out_h = in_h / kernel_, out_w = in_w / kernel_;
+  if (out_h == 0 || out_w == 0) {
+    throw std::invalid_argument{"AvgPool2d::forward: input smaller than kernel"};
+  }
+  input_shape_ = input.shape();
+  output_shape_ = {batch, channels, out_h, out_w};
+  tensor::Tensor out{output_shape_};
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* src = input.raw();
+  float* dst = out.raw();
+  std::size_t out_index = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * in_h * in_w;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              acc += src[plane + (oy * kernel_ + ky) * in_w + ox * kernel_ + kx];
+            }
+          }
+          dst[out_index++] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.shape() != output_shape_) {
+    throw std::invalid_argument{"AvgPool2d::backward: gradient shape mismatch"};
+  }
+  tensor::Tensor grad_input{input_shape_};
+  const std::size_t batch = input_shape_[0], channels = input_shape_[1];
+  const std::size_t in_h = input_shape_[2], in_w = input_shape_[3];
+  const std::size_t out_h = output_shape_[2], out_w = output_shape_[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* src = grad_output.raw();
+  float* dst = grad_input.raw();
+  std::size_t out_index = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * in_h * in_w;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          const float g = src[out_index++] * inv;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              dst[plane + (oy * kernel_ + ky) * in_w + ox * kernel_ + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Additional layers beyond the paper's reference architectures, rounding out
+// the layer zoo for downstream users: LeakyReLU, Softmax (as a layer, for
+// models that need explicit probabilities mid-network), and average pooling.
+
+#include "nn/module.hpp"
+
+namespace fedguard::nn {
+
+class LeakyReLU final : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f) : slope_{negative_slope} {}
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  tensor::Tensor mask_;  // 1 or slope per element
+};
+
+/// Row-wise softmax as a layer ([N, D] -> [N, D]). Backward applies the
+/// softmax Jacobian: dx = y .* (dy - sum(dy .* y)).
+class Softmax final : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Softmax"; }
+
+ private:
+  tensor::Tensor output_;
+};
+
+/// kxk average pooling with stride == kernel on [N, C, H, W].
+class AvgPool2d final : public Module {
+ public:
+  explicit AvgPool2d(std::size_t kernel);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> output_shape_;
+};
+
+}  // namespace fedguard::nn

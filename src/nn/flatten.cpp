@@ -1,0 +1,23 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::nn {
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& input) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument{"Flatten::forward: rank must be >= 2"};
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.size() / batch});
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.size() != tensor::Tensor::element_count(input_shape_)) {
+    throw std::invalid_argument{"Flatten::backward: gradient size mismatch"};
+  }
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,18 @@
+#pragma once
+// Flatten [N, ...] -> [N, prod(...)], preserving the batch axis.
+
+#include "nn/module.hpp"
+
+namespace fedguard::nn {
+
+class Flatten final : public Module {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace fedguard::nn

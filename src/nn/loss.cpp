@@ -1,0 +1,118 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fedguard::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits, std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument{"softmax_cross_entropy: shape mismatch"};
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  tensor::Tensor probs;
+  tensor::softmax_rows(logits, probs);
+
+  double total_loss = 0.0;
+  LossResult out;
+  out.grad = probs;  // grad = (softmax - onehot) / N
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const int label = labels[n];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::invalid_argument{"softmax_cross_entropy: label out of range"};
+    }
+    const float p = std::max(probs.at(n, static_cast<std::size_t>(label)), 1e-12f);
+    total_loss -= std::log(p);
+    out.grad.at(n, static_cast<std::size_t>(label)) -= 1.0f;
+  }
+  tensor::scale(out.grad.data(), inv_batch);
+  out.value = static_cast<float>(total_loss / static_cast<double>(batch));
+  return out;
+}
+
+std::size_t count_correct(const tensor::Tensor& logits, std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument{"count_correct: shape mismatch"};
+  }
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < logits.dim(0); ++n) {
+    if (tensor::argmax(logits.row(n)) == static_cast<std::size_t>(labels[n])) ++correct;
+  }
+  return correct;
+}
+
+LossResult binary_cross_entropy(const tensor::Tensor& predictions,
+                                const tensor::Tensor& targets) {
+  if (!predictions.same_shape(targets) || predictions.rank() != 2) {
+    throw std::invalid_argument{"binary_cross_entropy: shape mismatch"};
+  }
+  const std::size_t batch = predictions.dim(0);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  constexpr float kEps = 1e-7f;
+
+  LossResult out;
+  out.grad = tensor::Tensor{predictions.shape()};
+  double total = 0.0;
+  const auto p = predictions.data();
+  const auto t = targets.data();
+  auto g = out.grad.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float pc = std::clamp(p[i], kEps, 1.0f - kEps);
+    total -= t[i] * std::log(pc) + (1.0f - t[i]) * std::log(1.0f - pc);
+    g[i] = inv_batch * (pc - t[i]) / (pc * (1.0f - pc));
+  }
+  out.value = static_cast<float>(total) * inv_batch;
+  return out;
+}
+
+GaussianKlResult gaussian_kl(const tensor::Tensor& mu, const tensor::Tensor& logvar) {
+  if (!mu.same_shape(logvar) || mu.rank() != 2) {
+    throw std::invalid_argument{"gaussian_kl: shape mismatch"};
+  }
+  const std::size_t batch = mu.dim(0);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  GaussianKlResult out;
+  out.grad_mu = tensor::Tensor{mu.shape()};
+  out.grad_logvar = tensor::Tensor{mu.shape()};
+  double total = 0.0;
+  const auto m = mu.data();
+  const auto lv = logvar.data();
+  auto gm = out.grad_mu.data();
+  auto glv = out.grad_logvar.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float var = std::exp(lv[i]);
+    total += -0.5 * (1.0f + lv[i] - m[i] * m[i] - var);
+    gm[i] = m[i] * inv_batch;
+    glv[i] = 0.5f * (var - 1.0f) * inv_batch;
+  }
+  out.value = static_cast<float>(total) * inv_batch;
+  return out;
+}
+
+LossResult mean_squared_error(const tensor::Tensor& predictions,
+                              const tensor::Tensor& targets) {
+  if (!predictions.same_shape(targets)) {
+    throw std::invalid_argument{"mean_squared_error: shape mismatch"};
+  }
+  LossResult out;
+  out.grad = tensor::Tensor{predictions.shape()};
+  const auto p = predictions.data();
+  const auto t = targets.data();
+  auto g = out.grad.data();
+  const float inv_count = 1.0f / static_cast<float>(p.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    total += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv_count;
+  }
+  out.value = static_cast<float>(total) * inv_count;
+  return out;
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,49 @@
+#pragma once
+// Loss functions. Each returns the scalar loss and the gradient w.r.t. its
+// first input so callers can seed the backward pass. Reductions follow the
+// conventions used in the paper's reference implementation (PyTorch):
+//  - cross-entropy: mean over the batch;
+//  - CVAE reconstruction BCE: sum over pixels, mean over the batch;
+//  - Gaussian KL: sum over latent dims, mean over the batch.
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fedguard::nn {
+
+struct LossResult {
+  float value = 0.0f;
+  tensor::Tensor grad;  // gradient w.r.t. the first argument
+};
+
+/// Softmax + negative log-likelihood on integer class labels.
+/// logits: [N, L]; labels: N entries in [0, L).
+[[nodiscard]] LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                               std::span<const int> labels);
+
+/// Number of rows whose argmax matches the label.
+[[nodiscard]] std::size_t count_correct(const tensor::Tensor& logits,
+                                        std::span<const int> labels);
+
+/// Binary cross entropy on probabilities (outputs of a sigmoid), summed over
+/// features and averaged over the batch. predictions/targets: [N, D] in [0,1].
+[[nodiscard]] LossResult binary_cross_entropy(const tensor::Tensor& predictions,
+                                              const tensor::Tensor& targets);
+
+/// KL(N(mu, diag(exp(logvar))) || N(0, I)), summed over latent dims and
+/// averaged over the batch. Returns gradients for both inputs.
+struct GaussianKlResult {
+  float value = 0.0f;
+  tensor::Tensor grad_mu;
+  tensor::Tensor grad_logvar;
+};
+[[nodiscard]] GaussianKlResult gaussian_kl(const tensor::Tensor& mu,
+                                           const tensor::Tensor& logvar);
+
+/// Mean squared error, averaged over every element. Used by the Spectral
+/// baseline's update-reconstruction VAE.
+[[nodiscard]] LossResult mean_squared_error(const tensor::Tensor& predictions,
+                                            const tensor::Tensor& targets);
+
+}  // namespace fedguard::nn

@@ -1,0 +1,68 @@
+#include "nn/maxpool2d.hpp"
+
+#include <stdexcept>
+
+namespace fedguard::nn {
+
+MaxPool2d::MaxPool2d(std::size_t kernel) : kernel_{kernel} {
+  if (kernel == 0) throw std::invalid_argument{"MaxPool2d: kernel must be positive"};
+}
+
+tensor::Tensor MaxPool2d::forward(const tensor::Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument{"MaxPool2d::forward: expected [N, C, H, W], got " +
+                                input.shape_string()};
+  }
+  const std::size_t batch = input.dim(0), channels = input.dim(1);
+  const std::size_t in_h = input.dim(2), in_w = input.dim(3);
+  const std::size_t out_h = in_h / kernel_, out_w = in_w / kernel_;
+  if (out_h == 0 || out_w == 0) {
+    throw std::invalid_argument{"MaxPool2d::forward: input smaller than kernel"};
+  }
+  input_shape_ = input.shape();
+  output_shape_ = {batch, channels, out_h, out_w};
+  tensor::Tensor out{output_shape_};
+  argmax_.assign(out.size(), 0);
+
+  const float* src = input.raw();
+  float* dst = out.raw();
+  std::size_t out_index = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * in_h * in_w;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          std::size_t best_index = plane + (oy * kernel_) * in_w + ox * kernel_;
+          float best = src[best_index];
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t idx =
+                  plane + (oy * kernel_ + ky) * in_w + (ox * kernel_ + kx);
+              if (src[idx] > best) {
+                best = src[idx];
+                best_index = idx;
+              }
+            }
+          }
+          dst[out_index] = best;
+          argmax_[out_index] = best_index;
+          ++out_index;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor MaxPool2d::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.shape() != output_shape_) {
+    throw std::invalid_argument{"MaxPool2d::backward: gradient shape mismatch"};
+  }
+  tensor::Tensor grad_input{input_shape_};
+  float* dst = grad_input.raw();
+  const float* src = grad_output.raw();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) dst[argmax_[i]] += src[i];
+  return grad_input;
+}
+
+}  // namespace fedguard::nn

@@ -1,0 +1,26 @@
+#pragma once
+// kxk max pooling with stride == kernel, matching Table II's MaxPool2d(2,2)
+// layers. Trailing rows/cols that do not fill a full window are dropped
+// (floor division), as in PyTorch's default.
+
+#include "nn/module.hpp"
+
+namespace fedguard::nn {
+
+class MaxPool2d final : public Module {
+ public:
+  explicit MaxPool2d(std::size_t kernel);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_;
+  std::vector<std::size_t> argmax_;        // flat input index of each output element
+  std::vector<std::size_t> input_shape_;   // cached for backward
+  std::vector<std::size_t> output_shape_;
+};
+
+}  // namespace fedguard::nn

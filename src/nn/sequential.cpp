@@ -1,0 +1,37 @@
+#include "nn/sequential.hpp"
+
+namespace fedguard::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
+  tensor::Tensor current = input;
+  for (auto& layer : layers_) current = layer->forward(current);
+  return current;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor current = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> all;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+}  // namespace fedguard::nn

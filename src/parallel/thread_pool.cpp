@@ -1,0 +1,89 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace fedguard::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  condition_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock{mutex_};
+      condition_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size_t)>& factory) {
+  if (count == 0) return;
+  if (thread_count() == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) factory(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(submit([&factory, i] { factory(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t threads = pool.thread_count();
+  if (threads == 1 || count < 2) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(threads, count);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  pool.run_batch(chunks, [&](std::size_t chunk) {
+    const std::size_t lo = begin + chunk * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace fedguard::parallel

@@ -1,0 +1,73 @@
+#pragma once
+// Fixed-size worker pool used to execute the client work items of a federated
+// round concurrently. On the paper's testbed each of the m=50 sampled clients
+// runs on its own process; here each becomes a pool task.
+//
+// Design notes:
+//  - submit() returns std::future so callers can propagate exceptions from
+//    client training back to the simulation loop.
+//  - The pool is also usable as a plain bulk executor via run_batch().
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedguard::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 selects std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future yields its result (or exception).
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      const std::lock_guard lock{mutex_};
+      if (stopping_) throw std::runtime_error{"ThreadPool: submit after shutdown"};
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    condition_.notify_one();
+    return result;
+  }
+
+  /// Run `count` tasks produced by `factory(i)` and wait for all of them.
+  /// Rethrows the first exception encountered (after all tasks finish).
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& factory);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable condition_;
+  bool stopping_ = false;
+};
+
+/// Global pool shared by the simulation (lazily constructed, sized from
+/// hardware concurrency). Intended for coarse-grained client tasks only.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Parallel loop over [begin, end) with static chunking on the given pool.
+/// Falls back to a serial loop when the range is small or the pool has a
+/// single thread.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace fedguard::parallel

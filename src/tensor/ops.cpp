@@ -1,0 +1,238 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedguard::tensor {
+
+namespace {
+void check_matmul(std::size_t am, std::size_t ak, std::size_t bk, std::size_t bn,
+                  const Tensor& c) {
+  if (ak != bk) throw std::invalid_argument{"matmul: inner dimension mismatch"};
+  if (c.rank() != 2 || c.dim(0) != am || c.dim(1) != bn) {
+    throw std::invalid_argument{"matmul: output shape mismatch"};
+  }
+}
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  check_matmul(m, k, b.dim(0), n, c);
+  c.zero();
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  // ikj loop order: unit-stride access on B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = A[i * k + p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = B + p * n;
+      float* c_row = C + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c) {
+  c.zero();
+  matmul_trans_a_accumulate(a, b, c);
+}
+
+void matmul_trans_a_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  check_matmul(m, k, b.dim(0), n, c);
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  // C[i,j] += sum_p A[p,i] * B[p,j]
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = A + p * m;
+    const float* b_row = B + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = C + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  check_matmul(m, k, b.dim(1), n, c);
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  // C[i,j] = dot(A_row_i, B_row_j) — both unit stride.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = A + i * k;
+    float* c_row = C + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = B + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> out) noexcept {
+  assert(x.size() == out.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] += alpha * x[i];
+}
+
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept {
+  assert(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept {
+  assert(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) noexcept {
+  assert(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+  for (auto& v : x) v *= alpha;
+}
+
+float sum(std::span<const float> x) noexcept {
+  double total = 0.0;
+  for (const float v : x) total += v;
+  return static_cast<float>(total);
+}
+
+std::size_t argmax(std::span<const float> x) noexcept {
+  assert(!x.empty());
+  return static_cast<std::size_t>(std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+void add_rows_into(const Tensor& rows, std::span<float> out) noexcept {
+  assert(rows.rank() == 2 && rows.dim(1) == out.size());
+  for (std::size_t r = 0; r < rows.dim(0); ++r) {
+    const auto row = rows.row(r);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
+  }
+}
+
+void add_bias_rows(Tensor& rows, std::span<const float> bias) noexcept {
+  assert(rows.rank() == 2 && rows.dim(1) == bias.size());
+  for (std::size_t r = 0; r < rows.dim(0); ++r) {
+    auto row = rows.row(r);
+    for (std::size_t c = 0; c < bias.size(); ++c) row[c] += bias[c];
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& out) {
+  assert(logits.rank() == 2);
+  if (!out.same_shape(logits)) out = Tensor{logits.shape()};
+  for (std::size_t r = 0; r < logits.dim(0); ++r) {
+    const auto in = logits.row(r);
+    auto dst = out.row(r);
+    const float max_logit = *std::max_element(in.begin(), in.end());
+    float total = 0.0f;
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      dst[c] = std::exp(in[c] - max_logit);
+      total += dst[c];
+    }
+    const float inv = 1.0f / total;
+    for (auto& v : dst) v *= inv;
+  }
+}
+
+void log_softmax_rows(const Tensor& logits, Tensor& out) {
+  assert(logits.rank() == 2);
+  if (!out.same_shape(logits)) out = Tensor{logits.shape()};
+  for (std::size_t r = 0; r < logits.dim(0); ++r) {
+    const auto in = logits.row(r);
+    auto dst = out.row(r);
+    const float max_logit = *std::max_element(in.begin(), in.end());
+    float total = 0.0f;
+    for (const float v : in) total += std::exp(v - max_logit);
+    const float log_norm = max_logit + std::log(total);
+    for (std::size_t c = 0; c < in.size(); ++c) dst[c] = in[c] - log_norm;
+  }
+}
+
+void im2col(std::span<const float> image, const ConvGeometry& g, Tensor& columns) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t pixels = oh * ow;
+  assert(image.size() == g.in_channels * g.in_h * g.in_w);
+  if (columns.rank() != 2 || columns.dim(0) != g.patch_size() || columns.dim(1) != pixels) {
+    columns = Tensor{{g.patch_size(), pixels}};
+  }
+  const auto pad = static_cast<std::ptrdiff_t>(g.padding);
+  float* out = columns.raw();
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* channel = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t patch_row = (c * g.kernel + kh) * g.kernel + kw;
+        float* dst = out + patch_row * pixels;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t src_y =
+              static_cast<std::ptrdiff_t>(y + kh) - pad;
+          if (src_y < 0 || src_y >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            std::fill(dst + y * ow, dst + (y + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src_row = channel + static_cast<std::size_t>(src_y) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t src_x =
+                static_cast<std::ptrdiff_t>(x + kw) - pad;
+            dst[y * ow + x] =
+                (src_x < 0 || src_x >= static_cast<std::ptrdiff_t>(g.in_w))
+                    ? 0.0f
+                    : src_row[static_cast<std::size_t>(src_x)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_accumulate(const Tensor& columns, const ConvGeometry& g,
+                       std::span<float> image_grad) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t pixels = oh * ow;
+  assert(columns.rank() == 2 && columns.dim(0) == g.patch_size() && columns.dim(1) == pixels);
+  assert(image_grad.size() == g.in_channels * g.in_h * g.in_w);
+  const auto pad = static_cast<std::ptrdiff_t>(g.padding);
+  const float* in = columns.raw();
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* channel = image_grad.data() + c * g.in_h * g.in_w;
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw) {
+        const std::size_t patch_row = (c * g.kernel + kh) * g.kernel + kw;
+        const float* src = in + patch_row * pixels;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t dst_y =
+              static_cast<std::ptrdiff_t>(y + kh) - pad;
+          if (dst_y < 0 || dst_y >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          float* dst_row = channel + static_cast<std::size_t>(dst_y) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t dst_x =
+                static_cast<std::ptrdiff_t>(x + kw) - pad;
+            if (dst_x < 0 || dst_x >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            dst_row[static_cast<std::size_t>(dst_x)] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedguard::tensor

@@ -1,0 +1,83 @@
+#pragma once
+// Numeric kernels over Tensor / float spans. These are the hot loops of the
+// training substrate: GEMM variants, im2col for convolution, elementwise
+// arithmetic, reductions, and row-wise softmax.
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fedguard::tensor {
+
+// ---- GEMM -----------------------------------------------------------------
+// All matrices are dense row-major. Output is overwritten unless the name
+// says "accumulate".
+
+/// C[m,n] = A[m,k] * B[k,n]
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+/// C[m,n] = A[k,m]^T * B[k,n]
+void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c);
+/// C[m,n] = A[m,k] * B[n,k]^T
+void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c);
+/// C[m,n] += A[k,m]^T * B[k,n]  (used for weight-gradient accumulation)
+void matmul_trans_a_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+// ---- Elementwise ------------------------------------------------------------
+
+/// out[i] += alpha * x[i]
+void axpy(float alpha, std::span<const float> x, std::span<float> out) noexcept;
+/// out[i] = a[i] + b[i]
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+/// out[i] = a[i] - b[i]
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+/// out[i] = a[i] * b[i]
+void hadamard(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+/// x[i] *= alpha
+void scale(std::span<float> x, float alpha) noexcept;
+
+// ---- Reductions -------------------------------------------------------------
+
+[[nodiscard]] float sum(std::span<const float> x) noexcept;
+/// Index of the maximum element (first on ties); requires non-empty input.
+[[nodiscard]] std::size_t argmax(std::span<const float> x) noexcept;
+
+/// Adds each row of `rows` [n, d] into `out` [d].
+void add_rows_into(const Tensor& rows, std::span<float> out) noexcept;
+/// Broadcast-add `bias` [d] onto every row of `rows` [n, d].
+void add_bias_rows(Tensor& rows, std::span<const float> bias) noexcept;
+
+// ---- Softmax ----------------------------------------------------------------
+
+/// Row-wise numerically-stable softmax of logits [n, d] into out [n, d].
+void softmax_rows(const Tensor& logits, Tensor& out);
+/// Row-wise log-softmax of logits [n, d] into out [n, d].
+void log_softmax_rows(const Tensor& logits, Tensor& out);
+
+// ---- Convolution support ------------------------------------------------------
+
+/// Geometry of a stride-1 2-D convolution with symmetric zero padding.
+/// The paper's classifier (Table II) uses 5x5 kernels with padding 2
+/// ("same" convolution: 28 -> 28 -> pool -> 14 -> 14 -> pool -> 7, giving the
+/// reported 64*7*7 = 3136 flatten width).
+struct ConvGeometry {
+  std::size_t in_channels, in_h, in_w;
+  std::size_t kernel;   // square kernel
+  std::size_t padding;  // symmetric zero padding
+  [[nodiscard]] std::size_t out_h() const noexcept { return in_h + 2 * padding - kernel + 1; }
+  [[nodiscard]] std::size_t out_w() const noexcept { return in_w + 2 * padding - kernel + 1; }
+  [[nodiscard]] std::size_t patch_size() const noexcept {
+    return in_channels * kernel * kernel;
+  }
+};
+
+/// im2col for one image: input [C, H, W] flattened span -> columns
+/// [patch_size, out_h*out_w] (row-major), so conv becomes
+/// W[out_c, patch] * cols[patch, pixels].
+void im2col(std::span<const float> image, const ConvGeometry& g, Tensor& columns);
+
+/// Inverse scatter-add of im2col: columns [patch_size, out_h*out_w] back into
+/// image gradient [C, H, W] (accumulated into `image_grad`).
+void col2im_accumulate(const Tensor& columns, const ConvGeometry& g,
+                       std::span<float> image_grad);
+
+}  // namespace fedguard::tensor

@@ -1,0 +1,75 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedguard::tensor {
+
+std::size_t Tensor::element_count(std::span<const std::size_t> shape) noexcept {
+  std::size_t total = 1;
+  for (const std::size_t d : shape) total *= d;
+  return shape.empty() ? 0 : total;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_{std::move(shape)}, data_(element_count(shape_), fill) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape, float fill)
+    : Tensor{std::vector<std::size_t>{shape}, fill} {}
+
+Tensor Tensor::from_data(std::vector<std::size_t> shape, std::vector<float> data) {
+  if (element_count(shape) != data.size()) {
+    throw std::invalid_argument{"Tensor::from_data: shape/data size mismatch"};
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) noexcept {
+  assert(rank() == 4 && n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const noexcept {
+  assert(rank() == 4 && n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  if (element_count(new_shape) != data_.size()) {
+    throw std::invalid_argument{"Tensor::reshape: element count mismatch"};
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor copy = *this;
+  copy.reshape(std::move(new_shape));
+  return copy;
+}
+
+void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+std::span<float> Tensor::row(std::size_t r) noexcept {
+  assert(rank() == 2 && r < shape_[0]);
+  return std::span<float>{data_}.subspan(r * shape_[1], shape_[1]);
+}
+
+std::span<const float> Tensor::row(std::size_t r) const noexcept {
+  assert(rank() == 2 && r < shape_[0]);
+  return std::span<const float>{data_}.subspan(r * shape_[1], shape_[1]);
+}
+
+std::string Tensor::shape_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fedguard::tensor

@@ -1,0 +1,97 @@
+#pragma once
+// Dense row-major float32 tensor. This is the single numeric container used
+// by the neural-network layers, the CVAE, and the aggregation operators.
+//
+// Deliberately simple by design: owning contiguous storage, no views or
+// broadcasting engine. Layers operate on explicit shapes ([N, D] for dense
+// layers, [N, C, H, W] for convolutions) and the hot loops (GEMM, im2col)
+// live in ops.cpp.
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedguard::tensor {
+
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, no elements).
+  Tensor() = default;
+
+  /// Tensor of the given shape, filled with `fill`.
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+  Tensor(std::initializer_list<std::size_t> shape, float fill = 0.0f);
+
+  /// Construct from existing data; data.size() must equal the shape product.
+  [[nodiscard]] static Tensor from_data(std::vector<std::size_t> shape,
+                                        std::vector<float> data);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const noexcept {
+    assert(axis < shape_.size());
+    return shape_[axis];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  /// Flat element access.
+  [[nodiscard]] float& operator[](std::size_t i) noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D element access (row-major [rows, cols]).
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) noexcept {
+    assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+    assert(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 4-D element access ([N, C, H, W]).
+  [[nodiscard]] float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) noexcept;
+  [[nodiscard]] float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const noexcept;
+
+  /// In-place reshape; new shape must have the same element count.
+  void reshape(std::vector<std::size_t> new_shape);
+  /// Copy with a new shape (same element count).
+  [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// Row `r` of a rank-2 tensor as a span.
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept;
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept;
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  /// "[2, 3]"-style shape string for diagnostics.
+  [[nodiscard]] std::string shape_string() const;
+
+  /// Total elements for a shape vector.
+  [[nodiscard]] static std::size_t element_count(std::span<const std::size_t> shape) noexcept;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedguard::tensor

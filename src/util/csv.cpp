@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fedguard::util {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : file_{path, std::ios::trunc}, columns_{header.size()} {
+  if (!file_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument{"CsvWriter: row width mismatch"};
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) file_ << ',';
+    file_ << csv_escape(cells[i]);
+  }
+  file_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+std::string CsvWriter::cell(std::size_t value) { return std::to_string(value); }
+std::string CsvWriter::cell(int value) { return std::to_string(value); }
+
+}  // namespace fedguard::util

@@ -1,0 +1,34 @@
+#pragma once
+// CSV emission for experiment series (per-round accuracy curves etc.).
+// Kept deliberately simple: numeric and string cells, RFC-4180 quoting for
+// strings containing separators.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fedguard::util {
+
+/// Streaming CSV writer; one instance per output file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; cell count must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string cell(double value);
+  static std::string cell(std::size_t value);
+  static std::string cell(int value);
+
+ private:
+  std::ofstream file_;
+  std::size_t columns_;
+};
+
+/// Escape a single cell per RFC 4180 (quote if it contains , " or newline).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace fedguard::util

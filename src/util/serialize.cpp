@@ -1,0 +1,104 @@
+#include "util/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace fedguard::util {
+
+namespace {
+template <typename T>
+void append_raw(std::vector<std::byte>& buffer, T value) {
+  const auto old = buffer.size();
+  buffer.resize(old + sizeof(T));
+  std::memcpy(buffer.data() + old, &value, sizeof(T));
+}
+}  // namespace
+
+void ByteWriter::write_u32(std::uint32_t value) { append_raw(buffer_, value); }
+void ByteWriter::write_u64(std::uint64_t value) { append_raw(buffer_, value); }
+void ByteWriter::write_f32(float value) { append_raw(buffer_, value); }
+
+void ByteWriter::write_f32_span(std::span<const float> values) {
+  write_u64(values.size());
+  const auto old = buffer_.size();
+  buffer_.resize(old + values.size_bytes());
+  std::memcpy(buffer_.data() + old, values.data(), values.size_bytes());
+}
+
+void ByteWriter::write_string(const std::string& value) {
+  write_u64(value.size());
+  const auto old = buffer_.size();
+  buffer_.resize(old + value.size());
+  std::memcpy(buffer_.data() + old, value.data(), value.size());
+}
+
+void ByteReader::require(std::size_t count) const {
+  if (offset_ + count > data_.size()) {
+    throw std::out_of_range{"ByteReader: buffer underrun"};
+  }
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(sizeof(std::uint32_t));
+  std::uint32_t value = 0;
+  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  offset_ += sizeof(value);
+  return value;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(sizeof(std::uint64_t));
+  std::uint64_t value = 0;
+  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  offset_ += sizeof(value);
+  return value;
+}
+
+float ByteReader::read_f32() {
+  require(sizeof(float));
+  float value = 0;
+  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  offset_ += sizeof(value);
+  return value;
+}
+
+std::vector<float> ByteReader::read_f32_vector(std::size_t count) {
+  require(count * sizeof(float));
+  std::vector<float> out(count);
+  std::memcpy(out.data(), data_.data() + offset_, count * sizeof(float));
+  offset_ += count * sizeof(float);
+  return out;
+}
+
+std::string ByteReader::read_string() {
+  const auto length = static_cast<std::size_t>(read_u64());
+  require(length);
+  std::string out(length, '\0');
+  std::memcpy(out.data(), data_.data() + offset_, length);
+  offset_ += length;
+  return out;
+}
+
+void save_f32_vector(const std::string& path, std::span<const float> values) {
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) throw std::runtime_error{"save_f32_vector: cannot open " + path};
+  const std::uint64_t count = values.size();
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  file.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size_bytes()));
+  if (!file) throw std::runtime_error{"save_f32_vector: write failed for " + path};
+}
+
+std::vector<float> load_f32_vector(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) throw std::runtime_error{"load_f32_vector: cannot open " + path};
+  std::uint64_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<float> out(count);
+  file.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!file) throw std::runtime_error{"load_f32_vector: truncated file " + path};
+  return out;
+}
+
+}  // namespace fedguard::util

@@ -1,0 +1,63 @@
+#pragma once
+// Little-endian binary serialization primitives used for model parameter
+// transfer and checkpointing. The traffic meter charges transfers at exactly
+// the size these writers produce.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fedguard::util {
+
+/// Growable binary output buffer.
+class ByteWriter {
+ public:
+  void write_u32(std::uint32_t value);
+  void write_u64(std::uint64_t value);
+  void write_f32(float value);
+  void write_f32_span(std::span<const float> values);
+  void write_string(const std::string& value);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential reader over a byte span. Throws std::out_of_range on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_{data} {}
+
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] float read_f32();
+  [[nodiscard]] std::vector<float> read_f32_vector(std::size_t count);
+  [[nodiscard]] std::string read_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == data_.size(); }
+
+ private:
+  void require(std::size_t count) const;
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Serialized size in bytes of a float vector written via write_f32_span,
+/// including the u64 length prefix.
+[[nodiscard]] constexpr std::size_t f32_vector_wire_size(std::size_t count) noexcept {
+  return sizeof(std::uint64_t) + count * sizeof(float);
+}
+
+/// Write a float vector to a file (length-prefixed). Throws on I/O error.
+void save_f32_vector(const std::string& path, std::span<const float> values);
+/// Read a float vector written by save_f32_vector. Throws on I/O error.
+[[nodiscard]] std::vector<float> load_f32_vector(const std::string& path);
+
+}  // namespace fedguard::util

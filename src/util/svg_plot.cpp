@@ -1,0 +1,184 @@
+#include "util/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace fedguard::util {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+                                    "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string format_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string svg_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+LinePlot::LinePlot(std::string title, std::string x_label, std::string y_label)
+    : title_{std::move(title)}, x_label_{std::move(x_label)}, y_label_{std::move(y_label)} {}
+
+void LinePlot::add_series(std::string name, std::vector<double> values) {
+  series_.push_back({std::move(name), std::move(values)});
+}
+
+void LinePlot::set_y_range(double lo, double hi) {
+  if (lo >= hi) throw std::invalid_argument{"LinePlot::set_y_range: lo must be < hi"};
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string LinePlot::render(std::size_t width, std::size_t height) const {
+  const double margin_left = 58, margin_right = 150, margin_top = 34, margin_bottom = 44;
+  const double plot_w = static_cast<double>(width) - margin_left - margin_right;
+  const double plot_h = static_cast<double>(height) - margin_top - margin_bottom;
+
+  // Axis ranges.
+  std::size_t max_points = 2;
+  double lo = y_lo_, hi = y_hi_;
+  if (!fixed_range_) {
+    lo = 1e300;
+    hi = -1e300;
+    for (const auto& series : series_) {
+      for (const double v : series.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (lo > hi) {  // no data
+      lo = 0.0;
+      hi = 1.0;
+    }
+    const double pad = (hi - lo) * 0.05 + 1e-9;
+    lo -= pad;
+    hi += pad;
+  }
+  for (const auto& series : series_) {
+    max_points = std::max(max_points, series.values.size());
+  }
+
+  auto x_of = [&](std::size_t i) {
+    return margin_left + plot_w * static_cast<double>(i) /
+                             static_cast<double>(max_points - 1);
+  };
+  auto y_of = [&](double v) {
+    return margin_top + plot_h * (1.0 - (v - lo) / (hi - lo));
+  };
+
+  std::string svg;
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%zu\" height=\"%zu\" "
+                "viewBox=\"0 0 %zu %zu\" font-family=\"sans-serif\">\n",
+                width, height, width, height);
+  svg += buffer;
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title + axis labels.
+  std::snprintf(buffer, sizeof(buffer),
+                "<text x=\"%zu\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">%s</text>\n",
+                width / 2, svg_escape(title_).c_str());
+  svg += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "<text x=\"%zu\" y=\"%zu\" text-anchor=\"middle\" font-size=\"12\">%s</text>\n",
+                width / 2, height - 8, svg_escape(x_label_).c_str());
+  svg += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "<text x=\"14\" y=\"%zu\" text-anchor=\"middle\" font-size=\"12\" "
+                "transform=\"rotate(-90 14 %zu)\">%s</text>\n",
+                height / 2, height / 2, svg_escape(y_label_).c_str());
+  svg += buffer;
+
+  // Gridlines + y ticks.
+  for (int tick = 0; tick <= 5; ++tick) {
+    const double value = lo + (hi - lo) * tick / 5.0;
+    const double y = y_of(value);
+    std::snprintf(buffer, sizeof(buffer),
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#dddddd\"/>\n",
+                  margin_left, y, margin_left + plot_w, y);
+    svg += buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" font-size=\"10\" "
+                  "dy=\"3\">%s</text>\n",
+                  margin_left - 6, y, format_number(value).c_str());
+    svg += buffer;
+  }
+  // x ticks (at most 10).
+  const std::size_t x_step = std::max<std::size_t>(1, (max_points - 1) / 10);
+  for (std::size_t i = 0; i < max_points; i += x_step) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+                  "font-size=\"10\">%zu</text>\n",
+                  x_of(i), margin_top + plot_h + 14, i);
+    svg += buffer;
+  }
+  // Axes.
+  std::snprintf(buffer, sizeof(buffer),
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" "
+                "stroke=\"#333333\"/>\n",
+                margin_left, margin_top, plot_w, plot_h);
+  svg += buffer;
+
+  // Series polylines + legend.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const auto& series = series_[s];
+    const char* color = kPalette[s % kPaletteSize];
+    if (series.values.size() >= 2) {
+      svg += "<polyline fill=\"none\" stroke-width=\"1.8\" stroke=\"";
+      svg += color;
+      svg += "\" points=\"";
+      for (std::size_t i = 0; i < series.values.size(); ++i) {
+        std::snprintf(buffer, sizeof(buffer), "%.1f,%.1f ", x_of(i),
+                      y_of(series.values[i]));
+        svg += buffer;
+      }
+      svg += "\"/>\n";
+    }
+    const double legend_y = margin_top + 16.0 * static_cast<double>(s);
+    std::snprintf(buffer, sizeof(buffer),
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" "
+                  "stroke-width=\"2\"/>\n",
+                  margin_left + plot_w + 10, legend_y, margin_left + plot_w + 30, legend_y,
+                  color);
+    svg += buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" dy=\"3\">%s</text>\n",
+                  margin_left + plot_w + 34, legend_y, svg_escape(series.name).c_str());
+    svg += buffer;
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+void LinePlot::save(const std::string& path, std::size_t width, std::size_t height) const {
+  std::ofstream file{path, std::ios::trunc};
+  if (!file) throw std::runtime_error{"LinePlot::save: cannot open " + path};
+  file << render(width, height);
+  if (!file) throw std::runtime_error{"LinePlot::save: write failed for " + path};
+}
+
+}  // namespace fedguard::util

@@ -1,0 +1,48 @@
+#pragma once
+// Dependency-free SVG line charts for the figure-reproduction benches: the
+// accuracy-vs-round curves of Fig. 4 and Fig. 5 can be written straight to
+// .svg files viewable in any browser.
+
+#include <string>
+#include <vector>
+
+namespace fedguard::util {
+
+class LinePlot {
+ public:
+  LinePlot(std::string title, std::string x_label, std::string y_label);
+
+  /// Add one named series; x is the element index (round number).
+  void add_series(std::string name, std::vector<double> values);
+
+  /// Fix the y-axis range (default: auto from the data, padded).
+  void set_y_range(double lo, double hi);
+
+  /// Render the chart as a standalone SVG document.
+  [[nodiscard]] std::string render(std::size_t width = 720, std::size_t height = 420) const;
+
+  /// Render and write to a file. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path, std::size_t width = 720,
+            std::size_t height = 420) const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> values;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+};
+
+/// Escape <, >, & for SVG text nodes.
+[[nodiscard]] std::string svg_escape(const std::string& text);
+
+}  // namespace fedguard::util

@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock stopwatch used by the round-timing instrumentation (Table V).
+
+#include <chrono>
+
+namespace fedguard::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_{clock::now()} {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fedguard::util

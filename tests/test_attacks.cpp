@@ -1,0 +1,205 @@
+#include "attacks/attack.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "attacks/label_flip.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "util/stats.hpp"
+
+namespace fedguard::attacks {
+namespace {
+
+TEST(AttackType, StringRoundTrip) {
+  for (const auto type : {AttackType::None, AttackType::SameValue, AttackType::SignFlip,
+                          AttackType::AdditiveNoise, AttackType::LabelFlip}) {
+    EXPECT_EQ(attack_type_from_string(to_string(type)), type);
+  }
+  EXPECT_THROW((void)attack_type_from_string("nope"), std::invalid_argument);
+}
+
+TEST(AttackType, ModelVsDataClassification) {
+  EXPECT_TRUE(is_model_attack(AttackType::SameValue));
+  EXPECT_TRUE(is_model_attack(AttackType::SignFlip));
+  EXPECT_TRUE(is_model_attack(AttackType::AdditiveNoise));
+  EXPECT_FALSE(is_model_attack(AttackType::LabelFlip));
+  EXPECT_FALSE(is_model_attack(AttackType::None));
+}
+
+TEST(SameValueAttack, SetsEveryWeightToConstant) {
+  std::vector<float> update{1.0f, -2.0f, 3.0f};
+  SameValueAttack attack{1.0f};  // paper: c = 1
+  attack.apply(update, {}, 0);
+  for (const float v : update) EXPECT_FLOAT_EQ(v, 1.0f);
+
+  SameValueAttack custom{-0.5f};
+  custom.apply(update, {}, 0);
+  for (const float v : update) EXPECT_FLOAT_EQ(v, -0.5f);
+}
+
+TEST(SignFlipAttack, NegatesAndPreservesMagnitude) {
+  std::vector<float> update{1.0f, -2.0f, 0.0f, 3.5f};
+  const double norm_before = util::l2_norm(update);
+  SignFlipAttack attack;
+  attack.apply(update, {}, 0);
+  EXPECT_FLOAT_EQ(update[0], -1.0f);
+  EXPECT_FLOAT_EQ(update[1], 2.0f);
+  EXPECT_FLOAT_EQ(update[2], 0.0f);
+  EXPECT_FLOAT_EQ(update[3], -3.5f);
+  // The property that defeats norm-threshold defenses (paper §IV-B).
+  EXPECT_DOUBLE_EQ(util::l2_norm(update), norm_before);
+}
+
+TEST(SignFlipAttack, IsInvolution) {
+  std::vector<float> update{0.3f, -0.7f};
+  const std::vector<float> original = update;
+  SignFlipAttack attack;
+  attack.apply(update, {}, 0);
+  attack.apply(update, {}, 0);
+  EXPECT_EQ(update, original);
+}
+
+TEST(AdditiveNoiseAttack, ColludersProduceIdenticalNoise) {
+  // TM-5: malicious clients agree on the same Gaussian noise.
+  const std::vector<float> base(64, 0.5f);
+  std::vector<float> a = base, b = base;
+  AdditiveNoiseAttack attacker_a{1.0, /*collusion_seed=*/77};
+  AdditiveNoiseAttack attacker_b{1.0, /*collusion_seed=*/77};
+  attacker_a.apply(a, {}, 3);
+  attacker_b.apply(b, {}, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, base);
+}
+
+TEST(AdditiveNoiseAttack, NoiseVariesAcrossRounds) {
+  const std::vector<float> base(64, 0.0f);
+  std::vector<float> round3 = base, round4 = base;
+  AdditiveNoiseAttack attack{1.0, 77};
+  attack.apply(round3, {}, 3);
+  attack.apply(round4, {}, 4);
+  EXPECT_NE(round3, round4);
+}
+
+TEST(AdditiveNoiseAttack, NoiseScaleMatchesStddev) {
+  std::vector<float> update(20000, 0.0f);
+  AdditiveNoiseAttack attack{0.5, 123};
+  attack.apply(update, {}, 0);
+  double sum2 = 0.0;
+  for (const float v : update) sum2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sum2 / static_cast<double>(update.size())), 0.5, 0.02);
+}
+
+TEST(MakeModelAttack, FactoryMapping) {
+  const ModelAttackOptions options;
+  EXPECT_NE(make_model_attack(AttackType::SameValue, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::SignFlip, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::AdditiveNoise, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::Scaling, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::RandomUpdate, options), nullptr);
+  EXPECT_EQ(make_model_attack(AttackType::None, options), nullptr);
+  EXPECT_EQ(make_model_attack(AttackType::LabelFlip, options), nullptr);
+}
+
+TEST(ScalingAttack, BoostsDeltaFromGlobal) {
+  const std::vector<float> global{1.0f, 2.0f};
+  std::vector<float> update{1.5f, 1.0f};  // deltas +0.5, -1.0
+  ScalingAttack attack{4.0f};
+  attack.apply(update, global, 0);
+  EXPECT_FLOAT_EQ(update[0], 1.0f + 4.0f * 0.5f);
+  EXPECT_FLOAT_EQ(update[1], 2.0f + 4.0f * -1.0f);
+}
+
+TEST(ScalingAttack, SurvivesAveragingByDesign) {
+  // With boost = cohort size, averaging one scaled update with (m-1) copies
+  // of the global model reproduces the attacker's target exactly.
+  const std::size_t m = 5;
+  const std::vector<float> global{0.0f};
+  const std::vector<float> target{1.0f};
+  std::vector<float> scaled = target;
+  ScalingAttack attack{static_cast<float>(m)};
+  attack.apply(scaled, global, 0);
+  const float average = (scaled[0] + static_cast<float>(m - 1) * global[0]) /
+                        static_cast<float>(m);
+  EXPECT_FLOAT_EQ(average, target[0]);
+}
+
+TEST(RandomUpdateAttack, ReplacesWithNoiseOfGivenScale) {
+  std::vector<float> update(20000, 123.0f);
+  RandomUpdateAttack attack{0.25, 7};
+  attack.apply(update, {}, 0);
+  double sum = 0.0, sum2 = 0.0;
+  for (const float v : update) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(update.size()), 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sum2 / static_cast<double>(update.size())), 0.25, 0.01);
+}
+
+TEST(RandomUpdateAttack, NotCoordinatedAcrossSeeds) {
+  std::vector<float> a(32, 0.0f), b(32, 0.0f);
+  RandomUpdateAttack attacker_a{1.0, 1};
+  RandomUpdateAttack attacker_b{1.0, 2};
+  attacker_a.apply(a, {}, 0);
+  attacker_b.apply(b, {}, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(MaliciousMask, ExactCount) {
+  for (const double fraction : {0.0, 0.3, 0.5, 1.0}) {
+    const auto mask = make_malicious_mask(100, fraction, 5);
+    const auto count = static_cast<std::size_t>(
+        std::count(mask.begin(), mask.end(), true));
+    EXPECT_EQ(count, static_cast<std::size_t>(fraction * 100));
+  }
+}
+
+TEST(MaliciousMask, DeterministicAndSeedDependent) {
+  EXPECT_EQ(make_malicious_mask(50, 0.4, 9), make_malicious_mask(50, 0.4, 9));
+  EXPECT_NE(make_malicious_mask(50, 0.4, 9), make_malicious_mask(50, 0.4, 10));
+}
+
+TEST(MaliciousMask, FractionValidated) {
+  EXPECT_THROW((void)make_malicious_mask(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_malicious_mask(10, 1.1, 1), std::invalid_argument);
+}
+
+TEST(LabelFlip, DefaultPairsMatchPaper) {
+  const auto pairs = default_flip_pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<int, int>{5, 7}));
+  EXPECT_EQ(pairs[1], (std::pair<int, int>{4, 2}));
+}
+
+TEST(LabelFlip, SwapsBothDirections) {
+  const std::vector<std::size_t> counts{0, 0, 3, 0, 2, 4, 0, 1, 0, 0};
+  data::Dataset dataset = data::generate_synthetic_mnist_per_class(counts, 6);
+  const std::size_t changed = apply_label_flip(dataset, default_flip_pairs());
+  EXPECT_EQ(changed, 3u + 2u + 4u + 1u);
+  const auto histogram = dataset.class_histogram();
+  EXPECT_EQ(histogram[5], 1u);  // old 7s
+  EXPECT_EQ(histogram[7], 4u);  // old 5s
+  EXPECT_EQ(histogram[4], 3u);  // old 2s
+  EXPECT_EQ(histogram[2], 2u);  // old 4s
+}
+
+TEST(LabelFlip, UntouchedClassesPreserved) {
+  const std::vector<std::size_t> counts{2, 3, 0, 1, 0, 0, 4, 0, 5, 6};
+  data::Dataset dataset = data::generate_synthetic_mnist_per_class(counts, 7);
+  const auto before = dataset.class_histogram();
+  apply_label_flip(dataset, default_flip_pairs());
+  const auto after = dataset.class_histogram();
+  for (const std::size_t c : {0u, 1u, 3u, 6u, 8u, 9u}) EXPECT_EQ(after[c], before[c]);
+}
+
+TEST(LabelFlip, IsInvolution) {
+  data::Dataset dataset = data::generate_synthetic_mnist(100, 8);
+  const std::vector<int> original(dataset.labels().begin(), dataset.labels().end());
+  apply_label_flip(dataset, default_flip_pairs());
+  apply_label_flip(dataset, default_flip_pairs());
+  const std::vector<int> restored(dataset.labels().begin(), dataset.labels().end());
+  EXPECT_EQ(restored, original);
+}
+
+}  // namespace
+}  // namespace fedguard::attacks

@@ -1,0 +1,146 @@
+// Breakdown-point property sweeps: every robust aggregator is run against a
+// crafted update set with a varying fraction of colluding outliers, checking
+// that it resists below its theoretical breakdown point and (for the
+// classical operators) breaks above it. This is the statistical core of the
+// paper's §V-A discussion — "distance-based defenses are unable to defend in
+// situations involving a majority of malicious peers".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "defenses/bulyan.hpp"
+#include "defenses/fedavg.hpp"
+#include "defenses/geomed.hpp"
+#include "defenses/krum.hpp"
+#include "defenses/median.hpp"
+#include "defenses/trimmed_mean.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedguard::defenses {
+namespace {
+
+constexpr std::size_t kCohort = 20;
+constexpr std::size_t kDim = 16;
+constexpr float kOutlierValue = 50.0f;
+
+/// Cohort of kCohort updates: benign near 1.0 (small jitter), the first
+/// `malicious` replaced by colluding outliers at kOutlierValue.
+std::vector<ClientUpdate> make_cohort(std::size_t malicious, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<ClientUpdate> updates(kCohort);
+  for (std::size_t k = 0; k < kCohort; ++k) {
+    updates[k].client_id = static_cast<int>(k);
+    updates[k].num_samples = 100;
+    updates[k].truly_malicious = k < malicious;
+    updates[k].psi.resize(kDim);
+    for (auto& v : updates[k].psi) {
+      v = updates[k].truly_malicious ? kOutlierValue
+                                     : 1.0f + rng.uniform_float(-0.05f, 0.05f);
+    }
+  }
+  return updates;
+}
+
+/// Distance of the aggregate from the benign consensus at 1.0.
+double aggregate_error(AggregationStrategy& strategy, std::size_t malicious,
+                       std::uint64_t seed) {
+  const auto updates = make_cohort(malicious, seed);
+  const std::vector<float> global(kDim, 0.0f);
+  AggregationContext context;
+  context.global_parameters = global;
+  const auto result = strategy.aggregate(context, updates);
+  std::vector<float> benign(kDim, 1.0f);
+  return util::l2_distance(result.parameters, benign) / std::sqrt(double(kDim));
+}
+
+class BreakdownSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BreakdownSweep, GeoMedResistsMinorityBreaksOnMajority) {
+  const std::size_t malicious = GetParam();
+  GeoMedAggregator geomed;
+  const double error = aggregate_error(geomed, malicious, 42 + malicious);
+  if (malicious < kCohort / 2) {
+    EXPECT_LT(error, 1.0) << malicious << " outliers of " << kCohort;
+  } else if (malicious > kCohort / 2) {
+    // Majority of colluding identical outliers: GeoMed converges to them.
+    EXPECT_GT(error, 10.0) << malicious << " outliers of " << kCohort;
+  }
+}
+
+TEST_P(BreakdownSweep, CoordinateMedianSameBreakdown) {
+  const std::size_t malicious = GetParam();
+  CoordinateMedianAggregator median;
+  const double error = aggregate_error(median, malicious, 43 + malicious);
+  if (malicious < kCohort / 2) {
+    EXPECT_LT(error, 1.0);
+  } else if (malicious > kCohort / 2) {
+    EXPECT_GT(error, 10.0);
+  }
+}
+
+TEST_P(BreakdownSweep, FedAvgBreaksImmediately) {
+  const std::size_t malicious = GetParam();
+  if (malicious == 0) GTEST_SKIP();
+  FedAvgAggregator fedavg;
+  // Even a single gross outlier shifts the mean by (50-1)/20 ≈ 2.45.
+  EXPECT_GT(aggregate_error(fedavg, malicious, 44 + malicious), 2.0);
+}
+
+TEST_P(BreakdownSweep, TrimmedMeanResistsUpToTrimFraction) {
+  const std::size_t malicious = GetParam();
+  TrimmedMeanAggregator trimmed{0.3};
+  const double error = aggregate_error(trimmed, malicious, 45 + malicious);
+  if (malicious <= 5) {  // 30% of 20 = 6 trimmed per side
+    EXPECT_LT(error, 1.0) << malicious;
+  }
+}
+
+TEST_P(BreakdownSweep, KrumResistsBelowItsAssumption) {
+  const std::size_t malicious = GetParam();
+  KrumAggregator krum{0.45, 1};
+  const double error = aggregate_error(krum, malicious, 46 + malicious);
+  if (malicious <= 8) {  // below the configured 45% assumption
+    EXPECT_LT(error, 1.0) << malicious;
+  }
+}
+
+TEST_P(BreakdownSweep, BulyanResistsBelowQuarter) {
+  const std::size_t malicious = GetParam();
+  BulyanAggregator bulyan{0.25};
+  const double error = aggregate_error(bulyan, malicious, 47 + malicious);
+  if (malicious <= kCohort / 4) {
+    EXPECT_LT(error, 1.0) << malicious;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaliciousCounts, BreakdownSweep,
+                         ::testing::Values(0u, 2u, 4u, 5u, 8u, 12u, 14u));
+
+// The paper's headline property at the operator level: with EXACTLY 50%
+// colluding attackers forming a cluster as tight as the benign one, every
+// purely geometric operator is at the mercy of tie-breaking, while an
+// accuracy-auditing filter (FedGuard; tested in test_fedguard_agg at the
+// system level) still separates them.
+TEST(BreakdownEdge, FiftyPercentIsGeometricallyAmbiguous) {
+  GeoMedAggregator geomed;
+  const auto updates = make_cohort(kCohort / 2, 99);
+  const std::vector<float> global(kDim, 0.0f);
+  AggregationContext context;
+  context.global_parameters = global;
+  const auto result = geomed.aggregate(context, updates);
+  // The aggregate lands between the clusters — far from BOTH the benign
+  // consensus and zero; the defense has no information to pick a side.
+  const double to_benign =
+      util::l2_distance(result.parameters, std::vector<float>(kDim, 1.0f));
+  const double to_outliers =
+      util::l2_distance(result.parameters, std::vector<float>(kDim, kOutlierValue));
+  EXPECT_GT(to_benign + to_outliers,
+            util::l2_distance(std::vector<float>(kDim, 1.0f),
+                              std::vector<float>(kDim, kOutlierValue)) -
+                1e-3);
+}
+
+}  // namespace
+}  // namespace fedguard::defenses

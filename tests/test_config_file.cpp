@@ -1,0 +1,124 @@
+#include "core/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedguard::core {
+namespace {
+
+class ConfigFileTest : public ::testing::Test {
+ protected:
+  std::string write_file(const std::string& contents) {
+    path_ = "/tmp/fedguard_config_test.conf";
+    std::ofstream file{path_};
+    file << contents;
+    return path_;
+  }
+
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(ConfigFileTest, ParsesKeyValuesCommentsAndBlankLines) {
+  const auto values = parse_config_file(write_file(
+      "# full-line comment\n"
+      "strategy = fedguard\n"
+      "\n"
+      "rounds = 20   # trailing comment\n"
+      "  malicious_fraction=0.5  \n"));
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_EQ(values.at("strategy"), "fedguard");
+  EXPECT_EQ(values.at("rounds"), "20");
+  EXPECT_EQ(values.at("malicious_fraction"), "0.5");
+}
+
+TEST_F(ConfigFileTest, MalformedLineThrows) {
+  EXPECT_THROW((void)parse_config_file(write_file("this is not a key value pair\n")),
+               std::runtime_error);
+}
+
+TEST_F(ConfigFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)parse_config_file("/no/such/file.conf"), std::runtime_error);
+}
+
+TEST_F(ConfigFileTest, AppliesEveryFieldKind) {
+  const ExperimentConfig config = load_experiment_config(write_file(
+      "scale = small\n"
+      "strategy = geomed\n"
+      "attack = label_flip\n"
+      "malicious_fraction = 0.3\n"
+      "rounds = 7\n"
+      "num_clients = 18\n"
+      "clients_per_round = 9\n"
+      "server_learning_rate = 0.3\n"
+      "local_epochs = 4\n"
+      "learning_rate = 0.02\n"
+      "proximal_mu = 0.1\n"
+      "cvae_epochs = 25\n"
+      "cvae_latent = 4\n"
+      "arch = tiny_cnn\n"
+      "fedguard_internal_operator = geomed\n"
+      "track_per_class_accuracy = true\n"
+      "straggler_probability = 0.25\n"
+      "seed = 99\n"));
+  EXPECT_EQ(config.strategy, StrategyKind::GeoMed);
+  EXPECT_EQ(config.attack, attacks::AttackType::LabelFlip);
+  EXPECT_DOUBLE_EQ(config.malicious_fraction, 0.3);
+  EXPECT_EQ(config.rounds, 7u);
+  EXPECT_EQ(config.num_clients, 18u);
+  EXPECT_EQ(config.clients_per_round, 9u);
+  EXPECT_FLOAT_EQ(config.server_learning_rate, 0.3f);
+  EXPECT_EQ(config.client.local_epochs, 4u);
+  EXPECT_FLOAT_EQ(config.client.learning_rate, 0.02f);
+  EXPECT_FLOAT_EQ(config.client.proximal_mu, 0.1f);
+  EXPECT_EQ(config.client.cvae_epochs, 25u);
+  EXPECT_EQ(config.cvae.latent, 4u);
+  EXPECT_EQ(config.arch, models::ClassifierArch::TinyCnn);
+  EXPECT_EQ(config.fedguard_internal_operator, defenses::InternalOperator::GeoMed);
+  EXPECT_TRUE(config.track_per_class_accuracy);
+  EXPECT_DOUBLE_EQ(config.straggler_probability, 0.25);
+  EXPECT_EQ(config.seed, 99u);
+}
+
+TEST_F(ConfigFileTest, PaperScaleSelectable) {
+  const ExperimentConfig config =
+      load_experiment_config(write_file("scale = paper\nrounds = 5\n"));
+  EXPECT_EQ(config.num_clients, 100u);              // from the paper preset
+  EXPECT_EQ(config.rounds, 5u);                     // overridden
+  EXPECT_EQ(config.arch, models::ClassifierArch::PaperCnn);
+}
+
+TEST_F(ConfigFileTest, UnknownKeyRejected) {
+  EXPECT_THROW((void)load_experiment_config(write_file("no_such_knob = 1\n")),
+               std::invalid_argument);
+}
+
+TEST_F(ConfigFileTest, BadValuesRejected) {
+  EXPECT_THROW((void)load_experiment_config(write_file("rounds = banana\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_experiment_config(write_file("track_per_class_accuracy = maybe\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_experiment_config(write_file("scale = huge\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_experiment_config(write_file("strategy = winning\n")),
+               std::invalid_argument);
+}
+
+TEST_F(ConfigFileTest, RepositoryDescriptorsLoad) {
+  // The checked-in example descriptors must stay valid.
+  for (const char* path : {"configs/signflip50_fedguard.conf",
+                           "configs/labelflip40_server_lr.conf",
+                           "configs/paper_full.conf"}) {
+    std::ifstream probe{path};
+    if (!probe) GTEST_SKIP() << "run from the repository root to check descriptors";
+    EXPECT_NO_THROW((void)load_experiment_config(path)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace fedguard::core

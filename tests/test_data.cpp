@@ -1,0 +1,212 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/idx_loader.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "util/stats.hpp"
+
+namespace fedguard::data {
+namespace {
+
+TEST(Dataset, ConstructionValidation) {
+  tensor::Tensor images{{2, 1, 4, 4}};
+  EXPECT_NO_THROW((void)Dataset(images, {0, 1}, 10));
+  EXPECT_THROW((void)Dataset(images, {0}, 10), std::invalid_argument);
+  EXPECT_THROW((void)Dataset(images, {0, 10}, 10), std::invalid_argument);
+  tensor::Tensor flat{{2, 16}};
+  EXPECT_THROW((void)Dataset(flat, {0, 1}, 10), std::invalid_argument);
+}
+
+TEST(Dataset, GatherAndSubset) {
+  tensor::Tensor images{{3, 1, 2, 2}};
+  for (std::size_t i = 0; i < images.size(); ++i) images[i] = static_cast<float>(i);
+  const Dataset dataset{std::move(images), {0, 1, 2}, 10};
+
+  const std::vector<std::size_t> indices{2, 0};
+  const Dataset::Batch batch = dataset.gather(indices);
+  EXPECT_EQ(batch.images.shape(), (std::vector<std::size_t>{2, 1, 2, 2}));
+  EXPECT_EQ(batch.labels, (std::vector<int>{2, 0}));
+  EXPECT_FLOAT_EQ(batch.images[0], 8.0f);  // sample 2 starts at flat index 8
+
+  const Dataset sub = dataset.subset(indices);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 2);
+  EXPECT_FLOAT_EQ(sub.image(1)[0], 0.0f);
+}
+
+TEST(Dataset, GatherFlat) {
+  tensor::Tensor images{{2, 1, 2, 2}};
+  for (std::size_t i = 0; i < images.size(); ++i) images[i] = static_cast<float>(i);
+  const Dataset dataset{std::move(images), {3, 4}, 10};
+  const std::vector<std::size_t> indices{1};
+  const tensor::Tensor flat = dataset.gather_flat(indices);
+  EXPECT_EQ(flat.shape(), (std::vector<std::size_t>{1, 4}));
+  EXPECT_FLOAT_EQ(flat[0], 4.0f);
+}
+
+TEST(Dataset, ClassHistogram) {
+  tensor::Tensor images{{4, 1, 1, 1}};
+  const Dataset dataset{std::move(images), {0, 1, 1, 3}, 5};
+  EXPECT_EQ(dataset.class_histogram(), (std::vector<std::size_t>{1, 2, 0, 1, 0}));
+}
+
+TEST(SyntheticMnist, ShapeAndRange) {
+  const Dataset dataset = generate_synthetic_mnist(100, 1);
+  EXPECT_EQ(dataset.size(), 100u);
+  EXPECT_EQ(dataset.height(), 28u);
+  EXPECT_EQ(dataset.width(), 28u);
+  EXPECT_EQ(dataset.num_classes(), 10u);
+  for (const float v : dataset.images().data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticMnist, BalancedClassDistribution) {
+  const Dataset dataset = generate_synthetic_mnist(500, 2);
+  const auto histogram = dataset.class_histogram();
+  for (const std::size_t c : histogram) EXPECT_EQ(c, 50u);
+}
+
+TEST(SyntheticMnist, PerClassCountsRespected) {
+  std::vector<std::size_t> counts{5, 0, 3, 0, 0, 7, 0, 0, 0, 1};
+  const Dataset dataset = generate_synthetic_mnist_per_class(counts, 3);
+  EXPECT_EQ(dataset.size(), 16u);
+  const auto histogram = dataset.class_histogram();
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_EQ(histogram[c], counts[c]);
+}
+
+TEST(SyntheticMnist, DeterministicForSeed) {
+  const Dataset a = generate_synthetic_mnist(50, 7);
+  const Dataset b = generate_synthetic_mnist(50, 7);
+  const Dataset c = generate_synthetic_mnist(50, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool identical_ab = true, identical_ac = true;
+  for (std::size_t i = 0; i < a.images().size(); ++i) {
+    identical_ab &= a.images()[i] == b.images()[i];
+    identical_ac &= a.images()[i] == c.images()[i];
+  }
+  EXPECT_TRUE(identical_ab);
+  EXPECT_FALSE(identical_ac);
+}
+
+TEST(SyntheticMnist, ClassesAreVisuallyDistinct) {
+  // Mean images of different classes should be far apart relative to the
+  // within-class spread — the property that makes the task learnable.
+  const Dataset dataset = generate_synthetic_mnist(600, 9);
+  std::vector<std::vector<double>> means(10, std::vector<double>(dataset.pixels(), 0.0));
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t n = 0; n < dataset.size(); ++n) {
+    const auto image = dataset.image(n);
+    auto& mean = means[static_cast<std::size_t>(dataset.label(n))];
+    for (std::size_t i = 0; i < image.size(); ++i) mean[i] += image[i];
+    ++counts[static_cast<std::size_t>(dataset.label(n))];
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (auto& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < means[a].size(); ++i) {
+        const double d = means[a][i] - means[b][i];
+        d2 += d * d;
+      }
+      EXPECT_GT(std::sqrt(d2), 1.0) << "classes " << a << " and " << b
+                                    << " too similar";
+    }
+  }
+}
+
+TEST(SyntheticMnist, RenderDigitRejectsBadDigit) {
+  util::Rng rng{10};
+  EXPECT_THROW((void)render_digit(10, rng), std::invalid_argument);
+  EXPECT_THROW((void)render_digit(-1, rng), std::invalid_argument);
+}
+
+TEST(SyntheticMnist, CustomImageSize) {
+  SyntheticMnistOptions options;
+  options.image_size = 14;
+  const Dataset dataset = generate_synthetic_mnist(20, 11, options);
+  EXPECT_EQ(dataset.height(), 14u);
+  EXPECT_EQ(dataset.pixels(), 196u);
+}
+
+// ---- IDX loader (round-trip through a handcrafted file pair) -----------------
+
+void write_be_u32(std::ofstream& out, std::uint32_t value) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(value >> 24), static_cast<unsigned char>(value >> 16),
+      static_cast<unsigned char>(value >> 8), static_cast<unsigned char>(value)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+struct IdxFiles {
+  std::string images_path;
+  std::string labels_path;
+
+  IdxFiles() {
+    const auto dir = std::filesystem::temp_directory_path();
+    images_path = dir / "fedguard_test_images.idx3";
+    labels_path = dir / "fedguard_test_labels.idx1";
+    std::ofstream images{images_path, std::ios::binary};
+    write_be_u32(images, 0x00000803);
+    write_be_u32(images, 2);  // two 2x3 images
+    write_be_u32(images, 2);
+    write_be_u32(images, 3);
+    const unsigned char pixels[12] = {0, 51, 102, 153, 204, 255, 10, 20, 30, 40, 50, 60};
+    images.write(reinterpret_cast<const char*>(pixels), 12);
+
+    std::ofstream labels{labels_path, std::ios::binary};
+    write_be_u32(labels, 0x00000801);
+    write_be_u32(labels, 2);
+    const unsigned char values[2] = {7, 3};
+    labels.write(reinterpret_cast<const char*>(values), 2);
+  }
+
+  ~IdxFiles() {
+    std::remove(images_path.c_str());
+    std::remove(labels_path.c_str());
+  }
+};
+
+TEST(IdxLoader, ParsesHandcraftedFiles) {
+  const IdxFiles files;
+  EXPECT_TRUE(idx_dataset_available(files.images_path, files.labels_path));
+  const Dataset dataset = load_idx_dataset(files.images_path, files.labels_path);
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(dataset.height(), 2u);
+  EXPECT_EQ(dataset.width(), 3u);
+  EXPECT_EQ(dataset.label(0), 7);
+  EXPECT_EQ(dataset.label(1), 3);
+  EXPECT_FLOAT_EQ(dataset.image(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(dataset.image(0)[5], 1.0f);
+  EXPECT_NEAR(dataset.image(1)[0], 10.0f / 255.0f, 1e-6f);
+}
+
+TEST(IdxLoader, MissingFilesReported) {
+  EXPECT_FALSE(idx_dataset_available("/no/such/images", "/no/such/labels"));
+  EXPECT_THROW((void)load_idx_dataset("/no/such/images", "/no/such/labels"),
+               std::runtime_error);
+}
+
+TEST(IdxLoader, BadMagicRejected) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string bad_path = dir / "fedguard_bad.idx";
+  {
+    std::ofstream bad{bad_path, std::ios::binary};
+    write_be_u32(bad, 0x12345678);
+    write_be_u32(bad, 0);
+  }
+  EXPECT_FALSE(idx_dataset_available(bad_path, bad_path));
+  std::remove(bad_path.c_str());
+}
+
+}  // namespace
+}  // namespace fedguard::data

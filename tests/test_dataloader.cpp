@@ -1,0 +1,80 @@
+#include "data/dataloader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace fedguard::data {
+namespace {
+
+TEST(DataLoader, IteratesAllSamplesOncePerEpoch) {
+  const Dataset dataset = generate_synthetic_mnist(50, 1);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  DataLoader loader{dataset, indices, 8, 2};
+
+  std::size_t seen = 0;
+  Dataset::Batch batch;
+  while (loader.next(batch)) {
+    EXPECT_LE(batch.labels.size(), 8u);
+    seen += batch.labels.size();
+  }
+  EXPECT_EQ(seen, 50u);
+  EXPECT_EQ(loader.batches_per_epoch(), 7u);  // ceil(50/8)
+}
+
+TEST(DataLoader, LastBatchIsRemainder) {
+  const Dataset dataset = generate_synthetic_mnist(10, 3);
+  DataLoader loader{dataset, {0, 1, 2, 3, 4, 5, 6}, 3, 4};
+  Dataset::Batch batch;
+  std::vector<std::size_t> sizes;
+  while (loader.next(batch)) sizes.push_back(batch.labels.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 1}));
+}
+
+TEST(DataLoader, EpochsReshuffle) {
+  const Dataset dataset = generate_synthetic_mnist(64, 5);
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  DataLoader loader{dataset, indices, 64, 6};
+
+  auto epoch_labels = [&loader]() {
+    Dataset::Batch batch;
+    std::vector<int> labels;
+    while (loader.next(batch)) {
+      labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
+    }
+    return labels;
+  };
+  const std::vector<int> first = epoch_labels();
+  loader.start_epoch();
+  const std::vector<int> second = epoch_labels();
+  EXPECT_NE(first, second);  // different order (overwhelmingly likely)
+  // But the multiset of labels is identical.
+  std::map<int, int> count_a, count_b;
+  for (const int l : first) ++count_a[l];
+  for (const int l : second) ++count_b[l];
+  EXPECT_EQ(count_a, count_b);
+}
+
+TEST(DataLoader, SubsetOnlyTouchesGivenIndices) {
+  const Dataset dataset = generate_synthetic_mnist(30, 7);
+  const std::vector<std::size_t> subset{1, 5, 9};
+  DataLoader loader{dataset, subset, 2, 8};
+  Dataset::Batch batch;
+  std::size_t seen = 0;
+  while (loader.next(batch)) seen += batch.labels.size();
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(loader.sample_count(), 3u);
+}
+
+TEST(DataLoader, InvalidConstruction) {
+  const Dataset dataset = generate_synthetic_mnist(5, 9);
+  EXPECT_THROW((DataLoader{dataset, {0}, 0, 1}), std::invalid_argument);
+  EXPECT_THROW((DataLoader{dataset, {99}, 2, 1}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fedguard::data

@@ -1,0 +1,183 @@
+#include "nn/extra_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "nn/checkpoint.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fedguard::nn {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_tensor(std::vector<std::size_t> shape, util::Rng& rng, float lo = -1.0f,
+                     float hi = 1.0f) {
+  Tensor t{std::move(shape)};
+  for (auto& v : t.data()) v = rng.uniform_float(lo, hi);
+  return t;
+}
+
+// Generic finite-difference input-gradient check (no parameters here).
+void check_input_gradient(Module& module, Tensor input, util::Rng& rng,
+                          float tolerance = 2e-2f) {
+  const Tensor probe = module.forward(input);
+  Tensor weights = random_tensor(probe.shape(), rng);
+
+  (void)module.forward(input);
+  const Tensor grad_input = module.backward(weights);
+
+  auto loss = [&]() {
+    const Tensor out = module.forward(input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += static_cast<double>(out[i]) * weights[i];
+    }
+    return total;
+  };
+  const float eps = 1e-3f;
+  const std::size_t stride = std::max<std::size_t>(1, input.size() / 32);
+  for (std::size_t i = 0; i < input.size(); i += stride) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const double up = loss();
+    input[i] = saved - eps;
+    const double down = loss();
+    input[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double scale = std::max({std::abs(numeric),
+                                   static_cast<double>(std::abs(grad_input[i])), 1.0});
+    EXPECT_NEAR(grad_input[i], numeric, tolerance * scale) << "index " << i;
+  }
+}
+
+TEST(LeakyReLU, ForwardValues) {
+  LeakyReLU layer{0.1f};
+  const Tensor input = Tensor::from_data({1, 4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  const Tensor out = layer.forward(input);
+  EXPECT_FLOAT_EQ(out[0], -0.2f);
+  EXPECT_FLOAT_EQ(out[1], -0.05f);
+  EXPECT_FLOAT_EQ(out[2], 0.5f);
+  EXPECT_FLOAT_EQ(out[3], 2.0f);
+}
+
+TEST(LeakyReLU, GradientCheck) {
+  util::Rng rng{201};
+  LeakyReLU layer{0.1f};
+  Tensor input = random_tensor({3, 8}, rng);
+  for (auto& v : input.data()) {
+    if (std::abs(v) < 0.05f) v = 0.3f;  // stay away from the kink
+  }
+  check_input_gradient(layer, input, rng);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Softmax layer;
+  util::Rng rng{202};
+  const Tensor out = layer.forward(random_tensor({4, 7}, rng, -3.0f, 3.0f));
+  for (std::size_t r = 0; r < 4; ++r) {
+    float total = 0.0f;
+    for (const float v : out.row(r)) {
+      total += v;
+      EXPECT_GT(v, 0.0f);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, GradientCheck) {
+  util::Rng rng{203};
+  Softmax layer;
+  check_input_gradient(layer, random_tensor({3, 5}, rng, -2.0f, 2.0f), rng);
+}
+
+TEST(AvgPool2d, ForwardValues) {
+  AvgPool2d pool{2};
+  const Tensor input = Tensor::from_data({1, 1, 2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor out = pool.forward(input);
+  ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], (1 + 2 + 5 + 6) / 4.0f);
+  EXPECT_FLOAT_EQ(out[1], (3 + 4 + 7 + 8) / 4.0f);
+}
+
+TEST(AvgPool2d, GradientCheck) {
+  util::Rng rng{204};
+  AvgPool2d pool{2};
+  check_input_gradient(pool, random_tensor({2, 2, 4, 4}, rng), rng);
+}
+
+TEST(AvgPool2d, RejectsBadInput) {
+  AvgPool2d pool{4};
+  const Tensor too_small{{1, 1, 2, 2}};
+  EXPECT_THROW((void)pool.forward(too_small), std::invalid_argument);
+  EXPECT_THROW((void)AvgPool2d(0), std::invalid_argument);
+}
+
+// ---- Checkpointing -----------------------------------------------------------
+
+Sequential make_net(std::uint64_t seed) {
+  util::Rng rng{seed};
+  Sequential net;
+  net.emplace<Linear>(5, 8, rng);
+  net.emplace<LeakyReLU>(0.05f);
+  net.emplace<Linear>(8, 3, rng);
+  return net;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/fedguard_ckpt_test.bin";
+  Sequential a = make_net(11);
+  Sequential b = make_net(12);
+  save_checkpoint(path, a);
+  load_checkpoint(path, b);
+
+  util::Rng rng{13};
+  const Tensor input = random_tensor({2, 5}, rng);
+  const Tensor out_a = a.forward(input);
+  const Tensor out_b = b.forward(input);
+  for (std::size_t i = 0; i < out_a.size(); ++i) EXPECT_FLOAT_EQ(out_a[i], out_b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedArchitectureRejected) {
+  const std::string path = "/tmp/fedguard_ckpt_test2.bin";
+  Sequential a = make_net(14);
+  save_checkpoint(path, a);
+
+  util::Rng rng{15};
+  Sequential wrong_shape;
+  wrong_shape.emplace<Linear>(5, 9, rng);  // different out dim
+  wrong_shape.emplace<LeakyReLU>(0.05f);
+  wrong_shape.emplace<Linear>(9, 3, rng);
+  EXPECT_THROW(load_checkpoint(path, wrong_shape), std::invalid_argument);
+
+  Sequential wrong_count;
+  wrong_count.emplace<Linear>(5, 8, rng);
+  EXPECT_THROW(load_checkpoint(path, wrong_count), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Sequential net = make_net(16);
+  EXPECT_THROW(load_checkpoint("/no/such/checkpoint.bin", net), std::runtime_error);
+}
+
+TEST(Checkpoint, CorruptMagicRejected) {
+  const std::string path = "/tmp/fedguard_ckpt_test3.bin";
+  {
+    std::ofstream file{path, std::ios::binary};
+    const std::uint32_t bogus = 0x12345678;
+    file.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  Sequential net = make_net(17);
+  EXPECT_THROW(load_checkpoint(path, net), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedguard::nn

@@ -1,0 +1,169 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fedguard::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogL) {
+  const Tensor logits{{2, 4}, 0.0f};
+  const std::vector<int> labels{0, 3};
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(loss.value, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionLowLoss) {
+  Tensor logits{{1, 3}, 0.0f};
+  logits.at(0, 1) = 20.0f;
+  const std::vector<int> labels{1};
+  EXPECT_LT(softmax_cross_entropy(logits, labels).value, 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverBatch) {
+  const Tensor logits = Tensor::from_data({1, 3}, {1.0f, 2.0f, 3.0f});
+  const std::vector<int> labels{2};
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  // softmax(1,2,3)
+  const float z = std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f);
+  EXPECT_NEAR(loss.grad.at(0, 0), std::exp(1.0f) / z, 1e-5f);
+  EXPECT_NEAR(loss.grad.at(0, 1), std::exp(2.0f) / z, 1e-5f);
+  EXPECT_NEAR(loss.grad.at(0, 2), std::exp(3.0f) / z - 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng{7};
+  Tensor logits{{3, 5}};
+  for (auto& v : logits.data()) v = rng.uniform_float(-2.0f, 2.0f);
+  const std::vector<int> labels{1, 4, 0};
+  const LossResult loss = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float up = softmax_cross_entropy(logits, labels).value;
+    logits[i] = saved - eps;
+    const float down = softmax_cross_entropy(logits, labels).value;
+    logits[i] = saved;
+    EXPECT_NEAR(loss.grad[i], (up - down) / (2.0f * eps), 1e-2f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, LabelRangeChecked) {
+  const Tensor logits{{1, 3}, 0.0f};
+  const std::vector<int> bad{3};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, bad), std::invalid_argument);
+  const std::vector<int> negative{-1};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, negative), std::invalid_argument);
+}
+
+TEST(CountCorrect, CountsArgmaxMatches) {
+  const Tensor logits = Tensor::from_data({3, 2}, {1, 0, 0, 1, 5, 2});
+  const std::vector<int> labels{0, 0, 0};
+  EXPECT_EQ(count_correct(logits, labels), 2u);
+}
+
+TEST(BinaryCrossEntropy, KnownValue) {
+  const Tensor p = Tensor::from_data({1, 2}, {0.9f, 0.2f});
+  const Tensor t = Tensor::from_data({1, 2}, {1.0f, 0.0f});
+  const LossResult loss = binary_cross_entropy(p, t);
+  const float expected = -(std::log(0.9f) + std::log(0.8f));
+  EXPECT_NEAR(loss.value, expected, 1e-5f);
+}
+
+TEST(BinaryCrossEntropy, GradientFiniteDifference) {
+  util::Rng rng{11};
+  Tensor p{{2, 4}};
+  Tensor t{{2, 4}};
+  for (auto& v : p.data()) v = rng.uniform_float(0.1f, 0.9f);
+  for (auto& v : t.data()) v = rng.uniform_float(0.0f, 1.0f);
+  const LossResult loss = binary_cross_entropy(p, t);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float saved = p[i];
+    p[i] = saved + eps;
+    const float up = binary_cross_entropy(p, t).value;
+    p[i] = saved - eps;
+    const float down = binary_cross_entropy(p, t).value;
+    p[i] = saved;
+    EXPECT_NEAR(loss.grad[i], (up - down) / (2.0f * eps), 5e-2f) << i;
+  }
+}
+
+TEST(BinaryCrossEntropy, ClampsExtremeProbabilities) {
+  const Tensor p = Tensor::from_data({1, 2}, {0.0f, 1.0f});
+  const Tensor t = Tensor::from_data({1, 2}, {1.0f, 0.0f});
+  const LossResult loss = binary_cross_entropy(p, t);
+  EXPECT_FALSE(std::isnan(loss.value));
+  EXPECT_FALSE(std::isinf(loss.value));
+}
+
+TEST(GaussianKl, ZeroAtStandardNormal) {
+  const Tensor mu{{2, 3}, 0.0f};
+  const Tensor logvar{{2, 3}, 0.0f};
+  const GaussianKlResult kl = gaussian_kl(mu, logvar);
+  EXPECT_NEAR(kl.value, 0.0f, 1e-6f);
+  for (const float g : kl.grad_mu.data()) EXPECT_NEAR(g, 0.0f, 1e-6f);
+  for (const float g : kl.grad_logvar.data()) EXPECT_NEAR(g, 0.0f, 1e-6f);
+}
+
+TEST(GaussianKl, KnownValueAndPositivity) {
+  // KL for mu=1, logvar=0 per dim: 0.5 * mu^2 = 0.5.
+  const Tensor mu{{1, 2}, 1.0f};
+  const Tensor logvar{{1, 2}, 0.0f};
+  EXPECT_NEAR(gaussian_kl(mu, logvar).value, 1.0f, 1e-5f);
+}
+
+TEST(GaussianKl, GradientFiniteDifference) {
+  util::Rng rng{13};
+  Tensor mu{{2, 3}};
+  Tensor logvar{{2, 3}};
+  for (auto& v : mu.data()) v = rng.uniform_float(-1.0f, 1.0f);
+  for (auto& v : logvar.data()) v = rng.uniform_float(-1.0f, 1.0f);
+  const GaussianKlResult kl = gaussian_kl(mu, logvar);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    float saved = mu[i];
+    mu[i] = saved + eps;
+    const float up = gaussian_kl(mu, logvar).value;
+    mu[i] = saved - eps;
+    const float down = gaussian_kl(mu, logvar).value;
+    mu[i] = saved;
+    EXPECT_NEAR(kl.grad_mu[i], (up - down) / (2.0f * eps), 1e-2f);
+
+    saved = logvar[i];
+    logvar[i] = saved + eps;
+    const float up2 = gaussian_kl(mu, logvar).value;
+    logvar[i] = saved - eps;
+    const float down2 = gaussian_kl(mu, logvar).value;
+    logvar[i] = saved;
+    EXPECT_NEAR(kl.grad_logvar[i], (up2 - down2) / (2.0f * eps), 1e-2f);
+  }
+}
+
+TEST(MeanSquaredError, ValueAndGradient) {
+  const Tensor p = Tensor::from_data({1, 2}, {1.0f, 3.0f});
+  const Tensor t = Tensor::from_data({1, 2}, {0.0f, 1.0f});
+  const LossResult loss = mean_squared_error(p, t);
+  EXPECT_NEAR(loss.value, (1.0f + 4.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(loss.grad[0], 2.0f * 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(loss.grad[1], 2.0f * 2.0f / 2.0f, 1e-6f);
+}
+
+TEST(Losses, ShapeMismatchThrows) {
+  const Tensor a{{2, 3}};
+  const Tensor b{{3, 2}};
+  EXPECT_THROW((void)binary_cross_entropy(a, b), std::invalid_argument);
+  EXPECT_THROW((void)gaussian_kl(a, b), std::invalid_argument);
+  EXPECT_THROW((void)mean_squared_error(a, b), std::invalid_argument);
+  const std::vector<int> labels{0, 1, 2};
+  EXPECT_THROW((void)softmax_cross_entropy(a, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedguard::nn

@@ -1,0 +1,211 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fedguard::tensor {
+namespace {
+
+TEST(Ops, MatmulAgainstHandComputed) {
+  const Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c{{2, 2}};
+  matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulDimensionChecks) {
+  const Tensor a{{2, 3}};
+  const Tensor b{{4, 2}};
+  Tensor c{{2, 2}};
+  EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+  const Tensor b_ok{{3, 5}};
+  Tensor c_bad{{2, 4}};
+  EXPECT_THROW(matmul(a, b_ok, c_bad), std::invalid_argument);
+}
+
+// Property: the three transpose variants agree with explicit transposition.
+class GemmVariants : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmVariants, TransposeVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng{99};
+  auto random_tensor = [&rng](std::size_t r, std::size_t c) {
+    Tensor t{{r, c}};
+    for (auto& v : t.data()) v = rng.uniform_float(-1.0f, 1.0f);
+    return t;
+  };
+  auto transpose = [](const Tensor& t) {
+    Tensor out{{t.dim(1), t.dim(0)}};
+    for (std::size_t i = 0; i < t.dim(0); ++i)
+      for (std::size_t j = 0; j < t.dim(1); ++j) out.at(j, i) = t.at(i, j);
+    return out;
+  };
+
+  const Tensor a = random_tensor(static_cast<std::size_t>(m), static_cast<std::size_t>(k));
+  const Tensor b = random_tensor(static_cast<std::size_t>(k), static_cast<std::size_t>(n));
+  Tensor reference{{static_cast<std::size_t>(m), static_cast<std::size_t>(n)}};
+  matmul(a, b, reference);
+
+  // A^T path
+  Tensor via_trans_a{reference.shape()};
+  matmul_trans_a(transpose(a), b, via_trans_a);
+  // B^T path
+  Tensor via_trans_b{reference.shape()};
+  matmul_trans_b(a, transpose(b), via_trans_b);
+
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(via_trans_a[i], reference[i], 1e-4f);
+    EXPECT_NEAR(via_trans_b[i], reference[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmVariants,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
+                                           std::make_tuple(1, 16, 9)));
+
+TEST(Ops, MatmulTransAAccumulates) {
+  const Tensor a = Tensor::from_data({1, 2}, {1, 2});  // A [k=1, m=2]
+  const Tensor b = Tensor::from_data({1, 3}, {1, 1, 1});
+  Tensor c{{2, 3}, 10.0f};
+  matmul_trans_a_accumulate(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 12.0f);
+}
+
+TEST(Ops, ElementwiseOperations) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{4, 5, 6};
+  std::vector<float> out(3);
+  add(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{5, 7, 9}));
+  sub(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{-3, -3, -3}));
+  hadamard(a, b, out);
+  EXPECT_EQ(out, (std::vector<float>{4, 10, 18}));
+  out = a;
+  axpy(2.0f, b, out);
+  EXPECT_EQ(out, (std::vector<float>{9, 12, 15}));
+  scale(out, 0.5f);
+  EXPECT_EQ(out, (std::vector<float>{4.5f, 6.0f, 7.5f}));
+}
+
+TEST(Ops, SumAndArgmax) {
+  const std::vector<float> v{1.0f, 5.0f, 3.0f, 5.0f};
+  EXPECT_FLOAT_EQ(sum(v), 14.0f);
+  EXPECT_EQ(argmax(v), 1u);  // first of the ties
+}
+
+TEST(Ops, RowHelpers) {
+  Tensor rows = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  std::vector<float> acc(3, 0.0f);
+  add_rows_into(rows, acc);
+  EXPECT_EQ(acc, (std::vector<float>{5, 7, 9}));
+  const std::vector<float> bias{10, 20, 30};
+  add_bias_rows(rows, bias);
+  EXPECT_FLOAT_EQ(rows.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(rows.at(1, 2), 36.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrder) {
+  const Tensor logits = Tensor::from_data({2, 3}, {1, 2, 3, 1000, 1001, 1002});
+  Tensor probs;
+  softmax_rows(logits, probs);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float total = 0.0f;
+    for (const float v : probs.row(r)) total += v;
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+    EXPECT_LT(probs.at(r, 0), probs.at(r, 1));
+    EXPECT_LT(probs.at(r, 1), probs.at(r, 2));
+  }
+  // Numerical stability: huge logits must not produce NaN.
+  for (const float v : probs.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  const Tensor logits = Tensor::from_data({1, 4}, {0.1f, -0.3f, 2.0f, 0.7f});
+  Tensor probs, log_probs;
+  softmax_rows(logits, probs);
+  log_softmax_rows(logits, log_probs);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(log_probs[i], std::log(probs[i]), 1e-5f);
+  }
+}
+
+TEST(Ops, Im2ColNoPaddingKnownValues) {
+  // 1 channel, 3x3 image, 2x2 kernel -> 4 patches of size 4.
+  const std::vector<float> image{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const ConvGeometry g{1, 3, 3, 2, 0};
+  Tensor cols;
+  im2col(image, g, cols);
+  ASSERT_EQ(cols.dim(0), 4u);
+  ASSERT_EQ(cols.dim(1), 4u);
+  // Patch row 0 = top-left kernel element over output pixels {0,1,3,4}.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 4.0f);
+  // Patch row 3 = bottom-right kernel element over {4,5,7,8}.
+  EXPECT_FLOAT_EQ(cols.at(3, 0), 4.0f);
+  EXPECT_FLOAT_EQ(cols.at(3, 3), 8.0f);
+}
+
+TEST(Ops, Im2ColPaddingProducesZerosAtBorder) {
+  const std::vector<float> image{1, 1, 1, 1};  // 2x2 all-ones
+  const ConvGeometry g{1, 2, 2, 3, 1};         // 3x3 kernel, pad 1 -> out 2x2
+  Tensor cols;
+  im2col(image, g, cols);
+  ASSERT_EQ(cols.dim(0), 9u);
+  ASSERT_EQ(cols.dim(1), 4u);
+  // Top-left kernel element at output (0,0) reads padded zero.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);
+  // Center kernel element always reads the image.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at(4, 3), 1.0f);
+}
+
+TEST(Ops, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property that
+  // guarantees correct convolution gradients).
+  util::Rng rng{123};
+  const ConvGeometry g{2, 5, 6, 3, 1};
+  std::vector<float> x(g.in_channels * g.in_h * g.in_w);
+  for (auto& v : x) v = rng.uniform_float(-1.0f, 1.0f);
+  Tensor cols;
+  im2col(x, g, cols);
+  Tensor y{cols.shape()};
+  for (auto& v : y.data()) v = rng.uniform_float(-1.0f, 1.0f);
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  std::vector<float> x_grad(x.size(), 0.0f);
+  col2im_accumulate(y, g, x_grad);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * x_grad[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, ConvGeometryOutputSizes) {
+  const ConvGeometry same{1, 28, 28, 5, 2};
+  EXPECT_EQ(same.out_h(), 28u);
+  EXPECT_EQ(same.out_w(), 28u);
+  EXPECT_EQ(same.patch_size(), 25u);
+  const ConvGeometry valid{3, 10, 8, 3, 0};
+  EXPECT_EQ(valid.out_h(), 8u);
+  EXPECT_EQ(valid.out_w(), 6u);
+  EXPECT_EQ(valid.patch_size(), 27u);
+}
+
+}  // namespace
+}  // namespace fedguard::tensor

@@ -1,0 +1,129 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace fedguard::data {
+namespace {
+
+std::size_t total_samples(const Partition& partition) {
+  std::size_t total = 0;
+  for (const auto& client : partition) total += client.size();
+  return total;
+}
+
+bool is_exact_cover(const Partition& partition, std::size_t dataset_size) {
+  std::set<std::size_t> seen;
+  for (const auto& client : partition) {
+    for (const std::size_t i : client) {
+      if (i >= dataset_size || !seen.insert(i).second) return false;
+    }
+  }
+  return seen.size() == dataset_size;
+}
+
+TEST(DirichletPartition, ExactCoverOfDataset) {
+  const Dataset dataset = generate_synthetic_mnist(500, 1);
+  const Partition partition = dirichlet_partition(dataset, 20, 10.0, 2);
+  EXPECT_EQ(partition.size(), 20u);
+  EXPECT_EQ(total_samples(partition), 500u);
+  EXPECT_TRUE(is_exact_cover(partition, 500));
+}
+
+TEST(DirichletPartition, EveryClientHasData) {
+  const Dataset dataset = generate_synthetic_mnist(300, 3);
+  // Very low alpha concentrates mass; backfill must still give everyone >= 1.
+  const Partition partition = dirichlet_partition(dataset, 30, 0.05, 4);
+  for (const auto& client : partition) EXPECT_GE(client.size(), 1u);
+}
+
+TEST(DirichletPartition, HighAlphaIsMoreBalancedThanLowAlpha) {
+  const Dataset dataset = generate_synthetic_mnist(1000, 5);
+  auto imbalance = [&dataset](double alpha) {
+    const Partition p = dirichlet_partition(dataset, 10, alpha, 6);
+    std::size_t largest = 0, smallest = dataset.size();
+    for (const auto& client : p) {
+      largest = std::max(largest, client.size());
+      smallest = std::min(smallest, client.size());
+    }
+    return static_cast<double>(largest) / static_cast<double>(std::max<std::size_t>(1, smallest));
+  };
+  EXPECT_LT(imbalance(100.0), imbalance(0.1));
+}
+
+TEST(DirichletPartition, DeterministicForSeed) {
+  const Dataset dataset = generate_synthetic_mnist(200, 7);
+  EXPECT_EQ(dirichlet_partition(dataset, 8, 10.0, 9),
+            dirichlet_partition(dataset, 8, 10.0, 9));
+  EXPECT_NE(dirichlet_partition(dataset, 8, 10.0, 9),
+            dirichlet_partition(dataset, 8, 10.0, 10));
+}
+
+TEST(DirichletPartition, InvalidArgumentsThrow) {
+  const Dataset dataset = generate_synthetic_mnist(50, 11);
+  EXPECT_THROW((void)dirichlet_partition(dataset, 0, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)dirichlet_partition(dataset, 5, 0.0, 1), std::invalid_argument);
+}
+
+class DirichletAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlphaSweep, CoverAndMinimumHoldAcrossAlpha) {
+  const Dataset dataset = generate_synthetic_mnist(400, 13);
+  const Partition partition = dirichlet_partition(dataset, 16, GetParam(), 14);
+  EXPECT_TRUE(is_exact_cover(partition, 400));
+  for (const auto& client : partition) EXPECT_GE(client.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlphaSweep,
+                         ::testing::Values(0.05, 0.5, 1.0, 10.0, 100.0));
+
+TEST(IidPartition, RoundRobinBalance) {
+  const Partition partition = iid_partition(103, 10, 15);
+  EXPECT_EQ(total_samples(partition), 103u);
+  for (const auto& client : partition) {
+    EXPECT_GE(client.size(), 10u);
+    EXPECT_LE(client.size(), 11u);
+  }
+  EXPECT_TRUE(is_exact_cover(partition, 103));
+}
+
+TEST(ShardPartition, PathologicalClassConcentration) {
+  const Dataset dataset = generate_synthetic_mnist(1000, 17);
+  const Partition partition = shard_partition(dataset, 10, 2, 18);
+  EXPECT_TRUE(is_exact_cover(partition, 1000));
+  // With 2 shards per client over sorted labels, most clients see few classes.
+  const auto histogram = partition_class_histogram(dataset, partition);
+  std::size_t clients_with_few_classes = 0;
+  for (const auto& client_histogram : histogram) {
+    std::size_t classes_present = 0;
+    for (const std::size_t count : client_histogram) {
+      if (count > 0) ++classes_present;
+    }
+    if (classes_present <= 4) ++clients_with_few_classes;
+  }
+  EXPECT_GE(clients_with_few_classes, 8u);
+}
+
+TEST(ShardPartition, TooManyShardsThrows) {
+  const Dataset dataset = generate_synthetic_mnist(10, 19);
+  EXPECT_THROW((void)shard_partition(dataset, 10, 5, 20), std::invalid_argument);
+}
+
+TEST(PartitionHistogram, CountsMatchLabels) {
+  const Dataset dataset = generate_synthetic_mnist(100, 21);
+  const Partition partition = iid_partition(dataset.size(), 4, 22);
+  const auto histogram = partition_class_histogram(dataset, partition);
+  ASSERT_EQ(histogram.size(), 4u);
+  std::vector<std::size_t> totals(10, 0);
+  for (const auto& client : histogram) {
+    for (std::size_t c = 0; c < 10; ++c) totals[c] += client[c];
+  }
+  EXPECT_EQ(totals, dataset.class_histogram());
+}
+
+}  // namespace
+}  // namespace fedguard::data

@@ -1,0 +1,94 @@
+#include "util/svg_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedguard::util {
+namespace {
+
+TEST(SvgPlot, EscapesSpecialCharacters) {
+  EXPECT_EQ(svg_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(svg_escape("plain"), "plain");
+}
+
+TEST(SvgPlot, RenderContainsStructure) {
+  LinePlot plot{"My Title", "round", "accuracy"};
+  plot.add_series("fedguard", {0.1, 0.5, 0.9});
+  plot.add_series("fedavg", {0.1, 0.2, 0.1});
+  const std::string svg = plot.render(640, 360);
+
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("My Title"), std::string::npos);
+  EXPECT_NE(svg.find("fedguard"), std::string::npos);
+  EXPECT_NE(svg.find("fedavg"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"640\""), std::string::npos);
+  // Two series -> two polylines.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgPlot, HigherValuesMapToSmallerY) {
+  LinePlot plot{"t", "x", "y"};
+  plot.set_y_range(0.0, 1.0);
+  plot.add_series("s", {0.0, 1.0});
+  const std::string svg = plot.render();
+  const auto points_pos = svg.find("points=\"");
+  ASSERT_NE(points_pos, std::string::npos);
+  const auto end = svg.find('"', points_pos + 8);
+  const std::string points = svg.substr(points_pos + 8, end - points_pos - 8);
+  // "x0,y0 x1,y1 " — parse the two y values.
+  float x0, y0, x1, y1;
+  ASSERT_EQ(std::sscanf(points.c_str(), "%f,%f %f,%f", &x0, &y0, &x1, &y1), 4);
+  EXPECT_GT(y0, y1) << "value 1.0 must be drawn above value 0.0 (smaller y)";
+  EXPECT_LT(x0, x1);
+}
+
+TEST(SvgPlot, TitleIsEscaped) {
+  LinePlot plot{"a<b", "x", "y"};
+  plot.add_series("s", {0.0, 1.0});
+  EXPECT_NE(plot.render().find("a&lt;b"), std::string::npos);
+}
+
+TEST(SvgPlot, SaveWritesFile) {
+  const std::string path = "/tmp/fedguard_plot_test.svg";
+  LinePlot plot{"t", "x", "y"};
+  plot.add_series("s", {0.5, 0.6, 0.7});
+  plot.save(path);
+  std::ifstream file{path};
+  ASSERT_TRUE(file.good());
+  std::string first_line;
+  std::getline(file, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgPlot, InvalidRangeRejected) {
+  LinePlot plot{"t", "x", "y"};
+  EXPECT_THROW(plot.set_y_range(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plot.set_y_range(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(SvgPlot, EmptyPlotStillRenders) {
+  LinePlot plot{"empty", "x", "y"};
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(plot.series_count(), 0u);
+}
+
+TEST(SvgPlot, SingletonSeriesRendersLegendWithoutPolyline) {
+  LinePlot plot{"t", "x", "y"};
+  plot.add_series("one_point", {0.5});
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("one_point"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedguard::util

@@ -1,0 +1,84 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fedguard::parallel {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool{2};
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool{2};
+  auto future = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunBatchExecutesAll) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_batch(64, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunBatchRethrowsFirstError) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.run_batch(8,
+                              [](std::size_t i) {
+                                if (i == 3) throw std::logic_error{"bad"};
+                              }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsSerially) {
+  ThreadPool pool{1};
+  std::vector<int> order;
+  pool.run_batch(5, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 10, 90, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << "i=" << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool{2};
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool{4};
+  std::atomic<long long> total{0};
+  parallel_for(pool, 0, 1000, [&total](std::size_t i) {
+    total.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(total.load(), 999LL * 1000 / 2);
+}
+
+TEST(GlobalPool, IsSingletonAndUsable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+  auto future = a.submit([] { return 7; });
+  EXPECT_EQ(future.get(), 7);
+}
+
+}  // namespace
+}  // namespace fedguard::parallel
