@@ -12,6 +12,7 @@
 #include "defenses/krum.hpp"
 #include "defenses/median.hpp"
 #include "defenses/trimmed_mean.hpp"
+#include "parallel/kernel_config.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -74,6 +75,34 @@ BENCHMARK(BM_GeoMed)->Apply(aggregator_args);
 BENCHMARK(BM_Krum)->Apply(aggregator_args);
 BENCHMARK(BM_CoordinateMedian)->Apply(aggregator_args);
 BENCHMARK(BM_TrimmedMean)->Apply(aggregator_args);
+
+// The pairwise-distance matrix in isolation, with an explicit kernel thread
+// count as the LAST argument (0 thresholds so the parallel path always
+// engages; threads = 1 measures the serial loop through the same dispatch).
+void BM_KrumPairwise(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  parallel::KernelConfig config;
+  config.threads = static_cast<std::size_t>(state.range(2));
+  config.distance_min_elements = 1;
+  parallel::set_kernel_config(config);
+  util::Rng rng{7};
+  std::vector<float> points(count * dim);
+  for (auto& v : points) v = rng.uniform_float(-1.0f, 1.0f);
+  const std::size_t f = count / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defenses::krum_scores(points, count, dim, f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * count * dim / 2));
+  parallel::set_kernel_config(parallel::KernelConfig{});
+}
+BENCHMARK(BM_KrumPairwise)
+    ->Args({50, 100000, 1})
+    ->Args({50, 100000, 4})
+    ->Args({100, 100000, 1})
+    ->Args({100, 100000, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

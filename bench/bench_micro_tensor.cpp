@@ -5,6 +5,7 @@
 
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
+#include "parallel/kernel_config.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -20,8 +21,22 @@ Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
   return t;
 }
 
+// Convention for threaded benches: the LAST benchmark argument is the kernel
+// thread count; the serial-fallback thresholds are zeroed so the parallel
+// dispatch path is always measured (threads = 1 still runs the serial loop
+// nest — kernel_parallel_ranges collapses a single chunk).
+void set_kernel_threads(std::size_t threads) {
+  parallel::KernelConfig config;
+  config.threads = threads;
+  config.gemm_min_flops = 1;
+  config.elementwise_min_size = 1;
+  config.distance_min_elements = 1;
+  parallel::set_kernel_config(config);
+}
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
   const Tensor a = random_tensor({n, n}, 1);
   const Tensor b = random_tensor({n, n}, 2);
   Tensor c{{n, n}};
@@ -31,11 +46,35 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
+  parallel::set_kernel_config(parallel::KernelConfig{});
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Matmul)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatmulTransA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
+  const Tensor a = random_tensor({n, n}, 14);
+  const Tensor b = random_tensor({n, n}, 15);
+  Tensor c{{n, n}};
+  for (auto _ : state) {
+    tensor::matmul_trans_a(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  parallel::set_kernel_config(parallel::KernelConfig{});
+}
+BENCHMARK(BM_MatmulTransA)->Args({256, 1})->Args({256, 4})->Unit(benchmark::kMicrosecond);
 
 void BM_MatmulTransB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
   const Tensor a = random_tensor({n, n}, 3);
   const Tensor b = random_tensor({n, n}, 4);
   Tensor c{{n, n}};
@@ -43,8 +82,15 @@ void BM_MatmulTransB(benchmark::State& state) {
     tensor::matmul_trans_b(a, b, c);
     benchmark::DoNotOptimize(c.raw());
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  parallel::set_kernel_config(parallel::KernelConfig{});
 }
-BENCHMARK(BM_MatmulTransB)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatmulTransB)
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Im2Col(benchmark::State& state) {
   // The paper CNN's first layer geometry: 1x28x28, 5x5 kernel, pad 2.
@@ -93,6 +139,25 @@ void BM_LinearForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinearForward)->Unit(benchmark::kMicrosecond);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
+  const Tensor x = random_tensor({size}, 16);
+  Tensor y = random_tensor({size}, 17);
+  for (auto _ : state) {
+    tensor::axpy(0.001f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size));
+  parallel::set_kernel_config(parallel::KernelConfig{});
+}
+BENCHMARK(BM_Axpy)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   const Tensor logits = random_tensor({256, 10}, 13);

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark JSON reports into one flat BENCH_kernels.json.
+
+Input: a directory of ``--benchmark_out`` reports (one per micro-bench
+binary). Output: a JSON list with one record per benchmark run::
+
+    {"op": "BM_Matmul", "shape": "256", "threads": 4,
+     "ns_per_iter": 17123.0, "gflops": 1957.5}
+
+Threaded benches follow the repo convention that the LAST slash-separated
+benchmark argument is the kernel thread count (see bench/bench_micro_tensor.cpp);
+single-argument benches report threads = 1. ``gflops`` is derived from
+google-benchmark's ``items_per_second`` counter, which the GEMM/axpy benches
+set to flops per iteration; benches without it omit the field.
+"""
+import json
+import pathlib
+import sys
+
+
+def parse_benchmark(entry):
+    if entry.get("run_type") == "aggregate":
+        return None
+    name = entry["name"]
+    parts = name.split("/")
+    op = parts[0]
+    args = parts[1:]
+    # Last argument is the thread count when the bench has >= 2 args.
+    if len(args) >= 2:
+        threads = int(args[-1])
+        shape = "x".join(args[:-1])
+    else:
+        threads = 1
+        shape = "x".join(args) if args else ""
+    time_unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    scale = time_unit_ns.get(entry.get("time_unit", "ns"), 1.0)
+    record = {
+        "op": op,
+        "shape": shape,
+        "threads": threads,
+        "ns_per_iter": entry["real_time"] * scale,
+    }
+    if "items_per_second" in entry:
+        record["gflops"] = entry["items_per_second"] / 1e9
+    return record
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <report-dir> <output.json>", file=sys.stderr)
+        return 2
+    report_dir = pathlib.Path(sys.argv[1])
+    records = []
+    for report in sorted(report_dir.glob("*.json")):
+        with report.open() as f:
+            data = json.load(f)
+        for entry in data.get("benchmarks", []):
+            record = parse_benchmark(entry)
+            if record is not None:
+                records.append(record)
+    with open(sys.argv[2], "w") as f:
+        json.dump(records, f, indent=2)
+        f.write("\n")
+    print(f"{len(records)} benchmark records -> {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

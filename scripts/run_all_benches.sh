@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate every paper table/figure plus the ablation and micro benches.
+# The micro benches additionally emit machine-readable kernel numbers to
+# BENCH_kernels.json (op, shape, threads, ns/iter, GFLOP/s) for tracking the
+# blocked/parallel tensor kernels across commits.
 # Usage: scripts/run_all_benches.sh [build-dir] (default: build)
 set -u
 BUILD_DIR="${1:-build}"
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+KERNEL_JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$KERNEL_JSON_DIR"' EXIT
+
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo
@@ -10,7 +17,19 @@ for b in "$BUILD_DIR"/bench/*; do
   echo "### $(basename "$b")"
   echo "===================================================================="
   case "$b" in
-    *micro*) "$b" ;;
+    *micro*)
+      # Keep the human-readable console output AND capture the JSON report.
+      "$b" --benchmark_out="$KERNEL_JSON_DIR/$(basename "$b").json" \
+           --benchmark_out_format=json
+      ;;
     *) "$b" --quiet ;;
   esac
 done
+
+# Merge the per-binary google-benchmark reports into one flat record list.
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$SCRIPT_DIR/merge_kernel_bench.py" "$KERNEL_JSON_DIR" BENCH_kernels.json \
+    && echo && echo "kernel micro-bench summary written to BENCH_kernels.json"
+else
+  echo "python3 not found; skipping BENCH_kernels.json" >&2
+fi

@@ -135,6 +135,13 @@ void apply_config_values(ExperimentConfig& config,
       config.bulyan_byzantine_fraction = to_double(value, key);
     else if (key == "aux_audit_warmup_rounds")
       config.aux_audit_warmup_rounds = to_size(value, key);
+    else if (key == "kernel_threads") config.kernel.threads = to_size(value, key);
+    else if (key == "kernel_gemm_min_flops")
+      config.kernel.gemm_min_flops = to_size(value, key);
+    else if (key == "kernel_elementwise_min")
+      config.kernel.elementwise_min_size = to_size(value, key);
+    else if (key == "kernel_distance_min")
+      config.kernel.distance_min_elements = to_size(value, key);
     else if (key == "seed") config.seed = static_cast<std::uint64_t>(to_size(value, key));
     else throw std::invalid_argument{"config: unknown key '" + key + "'"};
   }

@@ -19,6 +19,7 @@
 #include "fl/client.hpp"
 #include "models/classifier.hpp"
 #include "models/cvae.hpp"
+#include "parallel/kernel_config.hpp"
 
 namespace fedguard::core {
 
@@ -86,6 +87,13 @@ struct ExperimentConfig {
   double bulyan_byzantine_fraction = 0.2;
   std::size_t aux_audit_warmup_rounds = 0;  // PDGAN-style init phase length
   defenses::SpectralConfig spectral;
+
+  // ---- Compute kernels -------------------------------------------------------
+  // Applied process-wide (parallel::set_kernel_config) when the federation is
+  // built; keys kernel_threads / kernel_gemm_min_flops / kernel_elementwise_min
+  // / kernel_distance_min in the descriptor. FEDGUARD_THREADS overrides a
+  // kernel_threads of 0 (auto).
+  parallel::KernelConfig kernel;
 
   std::uint64_t seed = 42;
 

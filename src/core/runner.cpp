@@ -85,6 +85,9 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   if (train_set.height() != config.image_size || train_set.width() != config.image_size) {
     throw std::invalid_argument{"build_federation_with_data: image_size mismatch"};
   }
+  // The descriptor's kernel section governs the numeric kernels everywhere in
+  // this process (client SGD, CVAE synthesis, aggregation distance passes).
+  parallel::set_kernel_config(config.kernel);
   // Force the CVAE to the task's pixel count (guards against preset mixing).
   config.cvae.input_dim = config.geometry().pixels();
   config.cvae.num_classes = config.geometry().num_classes;

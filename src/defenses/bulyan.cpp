@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "defenses/krum.hpp"
+#include "parallel/kernel_config.hpp"
 
 namespace fedguard::defenses {
 
@@ -41,25 +42,36 @@ AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*contex
   }
 
   // Stage 2: per-coordinate, average the selection_size - 2f values closest
-  // to the coordinate median (trimmed mean around the median).
+  // to the coordinate median (trimmed mean around the median). Coordinates
+  // are independent, so the loop partitions over the kernel pool; each range
+  // sorts into its own column buffer.
   std::size_t beta = (selected.size() > 2 * f) ? selected.size() - 2 * f : 1;
   AggregationResult result;
   result.parameters.resize(dim);
-  std::vector<float> column(selected.size());
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < selected.size(); ++k) {
-      column[k] = updates[selected[k]].psi[i];
+  const auto trimmed_coordinates = [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(selected.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t k = 0; k < selected.size(); ++k) {
+        column[k] = updates[selected[k]].psi[i];
+      }
+      std::sort(column.begin(), column.end());
+      const float median_value = column[column.size() / 2];
+      // Sort by distance to the median and average the closest beta.
+      std::partial_sort(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(beta),
+                        column.end(), [median_value](float a, float b) {
+                          return std::abs(a - median_value) < std::abs(b - median_value);
+                        });
+      double total = 0.0;
+      for (std::size_t k = 0; k < beta; ++k) total += column[k];
+      result.parameters[i] = static_cast<float>(total / static_cast<double>(beta));
     }
-    std::sort(column.begin(), column.end());
-    const float median_value = column[column.size() / 2];
-    // Sort by distance to the median and average the closest beta.
-    std::partial_sort(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(beta),
-                      column.end(), [median_value](float a, float b) {
-                        return std::abs(a - median_value) < std::abs(b - median_value);
-                      });
-    double total = 0.0;
-    for (std::size_t k = 0; k < beta; ++k) total += column[k];
-    result.parameters[i] = static_cast<float>(total / static_cast<double>(beta));
+  };
+  const parallel::KernelConfig kernel_cfg = parallel::kernel_config();
+  if (parallel::should_parallelize(dim * selected.size(),
+                                   kernel_cfg.distance_min_elements)) {
+    parallel::kernel_parallel_ranges(dim, 1024, trimmed_coordinates);
+  } else {
+    trimmed_coordinates(0, dim);
   }
 
   for (std::size_t k = 0; k < count; ++k) {

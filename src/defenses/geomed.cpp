@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/kernel_config.hpp"
 #include "util/stats.hpp"
 
 namespace fedguard::defenses {
@@ -20,30 +21,65 @@ std::vector<float> geometric_median(std::span<const float> points, std::size_t c
   }
   for (auto& v : current) v /= static_cast<double>(count);
 
+  // Each Weiszfeld iteration runs two data passes, both parallelized over the
+  // kernel pool when count * dim crosses the distance threshold:
+  //   1. per-point distances to the current estimate (independent per point),
+  //   2. the weighted accumulation of `next`, partitioned over coordinate
+  //      ranges — every coordinate sums the points in ascending k order, so
+  //      the result is identical for any thread count.
+  const parallel::KernelConfig config = parallel::kernel_config();
+  const bool fan_out =
+      parallel::should_parallelize(count * dim, config.distance_min_elements);
+
   std::vector<double> next(dim);
+  std::vector<double> weights(count);
   for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
-    std::fill(next.begin(), next.end(), 0.0);
+    const auto distance_pass = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        double dist2 = 0.0;
+        for (std::size_t i = 0; i < dim; ++i) {
+          const double d = static_cast<double>(points[k * dim + i]) - current[i];
+          dist2 += d * d;
+        }
+        weights[k] = std::sqrt(dist2);
+      }
+    };
+    if (fan_out) {
+      parallel::kernel_parallel_ranges(count, 1, distance_pass);
+    } else {
+      distance_pass(0, count);
+    }
+
     double weight_total = 0.0;
     bool at_point = false;
     for (std::size_t k = 0; k < count; ++k) {
-      double dist2 = 0.0;
-      for (std::size_t i = 0; i < dim; ++i) {
-        const double d = static_cast<double>(points[k * dim + i]) - current[i];
-        dist2 += d * d;
-      }
-      const double dist = std::sqrt(dist2);
-      if (dist < 1e-12) {
+      if (weights[k] < 1e-12) {
         // Weiszfeld is undefined exactly at a sample point; accept it as the
         // (local) solution — a sample point coinciding with the median is a
         // valid optimum for our purposes.
         at_point = true;
         break;
       }
-      const double w = 1.0 / dist;
-      weight_total += w;
-      for (std::size_t i = 0; i < dim; ++i) next[i] += w * points[k * dim + i];
+      weights[k] = 1.0 / weights[k];
+      weight_total += weights[k];
     }
     if (at_point) break;
+
+    const auto accumulate_pass = [&](std::size_t begin, std::size_t end) {
+      std::fill(next.begin() + static_cast<std::ptrdiff_t>(begin),
+                next.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+      for (std::size_t k = 0; k < count; ++k) {
+        const double w = weights[k];
+        const float* point = points.data() + k * dim;
+        for (std::size_t i = begin; i < end; ++i) next[i] += w * point[i];
+      }
+    };
+    if (fan_out) {
+      parallel::kernel_parallel_ranges(dim, 256, accumulate_pass);
+    } else {
+      accumulate_pass(0, dim);
+    }
+
     double movement2 = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
       next[i] /= weight_total;

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "parallel/kernel_config.hpp"
 #include "util/stats.hpp"
 
 namespace fedguard::defenses {
@@ -19,27 +20,48 @@ std::vector<double> krum_scores(std::span<const float> points, std::size_t count
   else if (f + 2 >= count) f = count - 3;
   const std::size_t neighbours = count - f - 2 > 0 ? count - f - 2 : 1;
 
-  // Pairwise squared distances.
+  // Pairwise squared distances — the O(n^2 * d) hot spot. Rows of the upper
+  // triangle are partitioned across the kernel pool; row `a` writes only
+  // entries [a][b] and [b][a] for b > a, so partitions never collide, and
+  // each distance is computed exactly once regardless of thread count.
   std::vector<double> distance2(count * count, 0.0);
-  for (std::size_t a = 0; a < count; ++a) {
+  const auto distance_row = [&](std::size_t a) {
     for (std::size_t b = a + 1; b < count; ++b) {
       const double d2 = util::squared_distance(points.subspan(a * dim, dim),
                                                points.subspan(b * dim, dim));
       distance2[a * count + b] = d2;
       distance2[b * count + a] = d2;
     }
+  };
+  const std::size_t work = count * dim;
+  const parallel::KernelConfig config = parallel::kernel_config();
+  if (parallel::should_parallelize(work, config.distance_min_elements)) {
+    parallel::kernel_parallel_ranges(count, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t a = begin; a < end; ++a) distance_row(a);
+    });
+  } else {
+    for (std::size_t a = 0; a < count; ++a) distance_row(a);
   }
 
+  // Per-update neighbour sums (reads the finished distance matrix only).
   std::vector<double> scores(count, 0.0);
-  std::vector<double> row;
-  for (std::size_t a = 0; a < count; ++a) {
-    row.clear();
-    for (std::size_t b = 0; b < count; ++b) {
-      if (b != a) row.push_back(distance2[a * count + b]);
+  const auto score_rows = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> row;
+    for (std::size_t a = begin; a < end; ++a) {
+      row.clear();
+      for (std::size_t b = 0; b < count; ++b) {
+        if (b != a) row.push_back(distance2[a * count + b]);
+      }
+      const std::size_t k = std::min(neighbours, row.size());
+      std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), row.end());
+      scores[a] =
+          std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
     }
-    const std::size_t k = std::min(neighbours, row.size());
-    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), row.end());
-    scores[a] = std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
+  };
+  if (parallel::should_parallelize(count * count, config.distance_min_elements)) {
+    parallel::kernel_parallel_ranges(count, 1, score_rows);
+  } else {
+    score_rows(0, count);
   }
   return scores;
 }

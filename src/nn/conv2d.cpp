@@ -1,11 +1,19 @@
 #include "nn/conv2d.hpp"
-#include <cmath>
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "tensor/init.hpp"
 
 namespace fedguard::nn {
+
+namespace {
+// Cap on the im2col column matrix (floats) per GEMM chunk: 4M floats = 16 MiB.
+// Typical layers fit a whole client batch in one chunk; the cap only bounds
+// memory for very large batches or feature maps.
+constexpr std::size_t kMaxColumnFloats = std::size_t{1} << 22;
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                std::size_t in_h, std::size_t in_w, util::Rng& rng, std::size_t padding,
@@ -25,6 +33,12 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
   }
 }
 
+std::size_t Conv2d::samples_per_chunk(std::size_t batch) const noexcept {
+  const std::size_t per_sample = geometry_.patch_size() * geometry_.out_h() * geometry_.out_w();
+  const std::size_t fit = std::max<std::size_t>(1, kMaxColumnFloats / per_sample);
+  return std::min(batch, fit);
+}
+
 tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
   const auto& g = geometry_;
   if (input.rank() != 4 || input.dim(1) != g.in_channels || input.dim(2) != g.in_h ||
@@ -36,17 +50,29 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
   const std::size_t batch = input.dim(0);
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t pixels = oh * ow;
+  const std::size_t patch = g.patch_size();
   const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
+  const std::size_t chunk = samples_per_chunk(batch);
   tensor::Tensor out{{batch, out_channels_, oh, ow}};
-  tensor::Tensor result{{out_channels_, pixels}};
-  for (std::size_t n = 0; n < batch; ++n) {
-    tensor::im2col(input.data().subspan(n * image_size, image_size), g, scratch_columns_);
-    tensor::matmul(weight_.value, scratch_columns_, result);
-    float* dst = out.raw() + n * out_channels_ * pixels;
-    const float* src = result.raw();
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = with_bias_ ? bias_.value[oc] : 0.0f;
-      for (std::size_t p = 0; p < pixels; ++p) dst[oc * pixels + p] = src[oc * pixels + p] + b;
+  for (std::size_t s0 = 0; s0 < batch; s0 += chunk) {
+    const std::size_t cs = std::min(chunk, batch - s0);
+    const std::size_t cols = cs * pixels;
+    scratch_columns_.resize(patch * cols);
+    tensor::im2col_batch(input.data().subspan(s0 * image_size, cs * image_size), g, cs,
+                         scratch_columns_.data());
+    scratch_out_mat_.resize(out_channels_ * cols);
+    // One GEMM for the whole chunk: W[oc, patch] * cols[patch, cs*pixels].
+    tensor::matmul(weight_.value.raw(), scratch_columns_.data(), scratch_out_mat_.data(),
+                   out_channels_, patch, cols);
+    // Scatter [oc, sample, pixel] -> [sample, oc, pixel], adding the bias.
+    for (std::size_t s = 0; s < cs; ++s) {
+      float* dst = out.raw() + (s0 + s) * out_channels_ * pixels;
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* src = scratch_out_mat_.data() + oc * cols + s * pixels;
+        const float b = with_bias_ ? bias_.value[oc] : 0.0f;
+        float* row = dst + oc * pixels;
+        for (std::size_t p = 0; p < pixels; ++p) row[p] = src[p] + b;
+      }
     }
   }
   return out;
@@ -62,35 +88,47 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
       grad_output.dim(3) != ow) {
     throw std::invalid_argument{"Conv2d::backward: gradient shape mismatch"};
   }
+  const std::size_t patch = g.patch_size();
   const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
+  const std::size_t chunk = samples_per_chunk(batch);
   tensor::Tensor grad_input{cached_input_.shape()};
-  tensor::Tensor grad_cols{{g.patch_size(), pixels}};
-  // View one sample of grad_output as a [out_channels, pixels] matrix.
-  tensor::Tensor grad_mat{{out_channels_, pixels}};
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* go = grad_output.raw() + n * out_channels_ * pixels;
-    std::copy(go, go + out_channels_ * pixels, grad_mat.raw());
-    // dW += dY [oc, pix] * cols^T  => use matmul_trans_b(dY, cols) since
-    // cols is [patch, pix]: dW[oc, patch] = sum_pix dY[oc,pix]*cols[patch,pix].
-    tensor::im2col(cached_input_.data().subspan(n * image_size, image_size), g,
-                   scratch_columns_);
-    {
-      // Accumulate into weight_.grad without zeroing: temp then axpy.
-      tensor::Tensor dw{{out_channels_, g.patch_size()}};
-      tensor::matmul_trans_b(grad_mat, scratch_columns_, dw);
-      tensor::axpy(1.0f, dw.data(), weight_.grad.data());
+  for (std::size_t s0 = 0; s0 < batch; s0 += chunk) {
+    const std::size_t cs = std::min(chunk, batch - s0);
+    const std::size_t cols = cs * pixels;
+    // Gather dY [sample, oc, pixel] -> [oc, sample, pixel] so the chunk is
+    // one [oc, cs*pixels] matrix.
+    scratch_grad_mat_.resize(out_channels_ * cols);
+    for (std::size_t s = 0; s < cs; ++s) {
+      const float* go = grad_output.raw() + (s0 + s) * out_channels_ * pixels;
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        std::copy(go + oc * pixels, go + (oc + 1) * pixels,
+                  scratch_grad_mat_.data() + oc * cols + s * pixels);
+      }
     }
+    scratch_columns_.resize(patch * cols);
+    tensor::im2col_batch(cached_input_.data().subspan(s0 * image_size, cs * image_size), g,
+                         cs, scratch_columns_.data());
+    // dW[oc, patch] += dY[oc, cs*pixels] * cols[patch, cs*pixels]^T — one
+    // GEMM per chunk into persistent scratch, then accumulated.
+    scratch_dw_.resize(out_channels_ * patch);
+    tensor::matmul_trans_b(scratch_grad_mat_.data(), scratch_columns_.data(),
+                           scratch_dw_.data(), out_channels_, cols, patch);
+    tensor::axpy(1.0f, scratch_dw_, weight_.grad.data());
     if (with_bias_) {
       for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* row = scratch_grad_mat_.data() + oc * cols;
         float acc = 0.0f;
-        for (std::size_t p = 0; p < pixels; ++p) acc += go[oc * pixels + p];
+        for (std::size_t p = 0; p < cols; ++p) acc += row[p];
         bias_.grad[oc] += acc;
       }
     }
-    // dcols [patch, pix] = W^T [patch, oc] * dY [oc, pix]
-    tensor::matmul_trans_a(weight_.value, grad_mat, grad_cols);
-    tensor::col2im_accumulate(grad_cols, g,
-                              grad_input.data().subspan(n * image_size, image_size));
+    // dcols[patch, cs*pixels] = W^T[patch, oc] * dY[oc, cs*pixels].
+    scratch_grad_cols_.resize(patch * cols);
+    tensor::matmul_trans_a(weight_.value.raw(), scratch_grad_mat_.data(),
+                           scratch_grad_cols_.data(), patch, out_channels_, cols);
+    tensor::col2im_batch_accumulate(scratch_grad_cols_.data(), g, cs,
+                                    grad_input.data().subspan(s0 * image_size,
+                                                              cs * image_size));
   }
   return grad_input;
 }

@@ -1,7 +1,11 @@
 #pragma once
 // 2-D convolution (stride 1, square kernel, symmetric zero padding) via
-// im2col + GEMM. Matches the paper's classifier layers (5x5 kernels with
-// padding 2, Table II).
+// batched im2col + GEMM: the whole batch (in bounded-size chunks) is lowered
+// into one column matrix so forward and backward each run one large GEMM per
+// chunk instead of `batch` small ones. Matches the paper's classifier layers
+// (5x5 kernels with padding 2, Table II).
+
+#include <vector>
 
 #include "nn/module.hpp"
 #include "tensor/ops.hpp"
@@ -26,13 +30,22 @@ class Conv2d final : public Module {
   [[nodiscard]] const tensor::ConvGeometry& geometry() const noexcept { return geometry_; }
 
  private:
+  /// Samples per batched-GEMM chunk, sized so the column matrix stays within
+  /// a fixed memory budget.
+  [[nodiscard]] std::size_t samples_per_chunk(std::size_t batch) const noexcept;
+
   std::size_t out_channels_;
   bool with_bias_;
   tensor::ConvGeometry geometry_;
   Parameter weight_;  // [out_channels, in_channels*k*k]
   Parameter bias_;    // [out_channels]
-  tensor::Tensor cached_input_;    // [N, C, H, W]
-  tensor::Tensor scratch_columns_; // im2col buffer reused across samples
+  tensor::Tensor cached_input_;  // [N, C, H, W]
+  // Persistent scratch reused across calls (resize keeps capacity):
+  std::vector<float> scratch_columns_;   // [patch, chunk*pixels] im2col matrix
+  std::vector<float> scratch_out_mat_;   // [out_c, chunk*pixels] forward GEMM result
+  std::vector<float> scratch_grad_mat_;  // [out_c, chunk*pixels] gathered dY
+  std::vector<float> scratch_grad_cols_; // [patch, chunk*pixels] column gradients
+  std::vector<float> scratch_dw_;        // [out_c, patch] per-call weight gradient
 };
 
 }  // namespace fedguard::nn

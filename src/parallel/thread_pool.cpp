@@ -6,6 +6,12 @@
 
 namespace fedguard::parallel {
 
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool in_worker_thread() noexcept { return t_in_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,6 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,7 +49,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size_t)>& factory) {
-  if (count == 0) return;
+  if (count == 0) return;  // before the lock: an empty batch must be free
+
   if (thread_count() == 1 || count == 1) {
     for (std::size_t i = 0; i < count; ++i) factory(i);
     return;

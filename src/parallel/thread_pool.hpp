@@ -48,6 +48,7 @@ class ThreadPool {
 
   /// Run `count` tasks produced by `factory(i)` and wait for all of them.
   /// Rethrows the first exception encountered (after all tasks finish).
+  /// `count == 0` returns immediately without touching the queue or its lock.
   void run_batch(std::size_t count, const std::function<void(std::size_t)>& factory);
 
  private:
@@ -66,8 +67,14 @@ class ThreadPool {
 
 /// Parallel loop over [begin, end) with static chunking on the given pool.
 /// Falls back to a serial loop when the range is small or the pool has a
-/// single thread.
+/// single thread. An empty or inverted range (begin >= end) is a no-op.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
+
+/// True on any ThreadPool worker thread (of any pool). The numeric kernels
+/// use this to fall back to serial execution instead of fanning out from
+/// inside a pool task — a nested run_batch that blocks a worker on futures
+/// other workers must drain can deadlock the pool.
+[[nodiscard]] bool in_worker_thread() noexcept;
 
 }  // namespace fedguard::parallel

@@ -11,7 +11,10 @@ namespace fedguard::tensor {
 
 // ---- GEMM -----------------------------------------------------------------
 // All matrices are dense row-major. Output is overwritten unless the name
-// says "accumulate".
+// says "accumulate". The kernels are cache-blocked and register-tiled, and
+// fan out row-partitioned onto parallel::kernel_pool() above the
+// parallel::KernelConfig::gemm_min_flops threshold (see docs/PERFORMANCE.md).
+// Results are identical for any thread count.
 
 /// C[m,n] = A[m,k] * B[k,n]
 void matmul(const Tensor& a, const Tensor& b, Tensor& c);
@@ -21,6 +24,23 @@ void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c);
 void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c);
 /// C[m,n] += A[k,m]^T * B[k,n]  (used for weight-gradient accumulation)
 void matmul_trans_a_accumulate(const Tensor& a, const Tensor& b, Tensor& c);
+
+// Raw-buffer overloads of the same kernels, for callers (batched conv,
+// scratch-buffer reuse) whose operands are slices of larger allocations
+// rather than whole Tensors. No shape validation — sizes are trusted.
+
+/// c[m,n] = a[m,k] * b[k,n]
+void matmul(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+            std::size_t n);
+/// c[m,n] = a[k,m]^T * b[k,n]
+void matmul_trans_a(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                    std::size_t n);
+/// c[m,n] = a[m,k] * b[n,k]^T
+void matmul_trans_b(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                    std::size_t n);
+/// c[m,n] += a[k,m]^T * b[k,n]
+void matmul_trans_a_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                               std::size_t k, std::size_t n);
 
 // ---- Elementwise ------------------------------------------------------------
 
@@ -75,9 +95,33 @@ struct ConvGeometry {
 /// W[out_c, patch] * cols[patch, pixels].
 void im2col(std::span<const float> image, const ConvGeometry& g, Tensor& columns);
 
+/// im2col for one image into an externally laid-out column matrix whose rows
+/// have leading dimension `ld`; this image's patch occupies columns
+/// [column_offset, column_offset + out_h*out_w).
+void im2col_strided(std::span<const float> image, const ConvGeometry& g, float* out,
+                    std::size_t ld, std::size_t column_offset);
+
+/// Batched im2col: `count` images [count, C, H, W] (flattened) into one
+/// column matrix [patch_size, count * out_h*out_w], sample s occupying the
+/// column range [s*pixels, (s+1)*pixels). One GEMM against this matrix
+/// convolves the whole batch.
+void im2col_batch(std::span<const float> images, const ConvGeometry& g, std::size_t count,
+                  float* columns);
+
 /// Inverse scatter-add of im2col: columns [patch_size, out_h*out_w] back into
 /// image gradient [C, H, W] (accumulated into `image_grad`).
 void col2im_accumulate(const Tensor& columns, const ConvGeometry& g,
                        std::span<float> image_grad);
+
+/// col2im from one image's slice of an externally laid-out column matrix
+/// (see im2col_strided), accumulated into `image_grad`.
+void col2im_strided_accumulate(const float* columns, std::size_t ld,
+                               std::size_t column_offset, const ConvGeometry& g,
+                               std::span<float> image_grad);
+
+/// Batched col2im: columns [patch_size, count * out_h*out_w] accumulated back
+/// into `count` image gradients (flattened [count, C, H, W]).
+void col2im_batch_accumulate(const float* columns, const ConvGeometry& g, std::size_t count,
+                             std::span<float> images_grad);
 
 }  // namespace fedguard::tensor

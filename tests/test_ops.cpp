@@ -3,11 +3,24 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "parallel/kernel_config.hpp"
 #include "util/rng.hpp"
 
 namespace fedguard::tensor {
 namespace {
+
+/// Restores the process-wide kernel config when the test scope ends, so
+/// threshold/thread overrides cannot leak into other tests.
+class KernelConfigGuard {
+ public:
+  KernelConfigGuard() : saved_{parallel::kernel_config()} {}
+  ~KernelConfigGuard() { parallel::set_kernel_config(saved_); }
+
+ private:
+  parallel::KernelConfig saved_;
+};
 
 TEST(Ops, MatmulAgainstHandComputed) {
   const Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
@@ -70,6 +83,166 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemmVariants,
                          ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                                            std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
                                            std::make_tuple(1, 16, 9)));
+
+// ---- Oracle tests for the blocked / parallel GEMM paths ---------------------
+//
+// A textbook triple loop is the reference. Shapes are chosen to exercise the
+// tiling edges: 1x1x1, dimensions below one micro-tile, dimensions that cross
+// kMc=64 / kKc=256 / kNc=512 by one, tall-skinny and short-fat panels.
+
+void naive_matmul(const std::vector<float>& a, const std::vector<float>& b,
+                  std::vector<float>& c, std::size_t m, std::size_t k, std::size_t n) {
+  c.assign(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a[i * k + p];
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += a_ip * b[p * n + j];
+    }
+  }
+}
+
+std::vector<float> random_buffer(std::size_t size, util::Rng& rng) {
+  std::vector<float> buffer(size);
+  for (auto& v : buffer) v = rng.uniform_float(-1.0f, 1.0f);
+  return buffer;
+}
+
+void expect_near_rel(const std::vector<float>& actual, const std::vector<float>& expected,
+                     float rel_tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const float tol = rel_tol * std::max(1.0f, std::abs(expected[i]));
+    ASSERT_NEAR(actual[i], expected[i], tol) << "index " << i;
+  }
+}
+
+class GemmOracle : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmOracle, BlockedMatchesNaiveSerialAndParallel) {
+  const auto [mi, ki, ni] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto k = static_cast<std::size_t>(ki);
+  const auto n = static_cast<std::size_t>(ni);
+  util::Rng rng{2026};
+  const std::vector<float> a = random_buffer(m * k, rng);
+  const std::vector<float> b = random_buffer(k * n, rng);
+  std::vector<float> reference;
+  naive_matmul(a, b, reference, m, k, n);
+
+  // Transposed operands for the variant kernels.
+  std::vector<float> a_t(k * m), b_t(n * k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) a_t[p * m + i] = a[i * k + p];
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) b_t[j * k + p] = b[p * n + j];
+
+  KernelConfigGuard guard;
+  std::vector<float> serial_out;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::KernelConfig config;
+    config.threads = threads;
+    config.gemm_min_flops = 1;  // force the parallel dispatch path when threads > 1
+    parallel::set_kernel_config(config);
+
+    std::vector<float> c(m * n);
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+    expect_near_rel(c, reference, 1e-4f);
+
+    std::vector<float> c_ta(m * n);
+    matmul_trans_a(a_t.data(), b.data(), c_ta.data(), m, k, n);
+    expect_near_rel(c_ta, reference, 1e-4f);
+
+    std::vector<float> c_tb(m * n);
+    matmul_trans_b(a.data(), b_t.data(), c_tb.data(), m, k, n);
+    expect_near_rel(c_tb, reference, 1e-4f);
+
+    // Thread-count invariance must be exact, not approximate: the blocked
+    // kernels accumulate every C element in the same order regardless of the
+    // row partitioning.
+    if (threads == 1) {
+      serial_out = c;
+    } else {
+      ASSERT_EQ(c, serial_out) << "parallel GEMM diverged from single-threaded result";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmOracle,
+    ::testing::Values(std::make_tuple(1, 1, 1),      // degenerate
+                      std::make_tuple(3, 5, 7),      // below one micro-tile
+                      std::make_tuple(4, 16, 16),    // exactly one micro-tile row
+                      std::make_tuple(65, 257, 33),  // crosses kMc and kKc by one
+                      std::make_tuple(200, 3, 2),    // tall-skinny
+                      std::make_tuple(2, 3, 530),    // short-fat, crosses kNc
+                      std::make_tuple(31, 64, 10)));  // classifier head shape
+
+TEST(Ops, MatmulDeterministicAcrossRuns) {
+  util::Rng rng{7};
+  const std::size_t m = 37, k = 129, n = 23;
+  const std::vector<float> a = random_buffer(m * k, rng);
+  const std::vector<float> b = random_buffer(k * n, rng);
+  std::vector<float> first(m * n), again(m * n);
+  matmul(a.data(), b.data(), first.data(), m, k, n);
+  for (int run = 0; run < 3; ++run) {
+    matmul(a.data(), b.data(), again.data(), m, k, n);
+    ASSERT_EQ(again, first) << "run " << run;
+  }
+}
+
+TEST(Ops, ParallelElementwiseMatchesSerial) {
+  util::Rng rng{11};
+  const std::size_t size = 100003;  // odd size, above the forced threshold
+  const std::vector<float> a = random_buffer(size, rng);
+  const std::vector<float> b = random_buffer(size, rng);
+
+  KernelConfigGuard guard;
+  parallel::KernelConfig serial_config;
+  serial_config.threads = 1;
+  parallel::set_kernel_config(serial_config);
+  std::vector<float> expected_add(size), expected_axpy = a;
+  add(a, b, expected_add);
+  axpy(0.5f, b, expected_axpy);
+  const float expected_sum = sum(a);
+
+  parallel::KernelConfig parallel_config;
+  parallel_config.threads = 4;
+  parallel_config.elementwise_min_size = 1;
+  parallel::set_kernel_config(parallel_config);
+  std::vector<float> out(size);
+  add(a, b, out);
+  EXPECT_EQ(out, expected_add);
+  out = a;
+  axpy(0.5f, b, out);
+  EXPECT_EQ(out, expected_axpy);
+  // sum() reduces fixed-size chunks in a fixed order: bit-identical too.
+  EXPECT_EQ(sum(a), expected_sum);
+}
+
+TEST(Ops, BatchedIm2ColMatchesPerSample) {
+  util::Rng rng{31};
+  const ConvGeometry g{2, 7, 6, 3, 1};
+  const std::size_t pixels = g.out_h() * g.out_w();
+  const std::size_t count = 3;
+  const std::vector<float> images =
+      random_buffer(count * g.in_channels * g.in_h * g.in_w, rng);
+  std::vector<float> batched(g.patch_size() * count * pixels);
+  im2col_batch(images, g, count, batched.data());
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<float> sample(images.begin() + static_cast<std::ptrdiff_t>(
+                                  s * g.in_channels * g.in_h * g.in_w),
+                              images.begin() + static_cast<std::ptrdiff_t>(
+                                  (s + 1) * g.in_channels * g.in_h * g.in_w));
+    Tensor cols;
+    im2col(sample, g, cols);
+    for (std::size_t r = 0; r < g.patch_size(); ++r) {
+      for (std::size_t c = 0; c < pixels; ++c) {
+        ASSERT_EQ(batched[r * count * pixels + s * pixels + c], cols.at(r, c))
+            << "sample " << s << " row " << r << " col " << c;
+      }
+    }
+  }
+}
 
 TEST(Ops, MatmulTransAAccumulates) {
   const Tensor a = Tensor::from_data({1, 2}, {1, 2});  // A [k=1, m=2]

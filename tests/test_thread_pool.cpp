@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -60,6 +61,42 @@ TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
   parallel_for(pool, 7, 3, [&calls](std::size_t) { ++calls; });
   EXPECT_EQ(calls, 0);
+}
+
+// Regression: run_batch(0) must return without touching the queue mutex, so
+// it stays safe (and cheap) even when called from a worker of the same pool
+// while the pool is under load.
+TEST(ThreadPool, EmptyBatchIsNoopEvenFromWorker) {
+  ThreadPool pool{2};
+  int calls = 0;
+  pool.run_batch(0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  auto nested = pool.submit([&pool] {
+    // Would deadlock if the empty batch enqueued work and waited on it.
+    pool.run_batch(0, [](std::size_t) {});
+    return 1;
+  });
+  EXPECT_EQ(nested.get(), 1);
+}
+
+// Regression: an inverted range (begin > end) must behave exactly like an
+// empty one — no tasks, no wraparound from unsigned subtraction.
+TEST(ParallelFor, InvertedRangeDoesNotWrapAround) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  parallel_for(pool, 1000, 0, [&calls](std::size_t) { calls.fetch_add(1); });
+  parallel_for(pool, std::numeric_limits<std::size_t>::max(), 1,
+               [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, InWorkerThreadFlagSetInsideWorkers) {
+  EXPECT_FALSE(in_worker_thread());
+  ThreadPool pool{2};
+  auto inside = pool.submit([] { return in_worker_thread(); });
+  EXPECT_TRUE(inside.get());
+  // Still false on the caller's thread afterwards.
+  EXPECT_FALSE(in_worker_thread());
 }
 
 TEST(ParallelFor, SumMatchesSerial) {
