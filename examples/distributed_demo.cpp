@@ -8,12 +8,21 @@
 //
 // Or run the whole federation in one process with threads (default):
 //   ./distributed_demo
+//
+// Chaos flags (see docs/ROBUSTNESS.md) inject seeded client-side faults so
+// the fault-tolerance path can be watched live:
+//   ./distributed_demo --drop 0.25 --disconnect 0.1 --fault-seed 7
+// Fault kinds: --drop, --delay (+ --delay-ms), --truncate, --bitflip,
+// --disconnect, --never-connect; each takes a per-round probability. The same
+// --fault-seed replays the identical fault schedule.
 
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <thread>
 
 #include "core/cli.hpp"
+#include "core/report.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "defenses/fedguard.hpp"
@@ -42,6 +51,19 @@ fl::ClientConfig demo_client_config() {
   config.cvae_batch_size = 8;
   config.cvae_learning_rate = 3e-3f;
   return config;
+}
+
+net::FaultPlan plan_from_options(const core::CliOptions& options) {
+  net::FaultPlan plan;
+  plan.drop_probability = options.get_double("drop", 0.0);
+  plan.delay_probability = options.get_double("delay", 0.0);
+  plan.delay_ms = static_cast<std::size_t>(options.get_int("delay-ms", 20));
+  plan.truncate_probability = options.get_double("truncate", 0.0);
+  plan.bit_flip_probability = options.get_double("bitflip", 0.0);
+  plan.disconnect_probability = options.get_double("disconnect", 0.0);
+  plan.never_connect_probability = options.get_double("never-connect", 0.0);
+  plan.seed = static_cast<std::uint64_t>(options.get_int("fault-seed", 1));
+  return plan;
 }
 
 /// Every process derives the same deterministic partition, so a client only
@@ -75,6 +97,10 @@ int run_server(const core::CliOptions& options) {
   config.clients_per_round = std::max<std::size_t>(1, clients / 2 + 1);
   config.rounds = rounds;
   config.seed = kDataSeed;
+  // Survive a chaos run: bound every wait, tolerate absent clients.
+  config.accept_timeout_ms = static_cast<std::size_t>(options.get_int("accept-ms", 30000));
+  config.round_timeout_ms = static_cast<std::size_t>(options.get_int("round-ms", 30000));
+  config.min_clients = static_cast<std::size_t>(options.get_int("min-clients", 0));
   net::RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp,
                            models::ImageGeometry{}};
   std::printf("server listening on port %u, waiting for %zu clients...\n",
@@ -82,6 +108,7 @@ int run_server(const core::CliOptions& options) {
   const fl::RunHistory history = server.run();
   std::printf("\nfinal accuracy: %.2f%% (strategy %s)\n",
               history.rounds.back().test_accuracy * 100.0, history.strategy.c_str());
+  core::print_fault_summary(std::cout, history);
   return 0;
 }
 
@@ -100,13 +127,28 @@ int run_client(const core::CliOptions& options) {
   }
   std::printf("client %d connecting to %s:%u%s\n", id, host.c_str(),
               static_cast<unsigned>(port), attack ? " (malicious)" : "");
-  const std::size_t served = net::run_remote_client(host, port, *client);
-  std::printf("client %d served %zu rounds\n", id, served);
+  const net::FaultPlan plan = plan_from_options(options);
+  net::FaultInjector injector{plan};
+  net::RemoteClientOptions remote_options;
+  if (plan.any()) remote_options.faults = &injector;
+  const std::size_t served = net::run_remote_client(host, port, *client, remote_options);
+  std::printf("client %d served %zu rounds (%zu faults injected)\n", id, served,
+              injector.total_injected());
   return 0;
 }
 
-int run_threaded_demo() {
+int run_threaded_demo(const core::CliOptions& options) {
   std::printf("single-process demo: FedGuard server + 4 TCP clients (1 sign-flipper)\n\n");
+  const net::FaultPlan plan = plan_from_options(options);
+  net::FaultInjector injector{plan};
+  if (plan.any()) {
+    std::printf("chaos plan active (seed %llu): drop %.2f delay %.2f truncate %.2f "
+                "bitflip %.2f disconnect %.2f never-connect %.2f\n\n",
+                static_cast<unsigned long long>(plan.seed), plan.drop_probability,
+                plan.delay_probability, plan.truncate_probability,
+                plan.bit_flip_probability, plan.disconnect_probability,
+                plan.never_connect_probability);
+  }
   const data::Dataset test = data::generate_synthetic_mnist(200, kDataSeed ^ 0x7e57ULL);
   defenses::FedGuardConfig fg;
   fg.cvae_spec = demo_cvae();
@@ -119,6 +161,12 @@ int run_threaded_demo() {
   config.clients_per_round = 3;
   config.rounds = 6;
   config.seed = kDataSeed;
+  if (plan.any()) {
+    // Chaos runs need bounded waits and tolerance for absent clients.
+    config.round_timeout_ms = 5000;
+    config.accept_timeout_ms = 5000;
+    config.min_clients = 1;
+  }
   net::RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp,
                            models::ImageGeometry{}};
   const std::uint16_t port = server.port();
@@ -129,8 +177,11 @@ int run_threaded_demo() {
   for (int id = 0; id < 4; ++id) {
     clients.push_back(make_client(id, 4));
     if (id == 3) clients.back()->corrupt_with_model_attack(&sign_flip);
-    threads.emplace_back(
-        [&, id] { (void)net::run_remote_client("127.0.0.1", port, *clients[id]); });
+    threads.emplace_back([&, id] {
+      net::RemoteClientOptions remote_options;
+      if (plan.any()) remote_options.faults = &injector;
+      (void)net::run_remote_client("127.0.0.1", port, *clients[id], remote_options);
+    });
   }
   const fl::RunHistory history = server.run();
   for (auto& thread : threads) thread.join();
@@ -141,6 +192,10 @@ int run_threaded_demo() {
                 round.round, round.test_accuracy * 100.0, round.rejected_malicious,
                 round.sampled_malicious,
                 static_cast<double>(round.server_download_bytes) / 1e3);
+  }
+  if (plan.any()) {
+    std::printf("\n%zu faults injected by the plan\n", injector.total_injected());
+    core::print_fault_summary(std::cout, history);
   }
   return 0;
 }
@@ -153,5 +208,5 @@ int main(int argc, char** argv) {
   const std::string role = options.get("role", "demo");
   if (role == "server") return run_server(options);
   if (role == "client") return run_client(options);
-  return run_threaded_demo();
+  return run_threaded_demo(options);
 }

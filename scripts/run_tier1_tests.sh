@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite —
+# including the `net`-labeled socket/fault-injection tests, which carry
+# explicit CTest TIMEOUT properties so a hung socket can never wedge the run.
+# Usage: scripts/run_tier1_tests.sh [build-dir] (default: build)
+set -eu
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+# The whole suite (the net label is part of tier-1, not an opt-in extra).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Belt and braces: confirm the net label resolves to its three suites even if
+# someone filters the main run.
+ctest --test-dir "$BUILD_DIR" -L net -N

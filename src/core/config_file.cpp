@@ -135,6 +135,28 @@ void apply_config_values(ExperimentConfig& config,
       config.bulyan_byzantine_fraction = to_double(value, key);
     else if (key == "aux_audit_warmup_rounds")
       config.aux_audit_warmup_rounds = to_size(value, key);
+    else if (key == "remote_accept_timeout_ms")
+      config.remote_accept_timeout_ms = to_size(value, key);
+    else if (key == "remote_round_timeout_ms")
+      config.remote_round_timeout_ms = to_size(value, key);
+    else if (key == "remote_min_clients") config.remote_min_clients = to_size(value, key);
+    else if (key == "remote_eject_after_failures")
+      config.remote_eject_after_failures = to_size(value, key);
+    else if (key == "fault_seed")
+      config.fault_plan.seed = static_cast<std::uint64_t>(to_size(value, key));
+    else if (key == "fault_drop_probability")
+      config.fault_plan.drop_probability = to_double(value, key);
+    else if (key == "fault_delay_probability")
+      config.fault_plan.delay_probability = to_double(value, key);
+    else if (key == "fault_delay_ms") config.fault_plan.delay_ms = to_size(value, key);
+    else if (key == "fault_truncate_probability")
+      config.fault_plan.truncate_probability = to_double(value, key);
+    else if (key == "fault_bit_flip_probability")
+      config.fault_plan.bit_flip_probability = to_double(value, key);
+    else if (key == "fault_disconnect_probability")
+      config.fault_plan.disconnect_probability = to_double(value, key);
+    else if (key == "fault_never_connect_probability")
+      config.fault_plan.never_connect_probability = to_double(value, key);
     else if (key == "kernel_threads") config.kernel.threads = to_size(value, key);
     else if (key == "kernel_gemm_min_flops")
       config.kernel.gemm_min_flops = to_size(value, key);

@@ -19,6 +19,7 @@
 #include "fl/client.hpp"
 #include "models/classifier.hpp"
 #include "models/cvae.hpp"
+#include "net/fault_injector.hpp"
 #include "parallel/kernel_config.hpp"
 
 namespace fedguard::core {
@@ -87,6 +88,18 @@ struct ExperimentConfig {
   double bulyan_byzantine_fraction = 0.2;
   std::size_t aux_audit_warmup_rounds = 0;  // PDGAN-style init phase length
   defenses::SpectralConfig spectral;
+
+  // ---- Distributed federation (net::RemoteServer) ------------------------------
+  // Deadlines/policy for the TCP deployment shape; ignored by the in-process
+  // runner. See docs/ROBUSTNESS.md for the fault model these feed.
+  std::size_t remote_accept_timeout_ms = 30000;
+  std::size_t remote_round_timeout_ms = 30000;
+  std::size_t remote_min_clients = 0;         // 0 = all expected
+  std::size_t remote_eject_after_failures = 3;  // 0 = never eject
+  // Seeded chaos plan for fault-injection runs (all probabilities default 0:
+  // no faults). Replaying the same fault_seed reproduces the exact fault
+  // schedule regardless of thread/socket timing.
+  net::FaultPlan fault_plan;
 
   // ---- Compute kernels -------------------------------------------------------
   // Applied process-wide (parallel::set_kernel_config) when the federation is

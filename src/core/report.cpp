@@ -121,4 +121,34 @@ void print_accuracy_series(std::ostream& out, const std::vector<fl::RunHistory>&
   }
 }
 
+void print_fault_summary(std::ostream& out, const fl::RunHistory& history) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "Fault summary (%zu rounds): %zu timeouts, %zu dropouts, "
+                "%zu corrupt frames, %zu ejections",
+                history.rounds.size(), history.total_timeouts(),
+                history.total_dropouts(), history.total_corrupt_frames(),
+                history.total_ejected());
+  out << buffer << "\n";
+  if (history.total_timeouts() + history.total_dropouts() +
+          history.total_corrupt_frames() + history.total_ejected() ==
+      0) {
+    return;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%-6s | %-8s | %-8s | %-8s | %-8s | %-9s",
+                "round", "sampled", "timeout", "dropout", "corrupt", "ejected");
+  out << buffer << "\n" << std::string(62, '-') << "\n";
+  for (const auto& record : history.rounds) {
+    if (record.timeouts + record.dropouts + record.corrupt_frames +
+            record.ejected_clients ==
+        0) {
+      continue;  // keep the breakdown to the rounds where something happened
+    }
+    std::snprintf(buffer, sizeof(buffer), "%-6zu | %-8zu | %-8zu | %-8zu | %-8zu | %-9zu",
+                  record.round, record.sampled_clients, record.timeouts, record.dropouts,
+                  record.corrupt_frames, record.ejected_clients);
+    out << buffer << "\n";
+  }
+}
+
 }  // namespace fedguard::core

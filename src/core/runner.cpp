@@ -159,4 +159,20 @@ fl::RunHistory run_experiment(const ExperimentConfig& config) {
   return fed.run();
 }
 
+net::RemoteServerConfig remote_server_config(const ExperimentConfig& config,
+                                             std::uint16_t port) {
+  net::RemoteServerConfig remote;
+  remote.port = port;
+  remote.expected_clients = config.num_clients;
+  remote.clients_per_round = config.clients_per_round;
+  remote.rounds = config.rounds;
+  remote.server_learning_rate = config.server_learning_rate;
+  remote.seed = config.seed ^ 0x5e12e5ULL;  // must match build_federation
+  remote.accept_timeout_ms = config.remote_accept_timeout_ms;
+  remote.round_timeout_ms = config.remote_round_timeout_ms;
+  remote.min_clients = config.remote_min_clients;
+  remote.eject_after_failures = config.remote_eject_after_failures;
+  return remote;
+}
+
 }  // namespace fedguard::core

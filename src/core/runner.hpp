@@ -9,6 +9,7 @@
 #include "defenses/aggregation.hpp"
 #include "fl/metrics.hpp"
 #include "fl/server.hpp"
+#include "net/remote.hpp"
 
 namespace fedguard::core {
 
@@ -46,5 +47,11 @@ struct Federation {
 
 /// Convenience: build and run in one call.
 [[nodiscard]] fl::RunHistory run_experiment(const ExperimentConfig& config);
+
+/// Map an ExperimentConfig onto the distributed server's knob panel (same
+/// seed derivation as the in-process server so both paths sample identical
+/// client subsets). `port` 0 picks an ephemeral port.
+[[nodiscard]] net::RemoteServerConfig remote_server_config(const ExperimentConfig& config,
+                                                           std::uint16_t port = 0);
 
 }  // namespace fedguard::core

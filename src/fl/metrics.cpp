@@ -75,11 +75,36 @@ double RunHistory::trailing_class_accuracy(std::size_t class_id,
   return util::trailing_stats(series, window).mean;
 }
 
+std::size_t RunHistory::total_dropouts() const {
+  std::size_t total = 0;
+  for (const auto& record : rounds) total += record.dropouts;
+  return total;
+}
+
+std::size_t RunHistory::total_timeouts() const {
+  std::size_t total = 0;
+  for (const auto& record : rounds) total += record.timeouts;
+  return total;
+}
+
+std::size_t RunHistory::total_corrupt_frames() const {
+  std::size_t total = 0;
+  for (const auto& record : rounds) total += record.corrupt_frames;
+  return total;
+}
+
+std::size_t RunHistory::total_ejected() const {
+  std::size_t total = 0;
+  for (const auto& record : rounds) total += record.ejected_clients;
+  return total;
+}
+
 void RunHistory::write_csv(const std::string& path) const {
   util::CsvWriter csv{path,
                       {"round", "strategy", "attack", "malicious_fraction", "test_accuracy",
                        "round_seconds", "upload_bytes", "download_bytes", "sampled",
-                       "sampled_malicious", "rejected", "rejected_malicious",
+                       "sampled_malicious", "stragglers", "dropouts", "timeouts",
+                       "corrupt_frames", "ejected", "rejected", "rejected_malicious",
                        "rejected_benign"}};
   for (const auto& r : rounds) {
     csv.write_row({util::CsvWriter::cell(r.round), strategy, attack,
@@ -90,6 +115,11 @@ void RunHistory::write_csv(const std::string& path) const {
                    util::CsvWriter::cell(r.server_download_bytes),
                    util::CsvWriter::cell(r.sampled_clients),
                    util::CsvWriter::cell(r.sampled_malicious),
+                   util::CsvWriter::cell(r.stragglers),
+                   util::CsvWriter::cell(r.dropouts),
+                   util::CsvWriter::cell(r.timeouts),
+                   util::CsvWriter::cell(r.corrupt_frames),
+                   util::CsvWriter::cell(r.ejected_clients),
                    util::CsvWriter::cell(r.rejected_clients),
                    util::CsvWriter::cell(r.rejected_malicious),
                    util::CsvWriter::cell(r.rejected_benign)});

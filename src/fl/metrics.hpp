@@ -22,6 +22,12 @@ struct RoundRecord {
   std::size_t sampled_clients = 0;
   std::size_t sampled_malicious = 0;
   std::size_t stragglers = 0;  // sampled clients that failed to respond
+  // Remote-path fault accounting (net::RemoteServer): how each sampled
+  // client that failed to contribute this round actually failed.
+  std::size_t dropouts = 0;        // connection died (EOF/reset/send failure)
+  std::size_t timeouts = 0;        // round deadline expired with no reply
+  std::size_t corrupt_frames = 0;  // CRC mismatch / truncated / malformed frame
+  std::size_t ejected_clients = 0; // ejected this round (K consecutive failures)
   std::size_t rejected_clients = 0;
   std::size_t rejected_malicious = 0;  // true positives of the defense
   std::size_t rejected_benign = 0;     // false positives of the defense
@@ -51,6 +57,11 @@ struct RunHistory {
   /// returns 0 when no per-class data was recorded.
   [[nodiscard]] double trailing_class_accuracy(std::size_t class_id,
                                                std::size_t window) const;
+  /// Run totals of the remote-path fault counters (zero for in-process runs).
+  [[nodiscard]] std::size_t total_dropouts() const;
+  [[nodiscard]] std::size_t total_timeouts() const;
+  [[nodiscard]] std::size_t total_corrupt_frames() const;
+  [[nodiscard]] std::size_t total_ejected() const;
 
   /// Dump one row per round to CSV.
   void write_csv(const std::string& path) const;

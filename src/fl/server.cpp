@@ -59,10 +59,15 @@ RoundRecord Server::run_round(std::size_t round) {
   record.sampled_clients = sampled.size();
 
   // Straggler simulation: sampled clients may fail to respond this round.
-  if (config_.straggler_probability > 0.0) {
+  // The predicate (a deterministic test hook) takes priority and consumes no
+  // rng draws, keeping the sampling sequence identical to a run without it.
+  if (config_.straggler_predicate || config_.straggler_probability > 0.0) {
     std::vector<std::size_t> responders;
     for (const std::size_t id : sampled) {
-      if (!rng_.bernoulli(config_.straggler_probability)) responders.push_back(id);
+      const bool fails = config_.straggler_predicate
+                             ? config_.straggler_predicate(id, round)
+                             : rng_.bernoulli(config_.straggler_probability);
+      if (!fails) responders.push_back(id);
     }
     record.stragglers = sampled.size() - responders.size();
     if (responders.empty()) {

@@ -9,6 +9,7 @@
 // requests decoders). Transfers are charged at serialized wire size.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "data/dataset.hpp"
@@ -30,6 +31,11 @@ struct ServerConfig {
   /// Probability that a sampled client fails to respond in a round
   /// (straggler / dropout simulation). Its traffic is not charged.
   double straggler_probability = 0.0;
+  /// Deterministic straggler test hook: when set, (client_index, round) ->
+  /// "fails this round" replaces the probabilistic draw — and consumes no
+  /// server rng — so a remote fault plan can be replayed in-process with
+  /// identical sampling sequences and responder sets.
+  std::function<bool(std::size_t, std::size_t)> straggler_predicate;
 };
 
 class Server {

@@ -1,16 +1,102 @@
 #include "net/message.hpp"
 
-#include <stdexcept>
+#include <array>
 
 #include "util/serialize.hpp"
 
 namespace fedguard::net {
+
+const char* to_string(DecodeErrorCode code) noexcept {
+  switch (code) {
+    case DecodeErrorCode::BadMagic: return "bad_magic";
+    case DecodeErrorCode::BadType: return "bad_type";
+    case DecodeErrorCode::Oversized: return "oversized";
+    case DecodeErrorCode::BadCrc: return "bad_crc";
+    case DecodeErrorCode::Truncated: return "truncated";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value >> 1) ^ ((value & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+FrameHeader decode_frame_header(std::span<const std::byte> header) {
+  if (header.size() < kFrameHeaderBytes) {
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "frame header: " + std::to_string(header.size()) + " of " +
+                          std::to_string(kFrameHeaderBytes) + " bytes"};
+  }
+  util::ByteReader reader{header};
+  if (reader.read_u32() != kFrameMagic) {
+    throw DecodeError{DecodeErrorCode::BadMagic, "frame: bad magic"};
+  }
+  const std::uint32_t type = reader.read_u32();
+  if (type < static_cast<std::uint32_t>(MessageType::Hello) ||
+      type > static_cast<std::uint32_t>(MessageType::Shutdown)) {
+    throw DecodeError{DecodeErrorCode::BadType,
+                      "frame: unknown message type " + std::to_string(type)};
+  }
+  FrameHeader parsed;
+  parsed.type = static_cast<MessageType>(type);
+  parsed.payload_bytes = static_cast<std::size_t>(reader.read_u64());
+  if (parsed.payload_bytes > kMaxPayloadBytes) {
+    throw DecodeError{DecodeErrorCode::Oversized,
+                      "frame: payload length " + std::to_string(parsed.payload_bytes) +
+                          " exceeds " + std::to_string(kMaxPayloadBytes)};
+  }
+  parsed.payload_crc = reader.read_u32();
+  return parsed;
+}
+
+void verify_payload_crc(const FrameHeader& header, std::span<const std::byte> payload) {
+  const std::uint32_t actual = crc32(payload);
+  if (actual != header.payload_crc) {
+    throw DecodeError{DecodeErrorCode::BadCrc, "frame: payload CRC mismatch"};
+  }
+}
+
+Message decode_frame(std::span<const std::byte> buffer) {
+  const FrameHeader header = decode_frame_header(buffer);
+  if (buffer.size() < kFrameHeaderBytes + header.payload_bytes) {
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "frame: " + std::to_string(buffer.size() - kFrameHeaderBytes) +
+                          " of " + std::to_string(header.payload_bytes) +
+                          " payload bytes"};
+  }
+  const std::span<const std::byte> payload =
+      buffer.subspan(kFrameHeaderBytes, header.payload_bytes);
+  verify_payload_crc(header, payload);
+  return Message{header.type, {payload.begin(), payload.end()}};
+}
 
 std::vector<std::byte> encode_frame(const Message& message) {
   util::ByteWriter writer;
   writer.write_u32(kFrameMagic);
   writer.write_u32(static_cast<std::uint32_t>(message.type));
   writer.write_u64(message.payload.size());
+  writer.write_u32(crc32(message.payload));
   std::vector<std::byte> out = writer.bytes();
   out.insert(out.end(), message.payload.begin(), message.payload.end());
   return out;
@@ -23,8 +109,12 @@ std::vector<std::byte> encode_hello(int client_id) {
 }
 
 int decode_hello(std::span<const std::byte> payload) {
-  util::ByteReader reader{payload};
-  return static_cast<int>(reader.read_u32());
+  try {
+    util::ByteReader reader{payload};
+    return static_cast<int>(reader.read_u32());
+  } catch (const std::out_of_range&) {
+    throw DecodeError{DecodeErrorCode::Truncated, "decode_hello: truncated payload"};
+  }
 }
 
 std::vector<std::byte> encode_round_request(const RoundRequest& request) {
@@ -44,40 +134,45 @@ RoundRequest decode_round_request(std::span<const std::byte> payload) {
     const auto count = static_cast<std::size_t>(reader.read_u64());
     request.global_parameters = reader.read_f32_vector(count);
   } catch (const std::out_of_range&) {
-    throw std::runtime_error{"decode_round_request: truncated payload"};
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "decode_round_request: truncated payload"};
   }
   return request;
 }
 
-std::vector<std::byte> encode_client_update(const defenses::ClientUpdate& update) {
+std::vector<std::byte> encode_round_reply(const RoundReply& reply) {
   util::ByteWriter writer;
-  writer.write_u32(static_cast<std::uint32_t>(update.client_id));
-  writer.write_u64(update.num_samples);
-  writer.write_u32(update.truly_malicious ? 1 : 0);
-  writer.write_f32_span(update.psi);
-  writer.write_f32_span(update.theta);
+  writer.write_u64(reply.round);
+  writer.write_u32(static_cast<std::uint32_t>(reply.update.client_id));
+  writer.write_u64(reply.update.num_samples);
+  writer.write_u32(reply.update.truly_malicious ? 1 : 0);
+  writer.write_f32_span(reply.update.psi);
+  writer.write_f32_span(reply.update.theta);
   return writer.bytes();
 }
 
-defenses::ClientUpdate decode_client_update(std::span<const std::byte> payload) {
+RoundReply decode_round_reply(std::span<const std::byte> payload) {
   util::ByteReader reader{payload};
-  defenses::ClientUpdate update;
+  RoundReply reply;
   try {
-    update.client_id = static_cast<int>(reader.read_u32());
-    update.num_samples = static_cast<std::size_t>(reader.read_u64());
-    update.truly_malicious = reader.read_u32() != 0;
+    reply.round = static_cast<std::size_t>(reader.read_u64());
+    reply.update.client_id = static_cast<int>(reader.read_u32());
+    reply.update.num_samples = static_cast<std::size_t>(reader.read_u64());
+    reply.update.truly_malicious = reader.read_u32() != 0;
     const auto psi_count = static_cast<std::size_t>(reader.read_u64());
-    update.psi = reader.read_f32_vector(psi_count);
+    reply.update.psi = reader.read_f32_vector(psi_count);
     const auto theta_count = static_cast<std::size_t>(reader.read_u64());
-    update.theta = reader.read_f32_vector(theta_count);
+    reply.update.theta = reader.read_f32_vector(theta_count);
   } catch (const std::out_of_range&) {
-    throw std::runtime_error{"decode_client_update: truncated payload"};
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "decode_round_reply: truncated payload"};
   }
-  return update;
+  return reply;
 }
 
 std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count) {
-  return kFrameHeaderBytes + sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*n*/ +
+  return kFrameHeaderBytes + sizeof(std::uint64_t) /*round*/ +
+         sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*n*/ +
          sizeof(std::uint32_t) /*malicious*/ + util::f32_vector_wire_size(psi_count) +
          util::f32_vector_wire_size(theta_count);
 }

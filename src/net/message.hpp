@@ -1,17 +1,28 @@
 #pragma once
 // Wire protocol for the distributed deployment mode: the paper runs the
 // server and 100 clients as separate processes over 10 Gb ethernet (§IV-E).
-// Frames are length-prefixed; payloads use the util::serialize primitives.
+// Frames are length-prefixed and CRC-checked; payloads use the
+// util::serialize primitives.
 //
-// Frame layout: u32 magic "FGNM" | u32 type | u64 payload bytes | payload.
+// Frame layout: u32 magic "FGNM" | u32 type | u64 payload bytes |
+//               u32 crc32(payload) | payload.
 //
 // Round-trip per federated round:
 //   server -> client : RoundRequest { round, server_lr-applied ψ0, want_theta }
-//   client -> server : RoundReply   { ClientUpdate }
+//   client -> server : RoundReply   { round, ClientUpdate }
 //   server -> client : Shutdown     (at the end of the run)
+//
+// The reply carries the round number it answers so the server can discard
+// stale replies (a delayed client answering a round the server already gave
+// up on) instead of mistaking them for the current round's update.
+//
+// Decoders never trust the peer: a malformed frame raises a typed
+// DecodeError (bad magic, oversized length, CRC mismatch, truncation) so the
+// server can count corrupt traffic separately from transport failures.
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "defenses/aggregation.hpp"
@@ -30,11 +41,54 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// Why a received frame failed to decode.
+enum class DecodeErrorCode {
+  BadMagic,   // frame does not start with kFrameMagic (desynced stream)
+  BadType,    // type field outside the MessageType range
+  Oversized,  // length field exceeds kMaxPayloadBytes (corrupt length)
+  BadCrc,     // payload CRC32 does not match the header (bit corruption)
+  Truncated,  // buffer/stream ended before the declared payload length
+};
+[[nodiscard]] const char* to_string(DecodeErrorCode code) noexcept;
+
+/// Typed decode failure: corrupt traffic, as opposed to transport errors
+/// (SocketTimeout / ConnectionClosed in net/socket.hpp).
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError(DecodeErrorCode code, const std::string& what)
+      : std::runtime_error{what}, code_{code} {}
+  [[nodiscard]] DecodeErrorCode code() const noexcept { return code_; }
+
+ private:
+  DecodeErrorCode code_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data) noexcept;
+
+struct FrameHeader {
+  MessageType type = MessageType::Hello;
+  std::size_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Parse + validate the fixed-size frame header. Throws DecodeError on bad
+/// magic, unknown type, or an oversized length; the CRC is checked later,
+/// once the payload is available (verify_payload_crc / decode_frame).
+[[nodiscard]] FrameHeader decode_frame_header(std::span<const std::byte> header);
+
+/// Throws DecodeError{BadCrc} if `payload` does not hash to `header.payload_crc`.
+void verify_payload_crc(const FrameHeader& header, std::span<const std::byte> payload);
+
+/// Decode a complete framed buffer (header + payload) with full validation.
+/// Throws DecodeError; never returns a partially-decoded message.
+[[nodiscard]] Message decode_frame(std::span<const std::byte> buffer);
+
 /// Serialize a message into a framed byte buffer.
 [[nodiscard]] std::vector<std::byte> encode_frame(const Message& message);
 
-/// Payload encoders / decoders. Decoders throw std::runtime_error on
-/// malformed payloads.
+/// Payload encoders / decoders. Decoders throw DecodeError{Truncated} on
+/// short payloads.
 [[nodiscard]] std::vector<std::byte> encode_hello(int client_id);
 [[nodiscard]] int decode_hello(std::span<const std::byte> payload);
 
@@ -46,15 +100,22 @@ struct RoundRequest {
 [[nodiscard]] std::vector<std::byte> encode_round_request(const RoundRequest& request);
 [[nodiscard]] RoundRequest decode_round_request(std::span<const std::byte> payload);
 
-[[nodiscard]] std::vector<std::byte> encode_client_update(const defenses::ClientUpdate& update);
-[[nodiscard]] defenses::ClientUpdate decode_client_update(std::span<const std::byte> payload);
+/// A client's answer to one RoundRequest, tagged with the round it answers.
+struct RoundReply {
+  std::size_t round = 0;
+  defenses::ClientUpdate update;
+};
+[[nodiscard]] std::vector<std::byte> encode_round_reply(const RoundReply& reply);
+[[nodiscard]] RoundReply decode_round_reply(std::span<const std::byte> payload);
 
-/// Exact on-wire frame size for an update (traffic accounting parity between
-/// the simulator and the socket deployment).
+/// Exact on-wire frame size for a RoundReply (traffic accounting parity
+/// between the simulator and the socket deployment).
 [[nodiscard]] std::size_t client_update_frame_bytes(std::size_t psi_count,
                                                     std::size_t theta_count);
 
 inline constexpr std::uint32_t kFrameMagic = 0x46474e4d;  // "FGNM"
-inline constexpr std::size_t kFrameHeaderBytes = 16;      // magic + type + length
+inline constexpr std::size_t kFrameHeaderBytes = 20;  // magic + type + length + crc
+// 1 GiB sanity bound: a corrupt length must not trigger a huge allocation.
+inline constexpr std::size_t kMaxPayloadBytes = 1ULL << 30;
 
 }  // namespace fedguard::net

@@ -1,12 +1,38 @@
 #include "net/remote.hpp"
 
-#include <map>
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace fedguard::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+milliseconds remaining_until(Clock::time_point deadline) noexcept {
+  const auto left =
+      std::chrono::duration_cast<milliseconds>(deadline - Clock::now());
+  return std::max(left, milliseconds{0});
+}
+
+}  // namespace
+
+/// One accepted client: its link, liveness, and failure streak.
+struct RemoteServer::Session {
+  int client_id = -1;
+  TcpStream stream;
+  bool connected = false;
+  bool ejected = false;
+  std::size_t consecutive_failures = 0;
+};
 
 RemoteServer::RemoteServer(RemoteServerConfig config,
                            defenses::AggregationStrategy& strategy,
@@ -26,69 +52,278 @@ RemoteServer::RemoteServer(RemoteServerConfig config,
       config_.clients_per_round > config_.expected_clients) {
     throw std::invalid_argument{"RemoteServer: clients_per_round out of range"};
   }
+  if (config_.min_clients > config_.expected_clients) {
+    throw std::invalid_argument{"RemoteServer: min_clients exceeds expected_clients"};
+  }
   global_parameters_ = eval_classifier_->parameters_flat();
 }
 
-fl::RunHistory RemoteServer::run() {
-  // Accept phase: clients announce their id via Hello.
-  std::map<int, TcpStream> sessions;
+void RemoteServer::accept_clients(std::vector<Session>& sessions) {
+  const auto deadline = Clock::now() + milliseconds{
+      static_cast<std::int64_t>(config_.accept_timeout_ms)};
   while (sessions.size() < config_.expected_clients) {
-    TcpStream stream = listener_.accept();
-    const Message hello = stream.receive_message();
-    if (hello.type != MessageType::Hello) {
-      throw std::runtime_error{"RemoteServer: expected Hello"};
-    }
-    const int client_id = decode_hello(hello.payload);
-    if (!sessions.emplace(client_id, std::move(stream)).second) {
-      throw std::runtime_error{"RemoteServer: duplicate client id " +
-                               std::to_string(client_id)};
+    const milliseconds left = remaining_until(deadline);
+    if (left.count() == 0) break;
+    std::optional<TcpStream> stream = listener_.accept_within(left);
+    if (!stream) break;  // deadline expired with no pending connection
+    try {
+      stream->set_receive_timeout(std::min(left, milliseconds{5000}));
+      const Message hello = stream->receive_message();
+      if (hello.type != MessageType::Hello) {
+        util::log_warn("remote server: rejecting connection (expected Hello)");
+        continue;
+      }
+      const int client_id = decode_hello(hello.payload);
+      const bool duplicate =
+          std::any_of(sessions.begin(), sessions.end(),
+                      [client_id](const Session& s) { return s.client_id == client_id; });
+      if (duplicate) {
+        throw std::runtime_error{"RemoteServer: duplicate client id " +
+                                 std::to_string(client_id)};
+      }
+      Session session;
+      session.client_id = client_id;
+      session.stream = std::move(*stream);
+      session.connected = true;
+      sessions.push_back(std::move(session));
+    } catch (const SocketTimeout&) {
+      util::log_warn("remote server: rejecting connection (Hello deadline expired)");
+    } catch (const DecodeError& e) {
+      util::log_warn("remote server: rejecting connection (corrupt Hello: %s)", e.what());
+    } catch (const ConnectionClosed&) {
+      // The peer gave up mid-handshake; keep accepting others.
     }
   }
-  std::vector<int> client_ids;
-  client_ids.reserve(sessions.size());
-  for (const auto& [id, stream] : sessions) client_ids.push_back(id);
-  util::log_info("remote server: %zu clients connected on port %u", sessions.size(),
-                 static_cast<unsigned>(port()));
+  const std::size_t required =
+      config_.min_clients == 0 ? config_.expected_clients : config_.min_clients;
+  if (sessions.size() < required) {
+    throw std::runtime_error{
+        "RemoteServer: only " + std::to_string(sessions.size()) + " of " +
+        std::to_string(config_.expected_clients) + " clients connected within " +
+        std::to_string(config_.accept_timeout_ms) + " ms (minimum " +
+        std::to_string(required) + ")"};
+  }
+  // Deterministic session order regardless of connection timing.
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) { return a.client_id < b.client_id; });
+}
 
-  fl::RunHistory history;
-  history.strategy = strategy_.name();
-  const bool want_decoder = strategy_.wants_decoders();
-
-  for (std::size_t round = 0; round < config_.rounds; ++round) {
-    const util::Stopwatch stopwatch;
-    fl::RoundRecord record;
-    record.round = round;
-
-    const std::vector<std::size_t> sampled =
-        rng_.sample_without_replacement(client_ids.size(), config_.clients_per_round);
-    record.sampled_clients = sampled.size();
-
-    // Broadcast the round request to the sampled clients...
-    RoundRequest request;
-    request.round = round;
-    request.want_decoder = want_decoder;
-    request.global_parameters = global_parameters_;
-    const std::vector<std::byte> request_payload = encode_round_request(request);
-    for (const std::size_t k : sampled) {
-      TcpStream& stream = sessions.at(client_ids[k]);
-      stream.send_message({MessageType::RoundRequest, request_payload});
-      record.server_upload_bytes += kFrameHeaderBytes + request_payload.size();
-    }
-    // ...then collect their updates (clients compute concurrently; collection
-    // order follows the sample order).
-    std::vector<defenses::ClientUpdate> updates;
-    updates.reserve(sampled.size());
-    for (const std::size_t k : sampled) {
-      TcpStream& stream = sessions.at(client_ids[k]);
-      const Message reply = stream.receive_message();
-      if (reply.type != MessageType::RoundReply) {
-        throw std::runtime_error{"RemoteServer: expected RoundReply"};
+void RemoteServer::readmit_disconnected(std::vector<Session>& sessions) {
+  auto lost = [&sessions] {
+    return std::count_if(sessions.begin(), sessions.end(), [](const Session& s) {
+      return !s.ejected && !s.connected;
+    });
+  };
+  if (lost() == 0) return;
+  const auto deadline = Clock::now() + milliseconds{
+      static_cast<std::int64_t>(config_.readmit_timeout_ms)};
+  while (lost() > 0) {
+    const milliseconds left = remaining_until(deadline);
+    if (left.count() == 0) break;
+    std::optional<TcpStream> stream = listener_.accept_within(left);
+    if (!stream) break;
+    try {
+      stream->set_receive_timeout(std::min(left, milliseconds{1000}));
+      const Message hello = stream->receive_message();
+      if (hello.type != MessageType::Hello) continue;
+      const int client_id = decode_hello(hello.payload);
+      const auto it = std::find_if(
+          sessions.begin(), sessions.end(),
+          [client_id](const Session& s) { return s.client_id == client_id; });
+      if (it == sessions.end() || it->ejected || it->connected) {
+        continue;  // unknown, ejected, or already-live id: refuse the rejoin
       }
-      record.server_download_bytes += kFrameHeaderBytes + reply.payload.size();
-      updates.push_back(decode_client_update(reply.payload));
-      if (updates.back().truly_malicious) ++record.sampled_malicious;
+      it->stream = std::move(*stream);
+      it->connected = true;
+      util::log_info("remote server: client %d rejoined", client_id);
+    } catch (const std::exception&) {
+      // Malformed or abandoned rejoin attempt; drop it and keep waiting.
     }
+  }
+}
 
+void RemoteServer::evaluate_round(fl::RoundRecord& record) {
+  eval_classifier_->load_parameters_flat(global_parameters_);
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < test_set_.size();
+       start += config_.eval_batch_size) {
+    const std::size_t n = std::min(config_.eval_batch_size, test_set_.size() - start);
+    indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
+    const data::Dataset::Batch batch = test_set_.gather(indices);
+    correct += static_cast<std::size_t>(
+        eval_classifier_->evaluate_accuracy(batch.images, batch.labels) *
+            static_cast<double>(n) +
+        0.5);
+  }
+  record.test_accuracy = test_set_.empty()
+                             ? 0.0
+                             : static_cast<double>(correct) /
+                                   static_cast<double>(test_set_.size());
+}
+
+fl::RoundRecord RemoteServer::run_round(std::size_t round,
+                                        std::vector<Session>& sessions) {
+  const util::Stopwatch stopwatch;
+  fl::RoundRecord record;
+  record.round = round;
+
+  // Failed links get one readmission window per round boundary.
+  readmit_disconnected(sessions);
+
+  auto fail = [&](Session& session) {
+    ++session.consecutive_failures;
+    if (config_.eject_after_failures > 0 && !session.ejected &&
+        session.consecutive_failures >= config_.eject_after_failures) {
+      session.ejected = true;
+      session.connected = false;
+      session.stream.close();
+      ++record.ejected_clients;
+      util::log_warn("remote server: ejecting client %d after %zu consecutive failures",
+                     session.client_id, session.consecutive_failures);
+    }
+  };
+  auto drop_link = [](Session& session) {
+    session.connected = false;
+    session.stream.close();
+  };
+
+  // Sample from the surviving (non-ejected) population; the universe keeps
+  // the fl::Server index semantics so both paths draw identical samples from
+  // the same seed while nobody has been ejected.
+  std::vector<std::size_t> universe;
+  universe.reserve(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (!sessions[i].ejected) universe.push_back(i);
+  }
+  if (universe.empty()) {
+    util::log_warn("remote server: round %zu has no surviving clients", round);
+    evaluate_round(record);
+    record.round_seconds = stopwatch.seconds();
+    return record;
+  }
+  const std::size_t per_round = std::min(config_.clients_per_round, universe.size());
+  const std::vector<std::size_t> drawn =
+      rng_.sample_without_replacement(universe.size(), per_round);
+  std::vector<std::size_t> sampled;  // session indices, in sample order
+  sampled.reserve(drawn.size());
+  for (const std::size_t k : drawn) sampled.push_back(universe[k]);
+  record.sampled_clients = sampled.size();
+
+  // Broadcast the round request to the sampled clients...
+  RoundRequest request;
+  request.round = round;
+  request.want_decoder = strategy_.wants_decoders();
+  request.global_parameters = global_parameters_;
+  const std::vector<std::byte> request_payload = encode_round_request(request);
+  struct Pending {
+    std::size_t session_index;
+    std::size_t slot;  // position in sample order
+  };
+  std::vector<Pending> pending;
+  pending.reserve(sampled.size());
+  for (std::size_t slot = 0; slot < sampled.size(); ++slot) {
+    Session& session = sessions[sampled[slot]];
+    if (!session.connected) {
+      ++record.dropouts;
+      fail(session);
+      continue;
+    }
+    try {
+      session.stream.set_send_timeout(
+          milliseconds{static_cast<std::int64_t>(config_.round_timeout_ms)});
+      session.stream.send_message({MessageType::RoundRequest, request_payload});
+      record.server_upload_bytes += kFrameHeaderBytes + request_payload.size();
+      pending.push_back({sampled[slot], slot});
+    } catch (const std::exception&) {
+      ++record.dropouts;
+      drop_link(session);
+      fail(session);
+    }
+  }
+
+  // ...then collect their updates under the round deadline, multiplexed over
+  // all pending links so one dead client costs the deadline at most once per
+  // round, not once per client.
+  std::vector<std::optional<defenses::ClientUpdate>> replies(sampled.size());
+  const auto deadline = Clock::now() + milliseconds{
+      static_cast<std::int64_t>(config_.round_timeout_ms)};
+  while (!pending.empty()) {
+    const milliseconds left = remaining_until(deadline);
+    if (left.count() == 0) break;
+    std::vector<pollfd> fds;
+    fds.reserve(pending.size());
+    for (const Pending& p : pending) {
+      fds.push_back({sessions[p.session_index].stream.fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error{"RemoteServer: poll failed"};
+    }
+    if (ready == 0) break;  // round deadline expired
+    std::vector<Pending> still_pending;
+    still_pending.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      Session& session = sessions[pending[i].session_index];
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        still_pending.push_back(pending[i]);
+        continue;
+      }
+      try {
+        session.stream.set_receive_timeout(std::max(remaining_until(deadline),
+                                                    milliseconds{1}));
+        const Message reply = session.stream.receive_message();
+        if (reply.type != MessageType::RoundReply) {
+          throw DecodeError{DecodeErrorCode::BadType,
+                            "RemoteServer: expected RoundReply"};
+        }
+        RoundReply decoded = decode_round_reply(reply.payload);
+        record.server_download_bytes += kFrameHeaderBytes + reply.payload.size();
+        if (decoded.round != round) {
+          // A delayed answer to an earlier round: real traffic, stale data.
+          // Keep listening for this round's reply on the same link.
+          still_pending.push_back(pending[i]);
+          continue;
+        }
+        replies[pending[i].slot] = std::move(decoded.update);
+        session.consecutive_failures = 0;
+      } catch (const DecodeError& e) {
+        ++record.corrupt_frames;
+        // An intact-but-CRC-bad frame leaves the stream in sync; anything
+        // else (truncation, bad magic, oversized length) means the byte
+        // stream can no longer be trusted.
+        if (e.code() != DecodeErrorCode::BadCrc) drop_link(session);
+        fail(session);
+      } catch (const SocketTimeout&) {
+        ++record.timeouts;
+        drop_link(session);  // mid-frame stall: the link is desynced
+        fail(session);
+      } catch (const std::exception&) {
+        ++record.dropouts;
+        drop_link(session);
+        fail(session);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  for (const Pending& p : pending) {
+    ++record.timeouts;
+    fail(sessions[p.session_index]);
+  }
+
+  std::vector<defenses::ClientUpdate> updates;
+  updates.reserve(sampled.size());
+  for (auto& reply : replies) {
+    if (reply) updates.push_back(std::move(*reply));
+  }
+  for (const auto& update : updates) {
+    if (update.truly_malicious) ++record.sampled_malicious;
+  }
+
+  if (!updates.empty()) {
     defenses::AggregationContext context;
     context.round = round;
     context.global_parameters = global_parameters_;
@@ -97,66 +332,191 @@ fl::RunHistory RemoteServer::run() {
       throw std::runtime_error{"RemoteServer: wrong aggregate dimension"};
     }
     for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
-      global_parameters_[i] +=
-          config_.server_learning_rate * (result.parameters[i] - global_parameters_[i]);
+      global_parameters_[i] += config_.server_learning_rate *
+                               (result.parameters[i] - global_parameters_[i]);
     }
     const defenses::DetectionStats detection =
         defenses::compute_detection_stats(updates, result);
     record.rejected_clients = result.rejected_clients.size();
     record.rejected_malicious = detection.true_positives;
     record.rejected_benign = detection.false_positives;
+  } else {
+    util::log_warn("remote server: round %zu collected no updates (model unchanged)",
+                   round);
+  }
 
-    // Evaluate on the held-out test set.
-    eval_classifier_->load_parameters_flat(global_parameters_);
-    std::size_t correct = 0;
-    std::vector<std::size_t> indices;
-    for (std::size_t start = 0; start < test_set_.size();
-         start += config_.eval_batch_size) {
-      const std::size_t n = std::min(config_.eval_batch_size, test_set_.size() - start);
-      indices.resize(n);
-      for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
-      const data::Dataset::Batch batch = test_set_.gather(indices);
-      correct += static_cast<std::size_t>(
-          eval_classifier_->evaluate_accuracy(batch.images, batch.labels) *
-              static_cast<double>(n) +
-          0.5);
+  evaluate_round(record);
+  record.round_seconds = stopwatch.seconds();
+  return record;
+}
+
+fl::RunHistory RemoteServer::run() {
+  std::vector<Session> sessions;
+  accept_clients(sessions);
+  util::log_info("remote server: %zu/%zu clients connected on port %u", sessions.size(),
+                 config_.expected_clients, static_cast<unsigned>(port()));
+
+  fl::RunHistory history;
+  history.strategy = strategy_.name();
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    fl::RoundRecord record = run_round(round, sessions);
+    util::log_info(
+        "remote round %zu: acc %.2f%%, %zu/%zu responded (timeouts %zu, dropouts %zu, "
+        "corrupt %zu)",
+        round, record.test_accuracy * 100.0,
+        record.sampled_clients - record.dropouts - record.timeouts -
+            record.corrupt_frames,
+        record.sampled_clients, record.timeouts, record.dropouts,
+        record.corrupt_frames);
+    history.rounds.push_back(std::move(record));
+  }
+
+  for (auto& session : sessions) {
+    if (!session.connected) continue;
+    try {
+      session.stream.send_message({MessageType::Shutdown, {}});
+    } catch (const std::exception&) {
+      // A link that dies during shutdown is already accounted for.
     }
-    record.test_accuracy = test_set_.empty()
-                               ? 0.0
-                               : static_cast<double>(correct) /
-                                     static_cast<double>(test_set_.size());
-    record.round_seconds = stopwatch.seconds();
-    util::log_info("remote round %zu: acc %.2f%%, %zu updates over TCP", round,
-                   record.test_accuracy * 100.0, updates.size());
-    history.rounds.push_back(record);
   }
-
-  for (auto& [id, stream] : sessions) {
-    stream.send_message({MessageType::Shutdown, {}});
-  }
+  // Refuse late reconnection attempts so lingering clients fail fast instead
+  // of queueing on a federation that has ended.
+  listener_.close();
   return history;
 }
 
+namespace {
+
+TcpStream connect_with_backoff(const std::string& host, std::uint16_t port,
+                               std::size_t attempts, std::size_t backoff_ms) {
+  std::size_t backoff = std::max<std::size_t>(backoff_ms, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return TcpStream::connect(host, port);
+    } catch (const std::exception&) {
+      if (attempt >= attempts) throw;
+      std::this_thread::sleep_for(milliseconds{static_cast<std::int64_t>(backoff)});
+      backoff = std::min<std::size_t>(backoff * 2, 2000);
+    }
+  }
+}
+
+}  // namespace
+
 std::size_t run_remote_client(const std::string& host, std::uint16_t port,
-                              fl::Client& client) {
-  TcpStream stream = TcpStream::connect(host, port);
+                              fl::Client& client, const RemoteClientOptions& options) {
+  FaultInjector* faults = options.faults;
+  if (faults && faults->never_connects(client.id())) {
+    faults->record(FaultKind::NeverConnect);
+    return 0;
+  }
+  TcpStream stream =
+      connect_with_backoff(host, port, options.connect_attempts, options.backoff_ms);
   stream.send_message({MessageType::Hello, encode_hello(client.id())});
+
+  std::size_t reconnects_left = options.reconnect_attempts;
+  // Rejoin after a lost link: reconnect + re-Hello with doubling backoff.
+  // Gives up (returns false) once the retry budget is spent — e.g. when the
+  // federation has ended and the server refuses connections.
+  auto rejoin = [&]() -> bool {
+    std::size_t backoff = std::max<std::size_t>(options.backoff_ms, 1);
+    while (reconnects_left > 0) {
+      --reconnects_left;
+      std::this_thread::sleep_for(milliseconds{static_cast<std::int64_t>(backoff)});
+      backoff = std::min<std::size_t>(backoff * 2, 2000);
+      try {
+        stream = TcpStream::connect(host, port);
+        stream.send_message({MessageType::Hello, encode_hello(client.id())});
+        return true;
+      } catch (const std::exception&) {
+      }
+    }
+    return false;
+  };
 
   std::size_t rounds_served = 0;
   for (;;) {
-    const Message message = stream.receive_message();
+    Message message;
+    try {
+      message = stream.receive_message();
+    } catch (const std::exception&) {
+      if (!rejoin()) return rounds_served;
+      continue;
+    }
     if (message.type == MessageType::Shutdown) break;
     if (message.type != MessageType::RoundRequest) {
       throw std::runtime_error{"run_remote_client: unexpected message"};
     }
     const RoundRequest request = decode_round_request(message.payload);
+    const FaultKind fault =
+        faults ? faults->decide(client.id(), request.round) : FaultKind::None;
+    if (fault == FaultKind::Drop) {
+      // Crash-before-work: no training, no reply; the server's round
+      // deadline expires. Matches the in-process straggler semantics (a
+      // straggler never runs its round).
+      faults->record(FaultKind::Drop);
+      continue;
+    }
+
     defenses::ClientUpdate update =
         client.run_round(request.global_parameters, request.round);
     if (!request.want_decoder) update.theta.clear();  // don't ship unused θ
-    stream.send_message({MessageType::RoundReply, encode_client_update(update)});
-    ++rounds_served;
+    RoundReply reply;
+    reply.round = request.round;
+    reply.update = std::move(update);
+    const std::vector<std::byte> frame =
+        encode_frame({MessageType::RoundReply, encode_round_reply(reply)});
+
+    switch (fault) {
+      case FaultKind::None:
+        stream.send_all(frame);
+        ++rounds_served;
+        break;
+      case FaultKind::Delay:
+        faults->record(FaultKind::Delay);
+        std::this_thread::sleep_for(
+            milliseconds{static_cast<std::int64_t>(faults->plan().delay_ms)});
+        stream.send_all(frame);
+        ++rounds_served;
+        break;
+      case FaultKind::BitFlip: {
+        faults->record(FaultKind::BitFlip);
+        std::vector<std::byte> corrupted = frame;
+        const std::size_t payload_bits = (frame.size() - kFrameHeaderBytes) * 8;
+        const std::size_t bit =
+            faults->corrupt_bit(client.id(), request.round, payload_bits);
+        corrupted[kFrameHeaderBytes + bit / 8] ^=
+            std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+        stream.send_all(corrupted);
+        break;
+      }
+      case FaultKind::Truncate: {
+        faults->record(FaultKind::Truncate);
+        const std::size_t keep =
+            kFrameHeaderBytes + (frame.size() - kFrameHeaderBytes) / 2;
+        stream.send_all(std::span<const std::byte>{frame.data(), keep});
+        stream.close();
+        if (!rejoin()) return rounds_served;
+        break;
+      }
+      case FaultKind::Disconnect: {
+        faults->record(FaultKind::Disconnect);
+        stream.send_all(std::span<const std::byte>{frame.data(), kFrameHeaderBytes / 2});
+        stream.close();
+        if (!rejoin()) return rounds_served;
+        break;
+      }
+      case FaultKind::NeverConnect:
+      case FaultKind::Drop:
+        break;  // handled above; unreachable
+    }
   }
   return rounds_served;
+}
+
+std::size_t run_remote_client(const std::string& host, std::uint16_t port,
+                              fl::Client& client) {
+  return run_remote_client(host, port, client, RemoteClientOptions{});
 }
 
 }  // namespace fedguard::net

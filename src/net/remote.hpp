@@ -1,14 +1,28 @@
 #pragma once
 // Distributed federation over TCP: the deployment shape of the paper's
 // testbed (one server process, N client processes; §IV-E). The server
-// accepts all clients, then per round sends the global parameters to the
-// sampled subset, collects their updates, aggregates with any
-// AggregationStrategy, and evaluates — semantically identical to the
+// accepts clients up to a deadline, then per round sends the global
+// parameters to the sampled subset, collects their updates, aggregates with
+// any AggregationStrategy, and evaluates — semantically identical to the
 // in-process fl::Server, with traffic now crossing real sockets.
 //
+// Fault tolerance: the server never blocks forever on a dead or slow peer.
+// The accept phase has a deadline (proceed with >= min_clients or fail
+// loudly); each round collects replies under a poll-based deadline and
+// aggregates over whichever sampled clients responded in time (mirroring the
+// in-process straggler path in fl::Server::run_round); corrupt frames are
+// caught by the CRC-checked protocol and counted, never decoded into garbage
+// updates; clients that fail eject_after_failures consecutive rounds are
+// ejected from the federation; disconnected clients may rejoin between
+// rounds (the client loop reconnects with backoff). Every failure is
+// recorded per round in RoundRecord (dropouts / timeouts / corrupt_frames /
+// ejected_clients).
+//
 // The client side is a loop suitable for a standalone process (see
-// examples/distributed_demo.cpp): connect, announce the client id, answer
-// RoundRequests with locally trained updates until Shutdown.
+// examples/distributed_demo.cpp): connect (with retry/backoff), announce the
+// client id, answer RoundRequests with locally trained updates until
+// Shutdown, reconnecting if the link drops. An optional FaultInjector
+// deterministically perturbs the reply path for chaos testing.
 
 #include <cstdint>
 #include <memory>
@@ -17,18 +31,33 @@
 #include "defenses/aggregation.hpp"
 #include "fl/client.hpp"
 #include "fl/metrics.hpp"
+#include "net/fault_injector.hpp"
 #include "net/socket.hpp"
 
 namespace fedguard::net {
 
 struct RemoteServerConfig {
   std::uint16_t port = 0;              // 0 = ephemeral (read back via port())
-  std::size_t expected_clients = 0;    // N: accept() until all are connected
+  std::size_t expected_clients = 0;    // N: accept() up to the deadline
   std::size_t clients_per_round = 1;   // m
   std::size_t rounds = 1;              // R
   float server_learning_rate = 1.0f;
   std::size_t eval_batch_size = 256;
   std::uint64_t seed = 1;
+  // ---- Fault-tolerance deadlines / policy -----------------------------------
+  /// Accept-phase deadline: stop waiting for connections after this long.
+  std::size_t accept_timeout_ms = 30000;
+  /// Minimum connected clients to start the run; 0 means "all expected".
+  /// Fewer than this after the accept deadline raises std::runtime_error
+  /// (instead of the pre-deadline behavior of blocking forever).
+  std::size_t min_clients = 0;
+  /// Per-round reply-collection deadline; sampled clients that miss it are
+  /// recorded as timeouts and the round aggregates without them.
+  std::size_t round_timeout_ms = 30000;
+  /// How long to wait at a round boundary for disconnected clients to rejoin.
+  std::size_t readmit_timeout_ms = 2000;
+  /// Eject a client after this many consecutive failed rounds (0 = never).
+  std::size_t eject_after_failures = 3;
 };
 
 /// Server endpoint of the distributed federation.
@@ -43,11 +72,27 @@ class RemoteServer {
   /// The bound port (useful when config.port was 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
 
-  /// Accept all expected clients, run every round, send Shutdown, and return
-  /// the run history. Blocking; run client loops on other threads/processes.
+  /// Accept clients (up to the deadline), run every round, send Shutdown,
+  /// and return the run history. Blocking, but bounded: every socket wait
+  /// has a deadline, so a dead peer can delay a run, never hang it.
+  /// Throws std::runtime_error if fewer than the required minimum of
+  /// clients connect within accept_timeout_ms.
   [[nodiscard]] fl::RunHistory run();
 
+  /// The current global parameter vector (the final model after run()).
+  [[nodiscard]] std::span<const float> global_parameters() const noexcept {
+    return global_parameters_;
+  }
+
  private:
+  struct Session;
+
+  void accept_clients(std::vector<Session>& sessions);
+  void readmit_disconnected(std::vector<Session>& sessions);
+  [[nodiscard]] fl::RoundRecord run_round(std::size_t round,
+                                          std::vector<Session>& sessions);
+  void evaluate_round(fl::RoundRecord& record);
+
   RemoteServerConfig config_;
   defenses::AggregationStrategy& strategy_;
   const data::Dataset& test_set_;
@@ -58,8 +103,25 @@ class RemoteServer {
   util::Rng rng_;
 };
 
+/// Client-side retry/backoff policy and optional chaos injection.
+struct RemoteClientOptions {
+  /// Connection attempts during the initial join (covers a server that is
+  /// still binding); backoff doubles per attempt starting at backoff_ms.
+  std::size_t connect_attempts = 8;
+  /// Reconnection attempts after a lost link mid-run; when exhausted the
+  /// client gives up gracefully (returns the rounds served so far).
+  std::size_t reconnect_attempts = 4;
+  std::size_t backoff_ms = 25;
+  /// Deterministic chaos injection; not owned, may be null (no faults).
+  FaultInjector* faults = nullptr;
+};
+
 /// Client endpoint: serves rounds from `client` until the server shuts the
-/// session down. Returns the number of rounds served.
+/// session down, the link is lost beyond the retry budget, or (under a fault
+/// plan) the injector decides this client never connects. Returns the number
+/// of rounds fully served.
+std::size_t run_remote_client(const std::string& host, std::uint16_t port,
+                              fl::Client& client, const RemoteClientOptions& options);
 std::size_t run_remote_client(const std::string& host, std::uint16_t port,
                               fl::Client& client);
 

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -15,9 +17,18 @@
 namespace fedguard::net {
 
 namespace {
+
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error{what + ": " + std::strerror(errno)};
 }
+
+timeval to_timeval(std::chrono::milliseconds timeout) noexcept {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return tv;
+}
+
 }  // namespace
 
 TcpStream::~TcpStream() { close(); }
@@ -60,12 +71,44 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
   return TcpStream{fd};
 }
 
+void TcpStream::set_receive_timeout(std::chrono::milliseconds timeout) {
+  const timeval tv = to_timeval(timeout);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void TcpStream::set_send_timeout(std::chrono::milliseconds timeout) {
+  const timeval tv = to_timeval(timeout);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int n = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return n > 0;
+  }
+}
+
 void TcpStream::send_all(std::span<const std::byte> data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        throw SocketTimeout{"send: deadline expired"};
+      }
+      if (n == 0 || errno == EPIPE || errno == ECONNRESET) {
+        throw ConnectionClosed{"send: connection closed"};
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -76,9 +119,13 @@ void TcpStream::recv_all(std::span<std::byte> data) {
   std::size_t received = 0;
   while (received < data.size()) {
     const ssize_t n = ::recv(fd_, data.data() + received, data.size() - received, 0);
-    if (n == 0) throw std::runtime_error{"recv: connection closed"};
+    if (n == 0) throw ConnectionClosed{"recv: connection closed"};
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketTimeout{"recv: deadline expired"};
+      }
+      if (errno == ECONNRESET) throw ConnectionClosed{"recv: connection reset"};
       throw_errno("recv");
     }
     received += static_cast<std::size_t>(n);
@@ -92,19 +139,21 @@ void TcpStream::send_message(const Message& message) {
 Message TcpStream::receive_message() {
   std::vector<std::byte> header(kFrameHeaderBytes);
   recv_all(header);
-  util::ByteReader reader{header};
-  if (reader.read_u32() != kFrameMagic) {
-    throw std::runtime_error{"receive_message: bad frame magic"};
-  }
+  const FrameHeader parsed = decode_frame_header(header);
   Message message;
-  message.type = static_cast<MessageType>(reader.read_u32());
-  const auto length = static_cast<std::size_t>(reader.read_u64());
-  // 1 GiB sanity bound: a corrupt length must not trigger a huge allocation.
-  if (length > (1ULL << 30)) {
-    throw std::runtime_error{"receive_message: frame too large"};
+  message.type = parsed.type;
+  message.payload.resize(parsed.payload_bytes);
+  if (parsed.payload_bytes > 0) {
+    try {
+      recv_all(message.payload);
+    } catch (const ConnectionClosed&) {
+      // The header promised more bytes than the peer delivered: that is a
+      // corrupt (truncated) frame, not a clean transport shutdown.
+      throw DecodeError{DecodeErrorCode::Truncated,
+                        "receive_message: peer closed mid-payload"};
+    }
   }
-  message.payload.resize(length);
-  if (length > 0) recv_all(message.payload);
+  verify_payload_crc(parsed, message.payload);
   return message;
 }
 
@@ -133,8 +182,13 @@ TcpListener::TcpListener(std::uint16_t port) {
   port_ = ntohs(address.sin_port);
 }
 
-TcpListener::~TcpListener() {
-  if (fd_ >= 0) ::close(fd_);
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 TcpStream TcpListener::accept() {
@@ -143,6 +197,23 @@ TcpStream TcpListener::accept() {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpStream{fd};
+}
+
+std::optional<TcpStream> TcpListener::accept_within(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait = static_cast<int>(std::max<std::int64_t>(remaining.count(), 0));
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, wait);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll(accept)");
+    }
+    if (n == 0) return std::nullopt;
+    return accept();
+  }
 }
 
 }  // namespace fedguard::net

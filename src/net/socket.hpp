@@ -1,13 +1,34 @@
 #pragma once
-// RAII wrappers over POSIX TCP sockets: just enough transport for the
-// distributed federation (blocking, length-framed messages, loopback-tested).
+// RAII wrappers over POSIX TCP sockets: the transport for the distributed
+// federation. Length-framed, CRC-checked messages with optional per-call
+// deadlines so a dead or slow peer surfaces as a typed error instead of
+// hanging the caller forever.
+//
+// Error taxonomy (all derive from std::runtime_error):
+//   SocketTimeout    — a deadline expired before the peer produced data
+//   ConnectionClosed — the peer closed / reset the connection
+//   DecodeError      — bytes arrived but the frame is corrupt (net/message.hpp)
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "net/message.hpp"
 
 namespace fedguard::net {
+
+/// A receive/accept deadline expired (SO_RCVTIMEO / poll).
+class SocketTimeout : public std::runtime_error {
+ public:
+  explicit SocketTimeout(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// The peer closed or reset the connection (EOF, ECONNRESET, EPIPE).
+class ConnectionClosed : public std::runtime_error {
+ public:
+  explicit ConnectionClosed(const std::string& what) : std::runtime_error{what} {}
+};
 
 /// Connected byte stream. Movable, closes on destruction.
 class TcpStream {
@@ -25,15 +46,29 @@ class TcpStream {
   [[nodiscard]] static TcpStream connect(const std::string& host, std::uint16_t port);
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
 
-  /// Blocking full-buffer send; throws std::runtime_error on error/EOF.
+  /// Deadline for subsequent receives (SO_RCVTIMEO); zero restores blocking
+  /// forever. Expiry raises SocketTimeout from recv_all / receive_message.
+  void set_receive_timeout(std::chrono::milliseconds timeout);
+  /// Deadline for subsequent sends (SO_SNDTIMEO); zero restores blocking.
+  void set_send_timeout(std::chrono::milliseconds timeout);
+  /// Block until the stream is readable or `timeout` elapses (poll).
+  [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout) const;
+
+  /// Full-buffer send; throws ConnectionClosed / SocketTimeout /
+  /// std::runtime_error.
   void send_all(std::span<const std::byte> data);
-  /// Blocking full-buffer receive; throws std::runtime_error on error/EOF.
+  /// Full-buffer receive; throws ConnectionClosed / SocketTimeout /
+  /// std::runtime_error.
   void recv_all(std::span<std::byte> data);
 
   /// Send one framed message.
   void send_message(const Message& message);
-  /// Receive one framed message (validates magic). Throws on malformed frames.
+  /// Receive one framed message with full validation (magic, type, length
+  /// bound, payload CRC). Throws DecodeError for corrupt frames — including
+  /// a peer that closes mid-payload (DecodeErrorCode::Truncated) — and
+  /// SocketTimeout / ConnectionClosed for transport failures.
   [[nodiscard]] Message receive_message();
 
   void close() noexcept;
@@ -53,6 +88,12 @@ class TcpListener {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   /// Block until a client connects.
   [[nodiscard]] TcpStream accept();
+  /// Accept with a deadline: nullopt when `timeout` elapses with no pending
+  /// connection (poll-based; never blocks past the deadline).
+  [[nodiscard]] std::optional<TcpStream> accept_within(std::chrono::milliseconds timeout);
+  /// Stop listening: subsequent connection attempts are refused (late
+  /// reconnecting clients fail fast instead of queueing forever).
+  void close() noexcept;
 
  private:
   int fd_ = -1;

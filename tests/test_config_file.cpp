@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/runner.hpp"
+
 namespace fedguard::core {
 namespace {
 
@@ -105,6 +107,58 @@ TEST_F(ConfigFileTest, KernelKeysApply) {
   EXPECT_EQ(config.kernel.distance_min_elements, 512u);
   EXPECT_THROW((void)load_experiment_config(write_file("kernel_threads = -1\n")),
                std::invalid_argument);
+}
+
+TEST_F(ConfigFileTest, RemoteAndFaultKeysApply) {
+  const ExperimentConfig config = load_experiment_config(
+      write_file("remote_accept_timeout_ms = 1500\n"
+                 "remote_round_timeout_ms = 2500\n"
+                 "remote_min_clients = 3\n"
+                 "remote_eject_after_failures = 5\n"
+                 "fault_seed = 77\n"
+                 "fault_drop_probability = 0.25\n"
+                 "fault_delay_probability = 0.1\n"
+                 "fault_delay_ms = 40\n"
+                 "fault_truncate_probability = 0.05\n"
+                 "fault_bit_flip_probability = 0.02\n"
+                 "fault_disconnect_probability = 0.03\n"
+                 "fault_never_connect_probability = 0.01\n"));
+  EXPECT_EQ(config.remote_accept_timeout_ms, 1500u);
+  EXPECT_EQ(config.remote_round_timeout_ms, 2500u);
+  EXPECT_EQ(config.remote_min_clients, 3u);
+  EXPECT_EQ(config.remote_eject_after_failures, 5u);
+  EXPECT_EQ(config.fault_plan.seed, 77u);
+  EXPECT_DOUBLE_EQ(config.fault_plan.drop_probability, 0.25);
+  EXPECT_DOUBLE_EQ(config.fault_plan.delay_probability, 0.1);
+  EXPECT_EQ(config.fault_plan.delay_ms, 40u);
+  EXPECT_DOUBLE_EQ(config.fault_plan.truncate_probability, 0.05);
+  EXPECT_DOUBLE_EQ(config.fault_plan.bit_flip_probability, 0.02);
+  EXPECT_DOUBLE_EQ(config.fault_plan.disconnect_probability, 0.03);
+  EXPECT_DOUBLE_EQ(config.fault_plan.never_connect_probability, 0.01);
+  EXPECT_TRUE(config.fault_plan.any());
+  EXPECT_FALSE(ExperimentConfig{}.fault_plan.any());
+}
+
+TEST_F(ConfigFileTest, RemoteServerConfigMapsFromExperiment) {
+  ExperimentConfig config;
+  config.num_clients = 6;
+  config.clients_per_round = 3;
+  config.rounds = 9;
+  config.seed = 11;
+  config.remote_accept_timeout_ms = 750;
+  config.remote_round_timeout_ms = 1234;
+  config.remote_min_clients = 2;
+  config.remote_eject_after_failures = 4;
+  const net::RemoteServerConfig remote = remote_server_config(config, 7700);
+  EXPECT_EQ(remote.port, 7700);
+  EXPECT_EQ(remote.expected_clients, 6u);
+  EXPECT_EQ(remote.clients_per_round, 3u);
+  EXPECT_EQ(remote.rounds, 9u);
+  EXPECT_EQ(remote.accept_timeout_ms, 750u);
+  EXPECT_EQ(remote.round_timeout_ms, 1234u);
+  EXPECT_EQ(remote.min_clients, 2u);
+  EXPECT_EQ(remote.eject_after_failures, 4u);
+  EXPECT_EQ(remote.seed, 11u ^ 0x5e12e5ULL);
 }
 
 TEST_F(ConfigFileTest, UnknownKeyRejected) {

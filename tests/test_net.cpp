@@ -31,34 +31,105 @@ TEST(Messages, RoundRequestRoundTrip) {
   EXPECT_EQ(decoded.global_parameters, request.global_parameters);
 }
 
-TEST(Messages, ClientUpdateRoundTrip) {
-  defenses::ClientUpdate update;
-  update.client_id = 3;
-  update.num_samples = 120;
-  update.truly_malicious = true;
-  update.psi = {0.5f, 1.5f};
-  update.theta = {9.0f};
-  const defenses::ClientUpdate decoded =
-      decode_client_update(encode_client_update(update));
-  EXPECT_EQ(decoded.client_id, 3);
-  EXPECT_EQ(decoded.num_samples, 120u);
-  EXPECT_TRUE(decoded.truly_malicious);
-  EXPECT_EQ(decoded.psi, update.psi);
-  EXPECT_EQ(decoded.theta, update.theta);
+TEST(Messages, RoundReplyRoundTrip) {
+  RoundReply reply;
+  reply.round = 11;
+  reply.update.client_id = 3;
+  reply.update.num_samples = 120;
+  reply.update.truly_malicious = true;
+  reply.update.psi = {0.5f, 1.5f};
+  reply.update.theta = {9.0f};
+  const RoundReply decoded = decode_round_reply(encode_round_reply(reply));
+  EXPECT_EQ(decoded.round, 11u);
+  EXPECT_EQ(decoded.update.client_id, 3);
+  EXPECT_EQ(decoded.update.num_samples, 120u);
+  EXPECT_TRUE(decoded.update.truly_malicious);
+  EXPECT_EQ(decoded.update.psi, reply.update.psi);
+  EXPECT_EQ(decoded.update.theta, reply.update.theta);
 }
 
 TEST(Messages, TruncatedPayloadThrows) {
   const std::vector<std::byte> payload = encode_round_request({});
   const std::span<const std::byte> truncated{payload.data(), payload.size() / 2};
-  EXPECT_THROW((void)decode_round_request(truncated), std::runtime_error);
+  try {
+    (void)decode_round_request(truncated);
+    FAIL() << "truncated payload must not decode";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.code(), DecodeErrorCode::Truncated);
+  }
 }
 
 TEST(Messages, FrameBytesMatchEncoding) {
-  defenses::ClientUpdate update;
-  update.psi.assign(100, 0.0f);
-  update.theta.assign(40, 0.0f);
-  const Message message{MessageType::RoundReply, encode_client_update(update)};
+  RoundReply reply;
+  reply.update.psi.assign(100, 0.0f);
+  reply.update.theta.assign(40, 0.0f);
+  const Message message{MessageType::RoundReply, encode_round_reply(reply)};
   EXPECT_EQ(encode_frame(message).size(), client_update_frame_bytes(100, 40));
+}
+
+// ---- Corrupt-frame decoding: every malformation is a typed error ---------------
+
+std::vector<std::byte> sample_frame() {
+  RoundRequest request;
+  request.round = 3;
+  request.global_parameters = {1.0f, 2.0f, 3.0f, 4.0f};
+  return encode_frame({MessageType::RoundRequest, encode_round_request(request)});
+}
+
+DecodeErrorCode decode_failure(std::span<const std::byte> buffer) {
+  try {
+    (void)decode_frame(buffer);
+  } catch (const DecodeError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "corrupt frame decoded without error";
+  return DecodeErrorCode::BadMagic;
+}
+
+TEST(Messages, SaneFrameDecodes) {
+  const std::vector<std::byte> frame = sample_frame();
+  const Message decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.type, MessageType::RoundRequest);
+  EXPECT_EQ(decode_round_request(decoded.payload).global_parameters.size(), 4u);
+}
+
+TEST(Messages, BadMagicIsTyped) {
+  std::vector<std::byte> frame = sample_frame();
+  frame[0] ^= std::byte{0xff};
+  EXPECT_EQ(decode_failure(frame), DecodeErrorCode::BadMagic);
+}
+
+TEST(Messages, BadTypeIsTyped) {
+  std::vector<std::byte> frame = sample_frame();
+  frame[4] = std::byte{99};  // type field (little-endian u32 at offset 4)
+  EXPECT_EQ(decode_failure(frame), DecodeErrorCode::BadType);
+}
+
+TEST(Messages, OversizedLengthIsTyped) {
+  std::vector<std::byte> frame = sample_frame();
+  // Length field (little-endian u64 at offset 8): claim ~2^63 payload bytes.
+  for (std::size_t i = 8; i < 16; ++i) frame[i] = std::byte{0x7f};
+  EXPECT_EQ(decode_failure(frame), DecodeErrorCode::Oversized);
+}
+
+TEST(Messages, FlippedCrcIsTyped) {
+  std::vector<std::byte> frame = sample_frame();
+  frame[16] ^= std::byte{0x01};  // CRC field (offset 16)
+  EXPECT_EQ(decode_failure(frame), DecodeErrorCode::BadCrc);
+}
+
+TEST(Messages, FlippedPayloadBitIsTyped) {
+  std::vector<std::byte> frame = sample_frame();
+  frame[kFrameHeaderBytes + 5] ^= std::byte{0x10};
+  EXPECT_EQ(decode_failure(frame), DecodeErrorCode::BadCrc);
+}
+
+TEST(Messages, TruncatedFrameIsTyped) {
+  const std::vector<std::byte> frame = sample_frame();
+  EXPECT_EQ(decode_failure({frame.data(), frame.size() - 3}),
+            DecodeErrorCode::Truncated);
+  EXPECT_EQ(decode_failure({frame.data(), kFrameHeaderBytes - 1}),
+            DecodeErrorCode::Truncated);
 }
 
 TEST(Sockets, LoopbackSendReceive) {
@@ -85,6 +156,57 @@ TEST(Sockets, ConnectToClosedPortFails) {
     dead_port = listener.port();
   }
   EXPECT_THROW((void)TcpStream::connect("127.0.0.1", dead_port), std::runtime_error);
+}
+
+TEST(Sockets, ReceiveDeadlineRaisesSocketTimeout) {
+  TcpListener listener{0};
+  TcpStream client = TcpStream::connect("127.0.0.1", listener.port());
+  TcpStream server_side = listener.accept();
+  server_side.set_receive_timeout(std::chrono::milliseconds{50});
+  EXPECT_THROW((void)server_side.receive_message(), SocketTimeout);
+  (void)client;
+}
+
+TEST(Sockets, PeerClosingMidPayloadIsTruncatedFrame) {
+  TcpListener listener{0};
+  std::thread client_thread{[port = listener.port()] {
+    TcpStream stream = TcpStream::connect("127.0.0.1", port);
+    const std::vector<std::byte> frame =
+        encode_frame({MessageType::Hello, encode_hello(7)});
+    stream.send_all({frame.data(), frame.size() - 2});  // full header, short payload
+  }};  // stream closes here, mid-frame
+  TcpStream server_side = listener.accept();
+  server_side.set_receive_timeout(std::chrono::milliseconds{2000});
+  try {
+    (void)server_side.receive_message();
+    FAIL() << "truncated frame must not decode";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.code(), DecodeErrorCode::Truncated);
+  }
+  client_thread.join();
+}
+
+TEST(Sockets, CorruptBytesOnWireAreTypedErrors) {
+  TcpListener listener{0};
+  std::thread client_thread{[port = listener.port()] {
+    TcpStream stream = TcpStream::connect("127.0.0.1", port);
+    std::vector<std::byte> frame = encode_frame({MessageType::Hello, encode_hello(7)});
+    frame[kFrameHeaderBytes] ^= std::byte{0x01};  // payload bit flip
+    stream.send_all(frame);
+    const Message ack = stream.receive_message();  // connection must survive
+    EXPECT_EQ(ack.type, MessageType::Shutdown);
+  }};
+  TcpStream server_side = listener.accept();
+  server_side.set_receive_timeout(std::chrono::milliseconds{2000});
+  try {
+    (void)server_side.receive_message();
+    FAIL() << "corrupt frame must not decode";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.code(), DecodeErrorCode::BadCrc);
+  }
+  // A CRC failure leaves the stream framed: the link is still usable.
+  server_side.send_message({MessageType::Shutdown, {}});
+  client_thread.join();
 }
 
 // ---- Full distributed federations over loopback --------------------------------
@@ -221,6 +343,58 @@ TEST_F(RemoteFixture, TrafficAsymmetryForDecoderStrategies) {
   for (auto& thread : threads) thread.join();
   EXPECT_GT(history.rounds[0].server_download_bytes,
             history.rounds[0].server_upload_bytes);
+}
+
+// ---- Accept-phase fault tolerance ----------------------------------------------
+
+TEST_F(RemoteFixture, AcceptDeadlineFailsLoudlyWhenClientsAreMissing) {
+  // Regression: the server used to block forever when fewer than
+  // expected_clients connected. Now the accept phase has a deadline and
+  // reports the shortfall.
+  defenses::FedAvgAggregator strategy;
+  RemoteServerConfig config;
+  config.expected_clients = 2;
+  config.clients_per_round = 2;
+  config.rounds = 1;
+  config.seed = 620;
+  config.accept_timeout_ms = 300;
+  RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp, geometry};
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)server.run();
+    FAIL() << "run() must fail when no clients connect";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("0 of 2"), std::string::npos) << e.what();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds{10}) << "accept must respect its deadline";
+}
+
+TEST_F(RemoteFixture, MinClientsAllowsPartialFederation) {
+  // With min_clients set, the run proceeds over whoever showed up.
+  defenses::FedAvgAggregator strategy;
+  RemoteServerConfig config;
+  config.expected_clients = 3;
+  config.clients_per_round = 3;
+  config.rounds = 2;
+  config.seed = 621;
+  config.accept_timeout_ms = 500;
+  config.min_clients = 1;
+  RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp, geometry};
+  const std::uint16_t port = server.port();
+
+  fl::Client client{0,        train,    partition[0], client_config(false),
+                    models::ClassifierArch::Mlp, geometry, cvae_spec(), 622};
+  std::thread client_thread{[&] { (void)run_remote_client("127.0.0.1", port, client); }};
+  const fl::RunHistory history = server.run();
+  client_thread.join();
+
+  ASSERT_EQ(history.rounds.size(), 2u);
+  for (const auto& record : history.rounds) {
+    EXPECT_EQ(record.sampled_clients, 1u);  // the universe shrank to who joined
+    EXPECT_EQ(record.dropouts + record.timeouts + record.corrupt_frames, 0u);
+  }
 }
 
 }  // namespace
