@@ -174,9 +174,13 @@ int run_threaded_demo(const core::CliOptions& options) {
   const attacks::SignFlipAttack sign_flip;
   std::vector<std::unique_ptr<fl::Client>> clients;
   std::vector<std::thread> threads;
+  // Build every client before spawning any thread: a later push_back can
+  // reallocate `clients` while an earlier thread dereferences clients[id].
   for (int id = 0; id < 4; ++id) {
     clients.push_back(make_client(id, 4));
     if (id == 3) clients.back()->corrupt_with_model_attack(&sign_flip);
+  }
+  for (int id = 0; id < 4; ++id) {
     threads.emplace_back([&, id] {
       net::RemoteClientOptions remote_options;
       if (plan.any()) remote_options.faults = &injector;

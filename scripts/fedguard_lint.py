@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""fedguard-lint: project-specific invariant checks that generic tools cannot
+express. Layer 2 of the static-analysis gate (see docs/STATIC_ANALYSIS.md).
+
+Rules
+-----
+rng                  All randomness must flow through util::rng. No std::rand,
+                     srand, std::random_device, or raw standard-library engine
+                     construction (mt19937 & friends) outside src/util/rng.*.
+                     Anything else silently forks the reproducibility story.
+unordered-iteration  No iteration over std::unordered_map / std::unordered_set
+                     in src/defenses/, src/fl/, src/net/, or
+                     src/util/serialize.* — bucket order is
+                     implementation-defined, so iterating one in aggregation,
+                     federation, or wire-framing code is a hidden
+                     nondeterminism hazard.
+stdout               Library code (src/) must not write to stdout directly
+                     (std::cout, printf, puts, ...). Use util::logging so
+                     verbosity and formatting stay centrally controlled.
+                     src/util/logging.* is the one exempt location.
+naked-new            No naked `new` / `delete` anywhere; use containers,
+                     std::make_unique, or std::make_shared.
+test-timeout         Every fedguard_add_test() call must carry a TIMEOUT so a
+                     hung test can never wedge the suite (the rule that already
+                     protects the `net` label, made universal).
+config-docs          Every descriptor config key parsed in
+                     src/core/config_file.cpp (including all fault_*/remote_*/
+                     kernel_* keys) must be documented somewhere under docs/.
+
+Allowlist
+---------
+Append an inline annotation to the offending line (or place it on the line
+directly above):
+
+    legacy_call();  // fedguard-lint: allow(stdout) CLI banner, not library path
+
+The justification text after the closing parenthesis is mandatory; an
+allow() without one is itself reported. `allow(all)` suppresses every rule
+for that line.
+
+Usage: fedguard_lint.py [--root DIR] [--list-rules] [--verbose]
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_ROOTS = ("src", "tests", "bench", "examples")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+# Fixture trees carry deliberate violations for tests/test_lint.py; they are
+# skipped unless the scan root itself points inside one.
+EXCLUDED_DIR_NAMES = {"lint_fixtures", "build"}
+
+RULES = {
+    "rng": "randomness outside util::rng",
+    "unordered-iteration": "iteration over unordered container in deterministic code",
+    "stdout": "direct stdout write in library code (use util::logging)",
+    "naked-new": "naked new/delete (use RAII wrappers)",
+    "test-timeout": "fedguard_add_test without a TIMEOUT",
+    "config-docs": "config key referenced in code but not documented in docs/",
+    "allow-justification": "fedguard-lint allow() without a justification",
+}
+
+# `//` in C++, `#` in CMake files.
+ALLOW_RE = re.compile(
+    r"(?://|#)\s*fedguard-lint:\s*allow\(([a-z-]+)\)\s*(.*?)\s*$"
+)
+
+RNG_FORBIDDEN = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937(?:_64)?\b"
+    r"|\bminstd_rand0?\b|\bdefault_random_engine\b|\branlux(?:24|48)\b|\bknuth_b\b"
+)
+
+STDOUT_FORBIDDEN = re.compile(
+    r"std::cout\b|std::clog\b|(?<![\w.])printf\s*\(|\bputs\s*\("
+    r"|\bfprintf\s*\(\s*stdout\b|\bfputs\s*\([^,)]*,\s*stdout\s*\)"
+)
+
+NAKED_NEW = re.compile(r"\bnew\s+[A-Za-z_:(<]|\bnew\s*\[|\bdelete\s*\[\s*\]|\bdelete\s+[A-Za-z_*(]")
+
+UNORDERED_DECL = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+UNORDERED_SCOPE_DIRS = ("src/defenses", "src/fl", "src/net")
+UNORDERED_SCOPE_FILES = ("src/util/serialize.cpp", "src/util/serialize.hpp")
+
+CONFIG_KEY_RE = re.compile(r'key\s*==\s*"([a-z0-9_]+)"|values\.find\("([a-z0-9_]+)"\)')
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure,
+    so token scans never match inside documentation or message text."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+def parse_allows(lines: list[str], relpath: str) -> tuple[dict[int, set[str]], list[Violation]]:
+    """Map line number -> allowed rules. An annotation covers its own line and
+    the next line (so a comment can sit above the code it excuses)."""
+    allows: dict[int, set[str]] = {}
+    problems: list[Violation] = []
+    for idx, line in enumerate(lines, start=1):
+        match = ALLOW_RE.search(line)
+        if not match:
+            continue
+        rule, justification = match.group(1), match.group(2)
+        if rule != "all" and rule not in RULES:
+            problems.append(Violation(relpath, idx, "allow-justification",
+                                      f"allow() names unknown rule '{rule}'"))
+            continue
+        if not justification:
+            problems.append(Violation(relpath, idx, "allow-justification",
+                                      "allow() requires a one-line justification"))
+            continue
+        for covered in (idx, idx + 1):
+            allows.setdefault(covered, set()).add(rule)
+    return allows, problems
+
+
+def allowed(allows: dict[int, set[str]], line: int, rule: str) -> bool:
+    granted = allows.get(line, set())
+    return rule in granted or "all" in granted
+
+
+def in_unordered_scope(relpath: str) -> bool:
+    return relpath in UNORDERED_SCOPE_FILES or any(
+        relpath.startswith(d + "/") for d in UNORDERED_SCOPE_DIRS
+    )
+
+
+def check_source_file(path: Path, relpath: str) -> list[Violation]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = text.splitlines()
+    allows, violations = parse_allows(raw_lines, relpath)
+    code_lines = strip_comments_and_strings(text).splitlines()
+
+    # Names of unordered containers declared in this file, for the iteration
+    # check (declaration and membership lookups are fine; iteration is not).
+    unordered_names: set[str] = set()
+    if in_unordered_scope(relpath):
+        for line in code_lines:
+            for match in re.finditer(
+                    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{=]*>\s+(\w+)", line):
+                unordered_names.add(match.group(1))
+
+    for idx, line in enumerate(code_lines, start=1):
+        if relpath not in ("src/util/rng.cpp", "src/util/rng.hpp"):
+            match = RNG_FORBIDDEN.search(line)
+            if match and not allowed(allows, idx, "rng"):
+                violations.append(Violation(
+                    relpath, idx, "rng",
+                    f"'{match.group(0).strip()}' bypasses util::rng; derive an Rng "
+                    "from the experiment seed instead"))
+
+        if relpath.startswith("src/") and not relpath.startswith("src/util/logging."):
+            match = STDOUT_FORBIDDEN.search(line)
+            if match and not allowed(allows, idx, "stdout"):
+                violations.append(Violation(
+                    relpath, idx, "stdout",
+                    f"'{match.group(0).strip()}' writes to stdout from library code; "
+                    "use util::log_info/log_debug"))
+
+        match = NAKED_NEW.search(line)
+        if match and not allowed(allows, idx, "naked-new"):
+            violations.append(Violation(
+                relpath, idx, "naked-new",
+                f"'{match.group(0).strip()}' is a naked allocation; use a container "
+                "or std::make_unique"))
+
+        if in_unordered_scope(relpath):
+            hit = None
+            range_for = re.search(r"\bfor\s*\(.*:\s*([^)]+)\)", line)
+            if range_for:
+                expr = range_for.group(1).strip()
+                expr_head = re.split(r"[.\->\[(]", expr)[0].strip()
+                if "unordered" in expr or expr_head in unordered_names:
+                    hit = f"range-for over unordered container '{expr}'"
+            if hit is None:
+                for name in unordered_names:
+                    if re.search(rf"\b{re.escape(name)}\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(", line):
+                        hit = f"iterator walk over unordered container '{name}'"
+                        break
+            if hit and not allowed(allows, idx, "unordered-iteration"):
+                violations.append(Violation(
+                    relpath, idx, "unordered-iteration",
+                    hit + "; bucket order is implementation-defined — use std::map, "
+                    "std::vector, or sort the keys first"))
+
+    return violations
+
+
+def check_test_timeouts(root: Path) -> list[Violation]:
+    violations: list[Violation] = []
+    cmake = root / "tests" / "CMakeLists.txt"
+    if not cmake.is_file():
+        return violations
+    relpath = "tests/CMakeLists.txt"
+    lines = cmake.read_text(encoding="utf-8").splitlines()
+    allows, problems = parse_allows(lines, relpath)
+    violations.extend(problems)
+    # Each fedguard_add_test(...) call (possibly spanning lines) must name
+    # TIMEOUT. The function definition itself is skipped.
+    idx = 0
+    while idx < len(lines):
+        line = lines[idx].split("#")[0]
+        call = re.search(r"^\s*fedguard_add_test\s*\(", line)
+        if not call:
+            idx += 1
+            continue
+        start = idx
+        depth = 0
+        body = []
+        while idx < len(lines):
+            chunk = lines[idx].split("#")[0]
+            depth += chunk.count("(") - chunk.count(")")
+            body.append(chunk)
+            idx += 1
+            if depth <= 0:
+                break
+        body_text = "\n".join(body)
+        if "TIMEOUT" not in body_text and not allowed(allows, start + 1, "test-timeout"):
+            name = re.search(r"fedguard_add_test\s*\(\s*(\w+)", body_text)
+            violations.append(Violation(
+                relpath, start + 1, "test-timeout",
+                f"fedguard_add_test({name.group(1) if name else '?'}) has no TIMEOUT; "
+                "a hung test would wedge the suite"))
+    return violations
+
+
+def check_config_docs(root: Path) -> list[Violation]:
+    violations: list[Violation] = []
+    config_cpp = root / "src" / "core" / "config_file.cpp"
+    if not config_cpp.is_file():
+        return violations
+    relpath = "src/core/config_file.cpp"
+    lines = config_cpp.read_text(encoding="utf-8").splitlines()
+    allows, problems = parse_allows(lines, relpath)
+    violations.extend(problems)
+
+    docs_text = ""
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        for doc in sorted(docs_dir.glob("**/*.md")):
+            docs_text += doc.read_text(encoding="utf-8", errors="replace")
+
+    for idx, line in enumerate(lines, start=1):
+        for match in CONFIG_KEY_RE.finditer(line):
+            key = match.group(1) or match.group(2)
+            if key in docs_text:
+                continue
+            if allowed(allows, idx, "config-docs"):
+                continue
+            violations.append(Violation(
+                relpath, idx, "config-docs",
+                f"descriptor key '{key}' is parsed here but documented nowhere "
+                "under docs/ (add it to docs/CONFIG_REFERENCE.md)"))
+    return violations
+
+
+def iter_source_files(root: Path):
+    for top in SOURCE_ROOTS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root)
+            if any(part in EXCLUDED_DIR_NAMES for part in rel.parts):
+                continue
+            yield path, rel.as_posix()
+
+
+def run(root: Path, verbose: bool = False) -> list[Violation]:
+    violations: list[Violation] = []
+    count = 0
+    for path, relpath in iter_source_files(root):
+        count += 1
+        violations.extend(check_source_file(path, relpath))
+    violations.extend(check_test_timeouts(root))
+    violations.extend(check_config_docs(root))
+    if verbose:
+        print(f"fedguard-lint: scanned {count} source files under {root}", file=sys.stderr)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="fedguard_lint.py",
+                                     description="FedGuard project invariant linter")
+    parser.add_argument("--root", default=None,
+                        help="repository root to scan (default: parent of scripts/)")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule:22s} {summary}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"fedguard-lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    violations = run(root, verbose=args.verbose)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"fedguard-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

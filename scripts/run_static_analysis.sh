@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# The whole-repo static-analysis gate (docs/STATIC_ANALYSIS.md), three layers:
+#
+#   1. clang-tidy over src/, tests/, bench/, examples/ using the curated
+#      .clang-tidy profile and build/compile_commands.json. Skipped with a
+#      warning when clang-tidy is not installed (this container ships only
+#      gcc); the lint and sanitizer layers still gate the tree.
+#   2. scripts/fedguard_lint.py — repo-specific invariants (rng funnel, no
+#      unordered iteration in aggregation paths, logging discipline, no naked
+#      new/delete, mandatory test TIMEOUTs, documented config keys).
+#   3. Sanitizer matrix: full ctest under -DFEDGUARD_SANITIZE=address,undefined
+#      (FEDGUARD_ASSERTS defaults ON there, arming FEDGUARD_CHECK /
+#      FEDGUARD_CHECK_FINITE at the aggregator and kernel boundaries).
+#
+# Usage: scripts/run_static_analysis.sh [--skip-sanitizers] [--tidy-jobs N]
+# Exits non-zero on any surviving finding.
+set -eu
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "$SCRIPT_DIR")"
+cd "$REPO_ROOT"
+
+SKIP_SANITIZERS=0
+TIDY_JOBS="$(nproc)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --skip-sanitizers) SKIP_SANITIZERS=1; shift ;;
+    --tidy-jobs) TIDY_JOBS="$2"; shift 2 ;;
+    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+FAILED=0
+
+# ---- Layer 1: clang-tidy ----------------------------------------------------
+echo "== layer 1: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from the normal build tree
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists).
+  if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -S .
+  fi
+  # Every translation unit in the four first-party roots.
+  mapfile -t TIDY_SOURCES < <(find src tests bench examples -name '*.cpp' \
+      ! -path 'tests/lint_fixtures/*' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -j "$TIDY_JOBS" -quiet "${TIDY_SOURCES[@]}" || FAILED=1
+  else
+    for source in "${TIDY_SOURCES[@]}"; do
+      clang-tidy -p build --quiet "$source" || FAILED=1
+    done
+  fi
+else
+  echo "WARNING: clang-tidy not found on PATH; skipping layer 1." >&2
+  echo "         Install clang-tidy (or run in an image that has it) for full coverage." >&2
+fi
+
+# ---- Layer 2: fedguard-lint -------------------------------------------------
+echo "== layer 2: fedguard-lint =="
+python3 "$SCRIPT_DIR/fedguard_lint.py" --root "$REPO_ROOT" || FAILED=1
+
+# ---- Layer 3: sanitizer matrix ----------------------------------------------
+if [ "$SKIP_SANITIZERS" -eq 1 ]; then
+  echo "== layer 3: sanitizers (skipped by --skip-sanitizers) =="
+else
+  echo "== layer 3: ASan+UBSan full suite (FEDGUARD_ASSERTS on) =="
+  "$SCRIPT_DIR/run_tier1_tests.sh" --sanitize address,undefined || FAILED=1
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "static-analysis gate: FAILED" >&2
+  exit 1
+fi
+echo "static-analysis gate: OK"

@@ -2,11 +2,67 @@
 # Tier-1 verification: configure, build, and run the full test suite —
 # including the `net`-labeled socket/fault-injection tests, which carry
 # explicit CTest TIMEOUT properties so a hung socket can never wedge the run.
-# Usage: scripts/run_tier1_tests.sh [build-dir] (default: build)
+#
+# Usage: scripts/run_tier1_tests.sh [options] [build-dir]
+#   --sanitize address|undefined|thread|address,undefined
+#       Build with -DFEDGUARD_SANITIZE=<preset> (FEDGUARD_ASSERTS then
+#       defaults ON) in a preset-specific build dir (build-asan, build-ubsan,
+#       build-tsan, build-asan-ubsan) unless one is given explicitly.
+#   --lint
+#       Run scripts/fedguard_lint.py over the repo before building; any
+#       violation fails the run.
+#   [build-dir]  override the build directory (default: build).
 set -eu
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(dirname "$SCRIPT_DIR")"
+
+SANITIZE=""
+RUN_LINT=0
+BUILD_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sanitize)
+      [ $# -ge 2 ] || { echo "--sanitize requires an argument" >&2; exit 2; }
+      SANITIZE="$2"; shift 2 ;;
+    --sanitize=*)
+      SANITIZE="${1#--sanitize=}"; shift ;;
+    --lint)
+      RUN_LINT=1; shift ;;
+    -h|--help)
+      sed -n '2,14p' "$0"; exit 0 ;;
+    *)
+      BUILD_DIR="$1"; shift ;;
+  esac
+done
+
+case "$SANITIZE" in
+  ""|address|undefined|thread|address,undefined) ;;
+  *) echo "unknown --sanitize preset '$SANITIZE' (want address|undefined|thread|address,undefined)" >&2
+     exit 2 ;;
+esac
+
+if [ -z "$BUILD_DIR" ]; then
+  case "$SANITIZE" in
+    "")                BUILD_DIR="build" ;;
+    address)           BUILD_DIR="build-asan" ;;
+    undefined)         BUILD_DIR="build-ubsan" ;;
+    thread)            BUILD_DIR="build-tsan" ;;
+    address,undefined) BUILD_DIR="build-asan-ubsan" ;;
+  esac
+fi
+
+if [ "$RUN_LINT" -eq 1 ]; then
+  echo "== fedguard-lint =="
+  python3 "$SCRIPT_DIR/fedguard_lint.py" --root "$REPO_ROOT"
+fi
+
+CMAKE_ARGS=()
+if [ -n "$SANITIZE" ]; then
+  CMAKE_ARGS+=("-DFEDGUARD_SANITIZE=$SANITIZE")
+fi
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
 
 # The whole suite (the net label is part of tier-1, not an opt-in extra).

@@ -4,17 +4,19 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace fedguard::data {
 
 namespace {
 
 std::uint32_t read_be_u32(std::istream& in) {
-  unsigned char bytes[4];
-  in.read(reinterpret_cast<char*>(bytes), 4);
-  if (!in) throw std::runtime_error{"idx: truncated header"};
-  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
-         (static_cast<std::uint32_t>(bytes[1]) << 16) |
-         (static_cast<std::uint32_t>(bytes[2]) << 8) | static_cast<std::uint32_t>(bytes[3]);
+  std::byte bytes[4];
+  if (!util::read_bytes(in, bytes)) throw std::runtime_error{"idx: truncated header"};
+  return (std::to_integer<std::uint32_t>(bytes[0]) << 24) |
+         (std::to_integer<std::uint32_t>(bytes[1]) << 16) |
+         (std::to_integer<std::uint32_t>(bytes[2]) << 8) |
+         std::to_integer<std::uint32_t>(bytes[3]);
 }
 
 constexpr std::uint32_t kImagesMagic = 0x00000803;
@@ -46,23 +48,25 @@ Dataset load_idx_dataset(const std::string& images_path, const std::string& labe
 
   const std::size_t pixels = static_cast<std::size_t>(rows) * cols;
   tensor::Tensor images{{image_count, 1, rows, cols}};
-  std::vector<unsigned char> row_buffer(pixels);
+  std::vector<std::byte> row_buffer(pixels);
   for (std::size_t n = 0; n < image_count; ++n) {
-    images_file.read(reinterpret_cast<char*>(row_buffer.data()),
-                     static_cast<std::streamsize>(pixels));
-    if (!images_file) throw std::runtime_error{"idx: truncated image data"};
+    if (!util::read_bytes(images_file, row_buffer)) {
+      throw std::runtime_error{"idx: truncated image data"};
+    }
     float* dst = images.raw() + n * pixels;
     for (std::size_t i = 0; i < pixels; ++i) {
-      dst[i] = static_cast<float>(row_buffer[i]) / 255.0f;
+      dst[i] = static_cast<float>(std::to_integer<unsigned>(row_buffer[i])) / 255.0f;
     }
   }
 
   std::vector<int> labels(image_count);
-  std::vector<unsigned char> label_buffer(image_count);
-  labels_file.read(reinterpret_cast<char*>(label_buffer.data()),
-                   static_cast<std::streamsize>(image_count));
-  if (!labels_file) throw std::runtime_error{"idx: truncated label data"};
-  for (std::size_t i = 0; i < image_count; ++i) labels[i] = label_buffer[i];
+  std::vector<std::byte> label_buffer(image_count);
+  if (!util::read_bytes(labels_file, label_buffer)) {
+    throw std::runtime_error{"idx: truncated label data"};
+  }
+  for (std::size_t i = 0; i < image_count; ++i) {
+    labels[i] = std::to_integer<int>(label_buffer[i]);
+  }
 
   return Dataset{std::move(images), std::move(labels), num_classes};
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace fedguard::defenses {
 
 std::size_t validate_updates(std::span<const ClientUpdate> updates) {
@@ -15,6 +17,11 @@ std::size_t validate_updates(std::span<const ClientUpdate> updates) {
     if (update.psi.size() != dim) {
       throw std::invalid_argument{"aggregation: parameter dimension mismatch"};
     }
+    // Every defense funnels through here, so this is the single boundary at
+    // which a NaN/Inf-poisoned upload is rejected before it can reach an
+    // accumulator (FEDGUARD_ASSERTS builds only).
+    FEDGUARD_CHECK_FINITE(update.psi, "aggregation: non-finite psi from client " +
+                                          std::to_string(update.client_id));
   }
   return dim;
 }

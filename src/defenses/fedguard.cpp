@@ -6,6 +6,7 @@
 #include "defenses/geomed.hpp"
 #include "defenses/median.hpp"
 #include "nn/loss.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
@@ -52,6 +53,9 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
     if (update.theta.size() != decoder_dim) {
       throw std::invalid_argument{"FedGuardAggregator: decoder dimension mismatch"};
     }
+    FEDGUARD_CHECK_FINITE(update.theta,
+                          "FedGuard: non-finite decoder parameters from client " +
+                              std::to_string(update.client_id));
   }
   const std::size_t active = updates.size();
   const std::size_t latent = config_.cvae_spec.latent;

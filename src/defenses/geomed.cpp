@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "parallel/kernel_config.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace fedguard::defenses {
@@ -14,6 +15,7 @@ std::vector<float> geometric_median(std::span<const float> points, std::size_t c
   if (count == 0 || dim == 0 || points.size() != count * dim) {
     throw std::invalid_argument{"geometric_median: bad dimensions"};
   }
+  FEDGUARD_CHECK_FINITE(points, "geometric_median: non-finite input point");
   // Start from the arithmetic mean.
   std::vector<double> current(dim, 0.0);
   for (std::size_t k = 0; k < count; ++k) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "parallel/kernel_config.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace fedguard::defenses {
@@ -14,6 +15,7 @@ std::vector<double> krum_scores(std::span<const float> points, std::size_t count
   if (count == 0 || dim == 0 || points.size() != count * dim) {
     throw std::invalid_argument{"krum_scores: bad dimensions"};
   }
+  FEDGUARD_CHECK_FINITE(points, "krum_scores: non-finite input point");
   // Clamp f so each update has at least one neighbour in its score.
   std::size_t f = byzantine_count;
   if (count < 3) f = 0;

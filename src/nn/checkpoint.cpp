@@ -26,8 +26,7 @@ void save_checkpoint(const std::string& path, Module& module) {
   }
   std::ofstream file{path, std::ios::binary | std::ios::trunc};
   if (!file) throw std::runtime_error{"save_checkpoint: cannot open " + path};
-  file.write(reinterpret_cast<const char*>(writer.bytes().data()),
-             static_cast<std::streamsize>(writer.size()));
+  util::write_bytes(file, writer.bytes());
   if (!file) throw std::runtime_error{"save_checkpoint: write failed for " + path};
 }
 
@@ -37,8 +36,9 @@ void load_checkpoint(const std::string& path, Module& module) {
   const auto size = static_cast<std::size_t>(file.tellg());
   file.seekg(0);
   std::vector<std::byte> buffer(size);
-  file.read(reinterpret_cast<char*>(buffer.data()), static_cast<std::streamsize>(size));
-  if (!file) throw std::runtime_error{"load_checkpoint: read failed for " + path};
+  if (!util::read_bytes(file, buffer)) {
+    throw std::runtime_error{"load_checkpoint: read failed for " + path};
+  }
 
   util::ByteReader reader{buffer};
   if (reader.read_u32() != kMagic) {

@@ -1,12 +1,12 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "parallel/kernel_config.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
 
 namespace fedguard::tensor {
 
@@ -236,28 +236,28 @@ void matmul_trans_b(const float* a, const float* b, float* c, std::size_t m, std
 // ---- Tensor GEMM wrappers --------------------------------------------------
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
-  assert(a.rank() == 2 && b.rank() == 2);
+  FEDGUARD_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: operands must be rank 2");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   check_matmul(m, k, b.dim(0), n, c);
   matmul(a.raw(), b.raw(), c.raw(), m, k, n);
 }
 
 void matmul_trans_a(const Tensor& a, const Tensor& b, Tensor& c) {
-  assert(a.rank() == 2 && b.rank() == 2);
+  FEDGUARD_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: operands must be rank 2");
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   check_matmul(m, k, b.dim(0), n, c);
   matmul_trans_a(a.raw(), b.raw(), c.raw(), m, k, n);
 }
 
 void matmul_trans_a_accumulate(const Tensor& a, const Tensor& b, Tensor& c) {
-  assert(a.rank() == 2 && b.rank() == 2);
+  FEDGUARD_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: operands must be rank 2");
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   check_matmul(m, k, b.dim(0), n, c);
   matmul_trans_a_accumulate(a.raw(), b.raw(), c.raw(), m, k, n);
 }
 
 void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c) {
-  assert(a.rank() == 2 && b.rank() == 2);
+  FEDGUARD_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: operands must be rank 2");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   check_matmul(m, k, b.dim(1), n, c);
   matmul_trans_b(a.raw(), b.raw(), c.raw(), m, k, n);
@@ -265,8 +265,8 @@ void matmul_trans_b(const Tensor& a, const Tensor& b, Tensor& c) {
 
 // ---- Elementwise -----------------------------------------------------------
 
-void axpy(float alpha, std::span<const float> x, std::span<float> out) noexcept {
-  assert(x.size() == out.size());
+void axpy(float alpha, std::span<const float> x, std::span<float> out) {
+  FEDGUARD_CHECK(x.size() == out.size(), "axpy: length mismatch");
   const float* src = x.data();
   float* dst = out.data();
   const std::size_t size = x.size();
@@ -280,8 +280,8 @@ void axpy(float alpha, std::span<const float> x, std::span<float> out) noexcept 
   });
 }
 
-void add(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept {
-  assert(a.size() == b.size() && a.size() == out.size());
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  FEDGUARD_CHECK(a.size() == b.size() && a.size() == out.size(), "add: length mismatch");
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
@@ -296,8 +296,8 @@ void add(std::span<const float> a, std::span<const float> b, std::span<float> ou
   });
 }
 
-void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept {
-  assert(a.size() == b.size() && a.size() == out.size());
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) {
+  FEDGUARD_CHECK(a.size() == b.size() && a.size() == out.size(), "sub: length mismatch");
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
@@ -313,8 +313,9 @@ void sub(std::span<const float> a, std::span<const float> b, std::span<float> ou
 }
 
 void hadamard(std::span<const float> a, std::span<const float> b,
-              std::span<float> out) noexcept {
-  assert(a.size() == b.size() && a.size() == out.size());
+              std::span<float> out) {
+  FEDGUARD_CHECK(a.size() == b.size() && a.size() == out.size(),
+                 "hadamard: length mismatch");
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
@@ -368,21 +369,23 @@ float sum(std::span<const float> x) noexcept {
   return static_cast<float>(total);
 }
 
-std::size_t argmax(std::span<const float> x) noexcept {
-  assert(!x.empty());
+std::size_t argmax(std::span<const float> x) {
+  FEDGUARD_CHECK(!x.empty(), "argmax: empty input");
   return static_cast<std::size_t>(std::max_element(x.begin(), x.end()) - x.begin());
 }
 
-void add_rows_into(const Tensor& rows, std::span<float> out) noexcept {
-  assert(rows.rank() == 2 && rows.dim(1) == out.size());
+void add_rows_into(const Tensor& rows, std::span<float> out) {
+  FEDGUARD_CHECK(rows.rank() == 2 && rows.dim(1) == out.size(),
+                 "add_rows_into: shape mismatch");
   for (std::size_t r = 0; r < rows.dim(0); ++r) {
     const auto row = rows.row(r);
     for (std::size_t c = 0; c < out.size(); ++c) out[c] += row[c];
   }
 }
 
-void add_bias_rows(Tensor& rows, std::span<const float> bias) noexcept {
-  assert(rows.rank() == 2 && rows.dim(1) == bias.size());
+void add_bias_rows(Tensor& rows, std::span<const float> bias) {
+  FEDGUARD_CHECK(rows.rank() == 2 && rows.dim(1) == bias.size(),
+                 "add_bias_rows: shape mismatch");
   for (std::size_t r = 0; r < rows.dim(0); ++r) {
     auto row = rows.row(r);
     for (std::size_t c = 0; c < bias.size(); ++c) row[c] += bias[c];
@@ -390,7 +393,8 @@ void add_bias_rows(Tensor& rows, std::span<const float> bias) noexcept {
 }
 
 void softmax_rows(const Tensor& logits, Tensor& out) {
-  assert(logits.rank() == 2);
+  FEDGUARD_CHECK(logits.rank() == 2, "softmax_rows: logits must be rank 2");
+  FEDGUARD_CHECK_FINITE(logits.data(), "softmax_rows: non-finite logit");
   if (!out.same_shape(logits)) out = Tensor{logits.shape()};
   for (std::size_t r = 0; r < logits.dim(0); ++r) {
     const auto in = logits.row(r);
@@ -407,7 +411,8 @@ void softmax_rows(const Tensor& logits, Tensor& out) {
 }
 
 void log_softmax_rows(const Tensor& logits, Tensor& out) {
-  assert(logits.rank() == 2);
+  FEDGUARD_CHECK(logits.rank() == 2, "log_softmax_rows: logits must be rank 2");
+  FEDGUARD_CHECK_FINITE(logits.data(), "log_softmax_rows: non-finite logit");
   if (!out.same_shape(logits)) out = Tensor{logits.shape()};
   for (std::size_t r = 0; r < logits.dim(0); ++r) {
     const auto in = logits.row(r);
@@ -426,7 +431,8 @@ void im2col_strided(std::span<const float> image, const ConvGeometry& g, float* 
                     std::size_t ld, std::size_t column_offset) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
-  assert(image.size() == g.in_channels * g.in_h * g.in_w);
+  FEDGUARD_CHECK(image.size() == g.in_channels * g.in_h * g.in_w,
+                 "im2col_strided: image size mismatch");
   const auto pad = static_cast<std::ptrdiff_t>(g.padding);
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     const float* channel = image.data() + c * g.in_h * g.in_w;
@@ -465,7 +471,7 @@ void im2col_batch(std::span<const float> images, const ConvGeometry& g, std::siz
                   float* columns) {
   const std::size_t pixels = g.out_h() * g.out_w();
   const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
-  assert(images.size() == count * image_size);
+  FEDGUARD_CHECK(images.size() == count * image_size, "im2col_batch: images size mismatch");
   const std::size_t ld = count * pixels;
   for (std::size_t s = 0; s < count; ++s) {
     im2col_strided(images.subspan(s * image_size, image_size), g, columns, ld, s * pixels);
@@ -476,7 +482,8 @@ void col2im_strided_accumulate(const float* columns, std::size_t ld, std::size_t
                                const ConvGeometry& g, std::span<float> image_grad) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
-  assert(image_grad.size() == g.in_channels * g.in_h * g.in_w);
+  FEDGUARD_CHECK(image_grad.size() == g.in_channels * g.in_h * g.in_w,
+                 "col2im_strided_accumulate: image_grad size mismatch");
   const auto pad = static_cast<std::ptrdiff_t>(g.padding);
   for (std::size_t c = 0; c < g.in_channels; ++c) {
     float* channel = image_grad.data() + c * g.in_h * g.in_w;
@@ -502,8 +509,9 @@ void col2im_strided_accumulate(const float* columns, std::size_t ld, std::size_t
 void col2im_accumulate(const Tensor& columns, const ConvGeometry& g,
                        std::span<float> image_grad) {
   const std::size_t pixels = g.out_h() * g.out_w();
-  assert(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
-         columns.dim(1) == pixels);
+  FEDGUARD_CHECK(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
+                     columns.dim(1) == pixels,
+                 "col2im_accumulate: columns shape mismatch");
   col2im_strided_accumulate(columns.raw(), pixels, 0, g, image_grad);
 }
 
@@ -511,7 +519,8 @@ void col2im_batch_accumulate(const float* columns, const ConvGeometry& g, std::s
                              std::span<float> images_grad) {
   const std::size_t pixels = g.out_h() * g.out_w();
   const std::size_t image_size = g.in_channels * g.in_h * g.in_w;
-  assert(images_grad.size() == count * image_size);
+  FEDGUARD_CHECK(images_grad.size() == count * image_size,
+                 "col2im_batch_accumulate: images_grad size mismatch");
   const std::size_t ld = count * pixels;
   for (std::size_t s = 0; s < count; ++s) {
     col2im_strided_accumulate(columns, ld, s * pixels, g,

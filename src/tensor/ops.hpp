@@ -43,15 +43,17 @@ void matmul_trans_a_accumulate(const float* a, const float* b, float* c, std::si
                                std::size_t k, std::size_t n);
 
 // ---- Elementwise ------------------------------------------------------------
+// Shape agreement is enforced by FEDGUARD_CHECK (throws util::CheckError) in
+// FEDGUARD_ASSERTS builds; unchecked otherwise.
 
 /// out[i] += alpha * x[i]
-void axpy(float alpha, std::span<const float> x, std::span<float> out) noexcept;
+void axpy(float alpha, std::span<const float> x, std::span<float> out);
 /// out[i] = a[i] + b[i]
-void add(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+void add(std::span<const float> a, std::span<const float> b, std::span<float> out);
 /// out[i] = a[i] - b[i]
-void sub(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+void sub(std::span<const float> a, std::span<const float> b, std::span<float> out);
 /// out[i] = a[i] * b[i]
-void hadamard(std::span<const float> a, std::span<const float> b, std::span<float> out) noexcept;
+void hadamard(std::span<const float> a, std::span<const float> b, std::span<float> out);
 /// x[i] *= alpha
 void scale(std::span<float> x, float alpha) noexcept;
 
@@ -59,12 +61,12 @@ void scale(std::span<float> x, float alpha) noexcept;
 
 [[nodiscard]] float sum(std::span<const float> x) noexcept;
 /// Index of the maximum element (first on ties); requires non-empty input.
-[[nodiscard]] std::size_t argmax(std::span<const float> x) noexcept;
+[[nodiscard]] std::size_t argmax(std::span<const float> x);
 
 /// Adds each row of `rows` [n, d] into `out` [d].
-void add_rows_into(const Tensor& rows, std::span<float> out) noexcept;
+void add_rows_into(const Tensor& rows, std::span<float> out);
 /// Broadcast-add `bias` [d] onto every row of `rows` [n, d].
-void add_bias_rows(Tensor& rows, std::span<const float> bias) noexcept;
+void add_bias_rows(Tensor& rows, std::span<const float> bias);
 
 // ---- Softmax ----------------------------------------------------------------
 

@@ -1,0 +1,36 @@
+#include "util/check.hpp"
+
+#include <cmath>
+
+namespace fedguard::util {
+
+bool all_finite(std::span<const float> values) noexcept {
+  for (const float v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool all_finite(std::span<const double> values) noexcept {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void check_failed(const char* expression, const char* file, int line,
+                  const std::string& detail) {
+  std::string message{file};
+  message += ':';
+  message += std::to_string(line);
+  message += ": check failed: ";
+  message += expression;
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ')';
+  }
+  throw CheckError{message};
+}
+
+}  // namespace fedguard::util

@@ -1,0 +1,61 @@
+#pragma once
+// FEDGUARD_CHECK / FEDGUARD_CHECK_FINITE: the debug-assert layer guarding the
+// aggregator and kernel boundaries (shape agreement, finite inputs). Compiled
+// in when FEDGUARD_ENABLE_ASSERTS is defined — driven by the CMake option
+// FEDGUARD_ASSERTS, which defaults ON in sanitizer builds — and otherwise a
+// no-op with zero overhead.
+//
+// Violations throw util::CheckError rather than aborting: a NaN-poisoned
+// client update then fails one aggregation round (and is testable with
+// EXPECT_THROW) instead of taking down a long-running server.
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace fedguard::util {
+
+/// Thrown by FEDGUARD_CHECK / FEDGUARD_CHECK_FINITE on violation.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// True when the FEDGUARD_CHECK layer is compiled in (-DFEDGUARD_ASSERTS=ON).
+[[nodiscard]] constexpr bool asserts_enabled() noexcept {
+#ifdef FEDGUARD_ENABLE_ASSERTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// All elements finite (no NaN / +-Inf). Empty spans are finite.
+[[nodiscard]] bool all_finite(std::span<const float> values) noexcept;
+[[nodiscard]] bool all_finite(std::span<const double> values) noexcept;
+
+/// Formats "<file>:<line>: check failed: <expression> (<detail>)" and throws
+/// CheckError. Out-of-line so the macro expansion stays small.
+[[noreturn]] void check_failed(const char* expression, const char* file, int line,
+                               const std::string& detail);
+
+}  // namespace fedguard::util
+
+#ifdef FEDGUARD_ENABLE_ASSERTS
+#define FEDGUARD_CHECK(condition, detail)                                       \
+  do {                                                                          \
+    if (!(condition)) {                                                         \
+      ::fedguard::util::check_failed(#condition, __FILE__, __LINE__, (detail)); \
+    }                                                                           \
+  } while (false)
+#define FEDGUARD_CHECK_FINITE(values, detail)                             \
+  do {                                                                    \
+    if (!::fedguard::util::all_finite(values)) {                          \
+      ::fedguard::util::check_failed("all_finite(" #values ")", __FILE__, \
+                                     __LINE__, (detail));                 \
+    }                                                                     \
+  } while (false)
+#else
+#define FEDGUARD_CHECK(condition, detail) ((void)0)
+#define FEDGUARD_CHECK_FINITE(values, detail) ((void)0)
+#endif

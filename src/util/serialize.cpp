@@ -1,7 +1,9 @@
 #include "util/serialize.hpp"
 
+#include <array>
 #include <cstring>
 #include <fstream>
+#include <ostream>
 
 namespace fedguard::util {
 
@@ -10,9 +12,23 @@ template <typename T>
 void append_raw(std::vector<std::byte>& buffer, T value) {
   const auto old = buffer.size();
   buffer.resize(old + sizeof(T));
-  std::memcpy(buffer.data() + old, &value, sizeof(T));
+  store_trivial(buffer.data() + old, value);
 }
 }  // namespace
+
+void write_bytes(std::ostream& out, std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;  // empty span has a null data(); never pass it on
+  // The one sanctioned byte-pointer cast: char aliases anything.
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+bool read_bytes(std::istream& in, std::span<std::byte> bytes) {
+  if (bytes.empty()) return static_cast<bool>(in);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(in);
+}
 
 void ByteWriter::write_u32(std::uint32_t value) { append_raw(buffer_, value); }
 void ByteWriter::write_u64(std::uint64_t value) { append_raw(buffer_, value); }
@@ -20,6 +36,7 @@ void ByteWriter::write_f32(float value) { append_raw(buffer_, value); }
 
 void ByteWriter::write_f32_span(std::span<const float> values) {
   write_u64(values.size());
+  if (values.empty()) return;  // empty span has a null data(); memcpy is nonnull
   const auto old = buffer_.size();
   buffer_.resize(old + values.size_bytes());
   std::memcpy(buffer_.data() + old, values.data(), values.size_bytes());
@@ -27,6 +44,7 @@ void ByteWriter::write_f32_span(std::span<const float> values) {
 
 void ByteWriter::write_string(const std::string& value) {
   write_u64(value.size());
+  if (value.empty()) return;
   const auto old = buffer_.size();
   buffer_.resize(old + value.size());
   std::memcpy(buffer_.data() + old, value.data(), value.size());
@@ -40,29 +58,27 @@ void ByteReader::require(std::size_t count) const {
 
 std::uint32_t ByteReader::read_u32() {
   require(sizeof(std::uint32_t));
-  std::uint32_t value = 0;
-  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  const auto value = load_trivial<std::uint32_t>(data_.data() + offset_);
   offset_ += sizeof(value);
   return value;
 }
 
 std::uint64_t ByteReader::read_u64() {
   require(sizeof(std::uint64_t));
-  std::uint64_t value = 0;
-  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  const auto value = load_trivial<std::uint64_t>(data_.data() + offset_);
   offset_ += sizeof(value);
   return value;
 }
 
 float ByteReader::read_f32() {
   require(sizeof(float));
-  float value = 0;
-  std::memcpy(&value, data_.data() + offset_, sizeof(value));
+  const auto value = load_trivial<float>(data_.data() + offset_);
   offset_ += sizeof(value);
   return value;
 }
 
 std::vector<float> ByteReader::read_f32_vector(std::size_t count) {
+  if (count == 0) return {};
   require(count * sizeof(float));
   std::vector<float> out(count);
   std::memcpy(out.data(), data_.data() + offset_, count * sizeof(float));
@@ -72,6 +88,7 @@ std::vector<float> ByteReader::read_f32_vector(std::size_t count) {
 
 std::string ByteReader::read_string() {
   const auto length = static_cast<std::size_t>(read_u64());
+  if (length == 0) return {};
   require(length);
   std::string out(length, '\0');
   std::memcpy(out.data(), data_.data() + offset_, length);
@@ -82,22 +99,29 @@ std::string ByteReader::read_string() {
 void save_f32_vector(const std::string& path, std::span<const float> values) {
   std::ofstream file{path, std::ios::binary | std::ios::trunc};
   if (!file) throw std::runtime_error{"save_f32_vector: cannot open " + path};
-  const std::uint64_t count = values.size();
-  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  file.write(reinterpret_cast<const char*>(values.data()),
-             static_cast<std::streamsize>(values.size_bytes()));
+  std::vector<std::byte> buffer(sizeof(std::uint64_t) + values.size_bytes());
+  store_trivial(buffer.data(), static_cast<std::uint64_t>(values.size()));
+  if (!values.empty()) {
+    std::memcpy(buffer.data() + sizeof(std::uint64_t), values.data(), values.size_bytes());
+  }
+  write_bytes(file, buffer);
   if (!file) throw std::runtime_error{"save_f32_vector: write failed for " + path};
 }
 
 std::vector<float> load_f32_vector(const std::string& path) {
   std::ifstream file{path, std::ios::binary};
   if (!file) throw std::runtime_error{"load_f32_vector: cannot open " + path};
-  std::uint64_t count = 0;
-  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::array<std::byte, sizeof(std::uint64_t)> header{};
+  if (!read_bytes(file, header)) {
+    throw std::runtime_error{"load_f32_vector: truncated file " + path};
+  }
+  const auto count = static_cast<std::size_t>(load_trivial<std::uint64_t>(header.data()));
+  std::vector<std::byte> payload(count * sizeof(float));
+  if (!read_bytes(file, payload)) {
+    throw std::runtime_error{"load_f32_vector: truncated file " + path};
+  }
   std::vector<float> out(count);
-  file.read(reinterpret_cast<char*>(out.data()),
-            static_cast<std::streamsize>(count * sizeof(float)));
-  if (!file) throw std::runtime_error{"load_f32_vector: truncated file " + path};
+  if (count != 0) std::memcpy(out.data(), payload.data(), payload.size());
   return out;
 }
 

@@ -5,12 +5,47 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <iosfwd>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace fedguard::util {
+
+// ---- memcpy-based load/store --------------------------------------------------
+// Alignment- and aliasing-safe framing primitives: every place that used to
+// reinterpret_cast a buffer pointer to a value type (UB when misaligned, and
+// flagged by UBSan) goes through these instead.
+
+/// Copy a trivially copyable value out of a byte buffer (must hold sizeof(T)).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] T load_trivial(const std::byte* source) noexcept {
+  T value;
+  std::memcpy(&value, source, sizeof(T));
+  return value;
+}
+
+/// Copy a trivially copyable value into a byte buffer (must hold sizeof(T)).
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void store_trivial(std::byte* target, const T& value) noexcept {
+  std::memcpy(target, &value, sizeof(T));
+}
+
+// ---- iostream bridging --------------------------------------------------------
+// std::iostream speaks char*; the single sanctioned byte-pointer cast in the
+// library lives inside these two helpers (std::byte <-> char aliasing is
+// always valid), so no other translation unit needs a reinterpret_cast for
+// file framing.
+
+/// Write a byte span to a binary stream.
+void write_bytes(std::ostream& out, std::span<const std::byte> bytes);
+/// Read exactly `bytes.size()` bytes; returns false on short read / error.
+[[nodiscard]] bool read_bytes(std::istream& in, std::span<std::byte> bytes);
 
 /// Growable binary output buffer.
 class ByteWriter {

@@ -1,0 +1,23 @@
+// Fixture: the allowlist mechanism itself.
+#include <iostream>
+#include <random>
+
+namespace fedguard::attacks {
+
+void fixture_allowed() {
+  // A justified allow() suppresses the rule on the next line: NOT flagged.
+  // fedguard-lint: allow(stdout) fixture exercising the allowlist mechanism
+  std::cout << "suppressed";
+  std::mt19937 engine{7};  // fedguard-lint: allow(rng) same-line annotation form
+  (void)engine;
+}
+
+void fixture_bad_allow() {
+  std::random_device device;  // fedguard-lint: allow(rng)
+  // ^ TWO VIOLATIONS: the annotation carries no justification
+  //   (allow-justification), and a rejected allow suppresses nothing, so the
+  //   rng hit is reported as well.
+  (void)device;
+}
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,14 @@
+// Fixture: config-docs rule. Key parsing mirrored from the real
+// src/core/config_file.cpp shape; `fault_documented_knob` appears in
+// docs/GUIDE.md, `fault_undocumented_knob` does not.
+#include <string>
+
+namespace fedguard::core {
+
+int fixture_apply(const std::string& key) {
+  if (key == "fault_documented_knob") return 1;
+  if (key == "fault_undocumented_knob") return 2;  // VIOLATION: not in docs/
+  return 0;
+}
+
+}  // namespace fedguard::core

@@ -1,0 +1,22 @@
+// Fixture: unordered-iteration rule. Iterating an unordered container in a
+// defense is a determinism hazard; membership lookups alone are fine.
+#include <string>
+#include <unordered_map>
+
+namespace fedguard::defenses {
+
+int fixture_unordered_iteration() {
+  std::unordered_map<std::string, int> scores;
+  scores["a"] = 1;
+  int total = 0;
+  for (const auto& entry : scores) {  // VIOLATION: range-for over unordered
+    total += entry.second;
+  }
+  for (auto it = scores.begin(); it != scores.end(); ++it) {  // VIOLATION: iterator walk
+    total += it->second;
+  }
+  // A point lookup is deterministic and must NOT be flagged.
+  return total + static_cast<int>(scores.count("a"));
+}
+
+}  // namespace fedguard::defenses

@@ -1,0 +1,14 @@
+// Fixture: stdout rule. Library code must route output through util::logging.
+#include <cstdio>
+#include <iostream>
+
+namespace fedguard::fl {
+
+void fixture_stdout_write(int round) {
+  std::cout << "round " << round << "\n";  // VIOLATION: std::cout in library code
+  char buffer[32];
+  // snprintf formats into a buffer without touching stdout: must NOT be flagged.
+  std::snprintf(buffer, sizeof(buffer), "round %d", round);
+}
+
+}  // namespace fedguard::fl

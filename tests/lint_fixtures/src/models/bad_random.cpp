@@ -1,0 +1,13 @@
+// Fixture: rng rule. Raw standard-library engines fork the reproducibility
+// story; everything must derive from util::Rng and the experiment seed.
+#include <random>
+
+namespace fedguard::models {
+
+// Mentioning mt19937 in a comment must NOT be flagged.
+int fixture_raw_engine() {
+  std::mt19937 engine{42};  // VIOLATION: raw engine construction
+  return static_cast<int>(engine());
+}
+
+}  // namespace fedguard::models

@@ -1,0 +1,21 @@
+// Fixture: naked-new rule.
+namespace fedguard::nn {
+
+struct Node {
+  int value = 0;
+};
+
+int fixture_naked_allocation() {
+  Node* node = new Node{};  // VIOLATION: naked new
+  const int value = node->value;
+  delete node;  // VIOLATION: naked delete
+  return value;
+}
+
+struct Pinned {
+  // Deleted special members must NOT be flagged as naked delete.
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+}  // namespace fedguard::nn

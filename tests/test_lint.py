@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Golden test for scripts/fedguard_lint.py (CTest label: lint).
+
+Runs the linter over tests/lint_fixtures/ — a miniature repo tree carrying at
+least one deliberate violation per rule plus allowlisted lines — and checks
+the exact finding set; then runs it over the real repository, which must be
+clean (the linter is a merge gate)."""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT = REPO_ROOT / "scripts" / "fedguard_lint.py"
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+EXPECTED_FIXTURE_FINDINGS = {
+    ("src/attacks/allowed.cpp", 16, "allow-justification"),
+    ("src/attacks/allowed.cpp", 16, "rng"),  # a rejected allow suppresses nothing
+    ("src/core/config_file.cpp", 10, "config-docs"),
+    ("src/defenses/bad_unordered.cpp", 12, "unordered-iteration"),
+    ("src/defenses/bad_unordered.cpp", 15, "unordered-iteration"),
+    ("src/fl/bad_stdout.cpp", 8, "stdout"),
+    ("src/models/bad_random.cpp", 9, "rng"),
+    ("src/nn/bad_new.cpp", 9, "naked-new"),
+    ("src/nn/bad_new.cpp", 11, "naked-new"),
+    ("tests/CMakeLists.txt", 7, "test-timeout"),
+}
+
+
+def run_lint(*args):
+    return subprocess.run([sys.executable, str(LINT), *args],
+                          capture_output=True, text=True, timeout=90)
+
+
+def parse_findings(stdout):
+    findings = set()
+    for line in stdout.splitlines():
+        path, line_no, rest = line.split(":", 2)
+        rule = rest.split("[", 1)[1].split("]", 1)[0]
+        findings.add((path, int(line_no), rule))
+    return findings
+
+
+class FedguardLintGolden(unittest.TestCase):
+    def test_fixture_tree_yields_exact_findings(self):
+        result = run_lint("--root", str(FIXTURES))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(parse_findings(result.stdout), EXPECTED_FIXTURE_FINDINGS)
+
+    def test_allowlisted_lines_are_suppressed(self):
+        # allowed.cpp line 10 (std::cout) and line 11 (mt19937) carry justified
+        # allow() annotations and must not appear in the findings.
+        result = run_lint("--root", str(FIXTURES))
+        findings = parse_findings(result.stdout)
+        self.assertNotIn(("src/attacks/allowed.cpp", 10, "stdout"), findings)
+        self.assertNotIn(("src/attacks/allowed.cpp", 11, "rng"), findings)
+
+    def test_repository_is_clean(self):
+        result = run_lint("--root", str(REPO_ROOT))
+        self.assertEqual(result.returncode, 0,
+                         "fedguard-lint must pass on the repo:\n" + result.stdout)
+
+    def test_list_rules_names_every_rule(self):
+        result = run_lint("--list-rules")
+        self.assertEqual(result.returncode, 0)
+        for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
+                     "test-timeout", "config-docs"):
+            self.assertIn(rule, result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -258,10 +258,14 @@ TEST_F(RemoteFixture, FedAvgFederationOverTcp) {
   std::vector<std::unique_ptr<fl::Client>> clients;
   std::vector<std::thread> threads;
   std::vector<std::size_t> rounds_served(4, 0);
+  // Build every client before spawning any thread: a later push_back can
+  // reallocate `clients` while an earlier thread dereferences clients[i].
   for (std::size_t i = 0; i < 4; ++i) {
     clients.push_back(std::make_unique<fl::Client>(
         static_cast<int>(i), train, partition[i], client_config(false),
         models::ClassifierArch::Mlp, geometry, cvae_spec(), 605 + i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
     threads.emplace_back([&, i] {
       rounds_served[i] = run_remote_client("127.0.0.1", port, *clients[i]);
     });
@@ -300,6 +304,8 @@ TEST_F(RemoteFixture, FedGuardRejectsMaliciousClientOverTcp) {
         static_cast<int>(i), train, partition[i], client_config(true),
         models::ClassifierArch::Mlp, geometry, cvae_spec(), 608 + i));
     if (i == 3) clients.back()->corrupt_with_model_attack(&attack);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
     threads.emplace_back(
         [&, i] { (void)run_remote_client("127.0.0.1", port, *clients[i]); });
   }
@@ -336,6 +342,8 @@ TEST_F(RemoteFixture, TrafficAsymmetryForDecoderStrategies) {
     clients.push_back(std::make_unique<fl::Client>(
         static_cast<int>(i), train, partition[i], client_config(true),
         models::ClassifierArch::Mlp, geometry, cvae_spec(), 611 + i));
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
     threads.emplace_back(
         [&, i] { (void)run_remote_client("127.0.0.1", port, *clients[i]); });
   }

@@ -102,10 +102,14 @@ struct ChaosFixture : ::testing::Test {
     FaultInjector injector{plan};
     std::vector<std::unique_ptr<fl::Client>> clients;
     std::vector<std::thread> threads;
+    // Build every client before spawning any thread: a later push_back can
+    // reallocate `clients` while an earlier thread dereferences clients[i].
     for (std::size_t i = 0; i < kClients; ++i) {
       clients.push_back(std::make_unique<fl::Client>(
           static_cast<int>(i), train, partition[i], client_config(with_cvae),
           models::ClassifierArch::Mlp, geometry, cvae_spec(), 906 + i));
+    }
+    for (std::size_t i = 0; i < kClients; ++i) {
       threads.emplace_back([&, i] {
         RemoteClientOptions options;
         options.faults = &injector;
