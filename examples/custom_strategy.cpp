@@ -7,6 +7,7 @@
 // from the paper's related-work taxonomy (§II).
 
 #include <cstdio>
+#include <numeric>
 
 #include "core/cli.hpp"
 #include "core/runner.hpp"
@@ -20,46 +21,54 @@ using namespace fedguard;
 
 /// Rejects updates whose delta from the global model points away from the
 /// majority direction (cosine similarity to the mean delta below a
-/// threshold).
+/// threshold). Custom strategies override the private do_aggregate hook and
+/// read the round's uploads through the zero-copy UpdateView; selections are
+/// index sub-views over the arena, never data copies.
 class CosineFilterAggregator final : public defenses::AggregationStrategy {
  public:
   explicit CosineFilterAggregator(double threshold) : threshold_{threshold} {}
 
-  defenses::AggregationResult aggregate(
-      const defenses::AggregationContext& context,
-      std::span<const defenses::ClientUpdate> updates) override {
-    const std::size_t dim = defenses::validate_updates(updates);
-    const auto global = context.global_parameters;
-
-    // Deltas and their mean direction.
-    std::vector<std::vector<float>> deltas(updates.size());
-    std::vector<float> mean_delta(dim, 0.0f);
-    for (std::size_t k = 0; k < updates.size(); ++k) {
-      deltas[k].resize(dim);
-      for (std::size_t i = 0; i < dim; ++i) {
-        deltas[k][i] = updates[k].psi[i] - global[i];
-        mean_delta[i] += deltas[k][i] / static_cast<float>(updates.size());
-      }
-    }
-
-    defenses::AggregationResult result;
-    std::vector<defenses::ClientUpdate> kept;
-    for (std::size_t k = 0; k < updates.size(); ++k) {
-      if (util::cosine_similarity(deltas[k], mean_delta) >= threshold_) {
-        kept.push_back(updates[k]);
-        result.accepted_clients.push_back(updates[k].client_id);
-      } else {
-        result.rejected_clients.push_back(updates[k].client_id);
-      }
-    }
-    if (kept.empty()) kept.assign(updates.begin(), updates.end());
-    result.parameters = defenses::weighted_mean(kept);
-    return result;
-  }
-
   [[nodiscard]] std::string name() const override { return "cosine_filter"; }
 
  private:
+  void do_aggregate(const defenses::AggregationContext& context,
+                    const defenses::UpdateView& updates,
+                    defenses::AggregationResult& out) override {
+    const std::size_t dim = updates.psi_dim();
+    const auto global = context.global_parameters;
+
+    // Deltas and their mean direction.
+    std::vector<std::vector<float>> deltas(updates.count());
+    std::vector<float> mean_delta(dim, 0.0f);
+    for (std::size_t k = 0; k < updates.count(); ++k) {
+      const std::span<const float> psi = updates.psi(k);
+      deltas[k].resize(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        deltas[k][i] = psi[i] - global[i];
+        mean_delta[i] += deltas[k][i] / static_cast<float>(updates.count());
+      }
+    }
+
+    std::vector<std::size_t> kept_slots;
+    for (std::size_t k = 0; k < updates.count(); ++k) {
+      if (util::cosine_similarity(deltas[k], mean_delta) >= threshold_) {
+        kept_slots.push_back(k);
+        out.accepted_clients.push_back(updates.meta(k).client_id);
+      } else {
+        out.rejected_clients.push_back(updates.meta(k).client_id);
+      }
+    }
+    if (kept_slots.empty()) {
+      kept_slots.resize(updates.count());
+      std::iota(kept_slots.begin(), kept_slots.end(), std::size_t{0});
+      out.accepted_clients.swap(out.rejected_clients);
+      out.rejected_clients.clear();
+    }
+    std::vector<std::size_t> select_scratch;
+    const defenses::UpdateView kept = updates.select(kept_slots, select_scratch);
+    out.parameters = defenses::weighted_mean(kept);
+  }
+
   double threshold_;
 };
 

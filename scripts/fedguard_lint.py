@@ -26,6 +26,10 @@ test-timeout         Every fedguard_add_test() call must carry a TIMEOUT so a
 config-docs          Every descriptor config key parsed in
                      src/core/config_file.cpp (including all fault_*/remote_*/
                      kernel_* keys) must be documented somewhere under docs/.
+no-pointset-copy     No re-concatenation of ψ update vectors in src/defenses/
+                     (insert(xxx.end(), ...psi...)). The round arena makes
+                     sub-selection an index operation: build an UpdateView /
+                     PointsView selection instead of copying point sets.
 
 Allowlist
 ---------
@@ -62,6 +66,7 @@ RULES = {
     "naked-new": "naked new/delete (use RAII wrappers)",
     "test-timeout": "fedguard_add_test without a TIMEOUT",
     "config-docs": "config key referenced in code but not documented in docs/",
+    "no-pointset-copy": "psi re-concatenation in a defense (use an UpdateView selection)",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -87,6 +92,11 @@ UNORDERED_SCOPE_DIRS = ("src/defenses", "src/fl", "src/net")
 UNORDERED_SCOPE_FILES = ("src/util/serialize.cpp", "src/util/serialize.hpp")
 
 CONFIG_KEY_RE = re.compile(r'key\s*==\s*"([a-z0-9_]+)"|values\.find\("([a-z0-9_]+)"\)')
+
+# Appending psi data to a growing buffer inside a defense reintroduces the
+# per-iteration point-set copies the round arena exists to eliminate.
+POINTSET_COPY = re.compile(r"\.insert\s*\(\s*\w+\s*\.\s*end\s*\(\s*\)\s*,[^;]*psi")
+POINTSET_SCOPE_DIR = "src/defenses/"
 
 
 class Violation:
@@ -229,6 +239,14 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                 relpath, idx, "naked-new",
                 f"'{match.group(0).strip()}' is a naked allocation; use a container "
                 "or std::make_unique"))
+
+        if relpath.startswith(POINTSET_SCOPE_DIR):
+            match = POINTSET_COPY.search(line)
+            if match and not allowed(allows, idx, "no-pointset-copy"):
+                violations.append(Violation(
+                    relpath, idx, "no-pointset-copy",
+                    "re-concatenating psi vectors copies the point set; select "
+                    "rows through an UpdateView/PointsView index selection instead"))
 
         if in_unordered_scope(relpath):
             hit = None

@@ -12,13 +12,17 @@ benchmark argument is the kernel thread count (see bench/bench_micro_tensor.cpp)
 single-argument benches report threads = 1. ``gflops`` is derived from
 google-benchmark's ``items_per_second`` counter, which the GEMM/axpy benches
 set to flops per iteration; benches without it omit the field.
+
+With ``--shape-only`` every slash-separated argument is part of the shape and
+threads is reported as 1 — for benches whose arguments are all problem sizes
+(the round-pipeline benches use [clients, dim]).
 """
 import json
 import pathlib
 import sys
 
 
-def parse_benchmark(entry):
+def parse_benchmark(entry, shape_only=False):
     if entry.get("run_type") == "aggregate":
         return None
     name = entry["name"]
@@ -26,7 +30,7 @@ def parse_benchmark(entry):
     op = parts[0]
     args = parts[1:]
     # Last argument is the thread count when the bench has >= 2 args.
-    if len(args) >= 2:
+    if len(args) >= 2 and not shape_only:
         threads = int(args[-1])
         shape = "x".join(args[:-1])
     else:
@@ -46,22 +50,25 @@ def parse_benchmark(entry):
 
 
 def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} <report-dir> <output.json>", file=sys.stderr)
+    argv = [a for a in sys.argv[1:] if a != "--shape-only"]
+    shape_only = "--shape-only" in sys.argv[1:]
+    if len(argv) != 2:
+        print(f"usage: {sys.argv[0]} [--shape-only] <report-dir> <output.json>",
+              file=sys.stderr)
         return 2
-    report_dir = pathlib.Path(sys.argv[1])
+    report_dir = pathlib.Path(argv[0])
     records = []
     for report in sorted(report_dir.glob("*.json")):
         with report.open() as f:
             data = json.load(f)
         for entry in data.get("benchmarks", []):
-            record = parse_benchmark(entry)
+            record = parse_benchmark(entry, shape_only)
             if record is not None:
                 records.append(record)
-    with open(sys.argv[2], "w") as f:
+    with open(argv[1], "w") as f:
         json.dump(records, f, indent=2)
         f.write("\n")
-    print(f"{len(records)} benchmark records -> {sys.argv[2]}")
+    print(f"{len(records)} benchmark records -> {argv[1]}")
     return 0
 
 

@@ -2,13 +2,16 @@
 # Regenerate every paper table/figure plus the ablation and micro benches.
 # The micro benches additionally emit machine-readable kernel numbers to
 # BENCH_kernels.json (op, shape, threads, ns/iter, GFLOP/s) for tracking the
-# blocked/parallel tensor kernels across commits.
+# blocked/parallel tensor kernels across commits, and the round-pipeline
+# bench emits BENCH_update_pipeline.json (zero-copy arena vs legacy-ownership
+# round costs, Bulyan elimination old vs new).
 # Usage: scripts/run_all_benches.sh [build-dir] (default: build)
 set -u
 BUILD_DIR="${1:-build}"
 SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 KERNEL_JSON_DIR="$(mktemp -d)"
-trap 'rm -rf "$KERNEL_JSON_DIR"' EXIT
+PIPELINE_JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$KERNEL_JSON_DIR" "$PIPELINE_JSON_DIR"' EXIT
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -17,6 +20,10 @@ for b in "$BUILD_DIR"/bench/*; do
   echo "### $(basename "$b")"
   echo "===================================================================="
   case "$b" in
+    *update_pipeline*)
+      "$b" --benchmark_out="$PIPELINE_JSON_DIR/$(basename "$b").json" \
+           --benchmark_out_format=json
+      ;;
     *micro*)
       # Keep the human-readable console output AND capture the JSON report.
       "$b" --benchmark_out="$KERNEL_JSON_DIR/$(basename "$b").json" \
@@ -30,6 +37,8 @@ done
 if command -v python3 >/dev/null 2>&1; then
   python3 "$SCRIPT_DIR/merge_kernel_bench.py" "$KERNEL_JSON_DIR" BENCH_kernels.json \
     && echo && echo "kernel micro-bench summary written to BENCH_kernels.json"
+  python3 "$SCRIPT_DIR/merge_kernel_bench.py" --shape-only "$PIPELINE_JSON_DIR" BENCH_update_pipeline.json \
+    && echo "round-pipeline summary written to BENCH_update_pipeline.json"
 else
-  echo "python3 not found; skipping BENCH_kernels.json" >&2
+  echo "python3 not found; skipping BENCH_kernels.json / BENCH_update_pipeline.json" >&2
 fi

@@ -17,69 +17,160 @@ std::size_t validate_updates(std::span<const ClientUpdate> updates) {
     if (update.psi.size() != dim) {
       throw std::invalid_argument{"aggregation: parameter dimension mismatch"};
     }
-    // Every defense funnels through here, so this is the single boundary at
-    // which a NaN/Inf-poisoned upload is rejected before it can reach an
-    // accumulator (FEDGUARD_ASSERTS builds only).
     FEDGUARD_CHECK_FINITE(update.psi, "aggregation: non-finite psi from client " +
                                           std::to_string(update.client_id));
   }
   return dim;
 }
 
-std::vector<float> weighted_mean(std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
+std::size_t validate_view(const UpdateView& updates) {
+  if (updates.count() == 0) {
+    throw std::invalid_argument{"aggregation: no updates"};
+  }
+  const std::size_t dim = updates.psi_dim();
+  if (dim == 0) throw std::invalid_argument{"aggregation: empty parameter vector"};
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    // Every strategy entry funnels through here, so this is the single
+    // boundary at which a NaN/Inf-poisoned upload is rejected before it can
+    // reach an accumulator (FEDGUARD_ASSERTS builds only).
+    FEDGUARD_CHECK_FINITE(updates.psi(k), "aggregation: non-finite psi from client " +
+                                              std::to_string(updates.meta(k).client_id));
+  }
+  return dim;
+}
+
+void fill_update_matrix(UpdateMatrix& arena, std::span<const ClientUpdate> updates) {
+  const std::size_t dim = updates.empty() ? 0 : updates.front().psi.size();
+  std::size_t theta_dim = 0;
+  for (const auto& update : updates) theta_dim = std::max(theta_dim, update.theta.size());
+  arena.reset(updates.size(), dim, theta_dim);
+  for (std::size_t k = 0; k < updates.size(); ++k) {
+    const ClientUpdate& update = updates[k];
+    UpdateRow row = arena.row(k);
+    std::copy(update.psi.begin(), update.psi.end(), row.psi.begin());
+    std::copy(update.theta.begin(), update.theta.end(), row.theta.begin());
+    row.meta->client_id = update.client_id;
+    row.meta->num_samples = update.num_samples;
+    row.meta->truly_malicious = update.truly_malicious;
+    row.meta->theta_count = update.theta.size();
+  }
+}
+
+void AggregationStrategy::aggregate_into(const AggregationContext& context,
+                                         const UpdateView& updates, AggregationResult& out) {
+  (void)validate_view(updates);
+  out.clear();
+  do_aggregate(context, updates, out);
+}
+
+AggregationResult AggregationStrategy::aggregate(const AggregationContext& context,
+                                                 const UpdateView& updates) {
+  AggregationResult out;
+  aggregate_into(context, updates, out);
+  return out;
+}
+
+AggregationResult AggregationStrategy::aggregate(const AggregationContext& context,
+                                                 std::span<const ClientUpdate> updates) {
+  (void)validate_updates(updates);  // ragged dims must throw before the copy below
+  fill_update_matrix(compat_arena_, updates);
+  AggregationResult out;
+  aggregate_into(context, UpdateView{compat_arena_}, out);
+  return out;
+}
+
+void weighted_mean_into(const UpdateView& updates, std::vector<double>& accumulator,
+                        std::vector<float>& out) {
+  if (updates.count() == 0) throw std::invalid_argument{"aggregation: no updates"};
+  const std::size_t dim = updates.psi_dim();
+  const std::size_t count = updates.count();
   double total_weight = 0.0;
-  for (const auto& update : updates) {
-    total_weight += static_cast<double>(update.num_samples);
+  for (std::size_t k = 0; k < count; ++k) {
+    total_weight += static_cast<double>(updates.meta(k).num_samples);
   }
-  std::vector<double> accumulator(dim, 0.0);
+  accumulator.assign(dim, 0.0);
   if (total_weight == 0.0) {
-    for (const auto& update : updates) {
-      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += update.psi[i];
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::span<const float> psi = updates.psi(k);
+      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += psi[i];
     }
-    total_weight = static_cast<double>(updates.size());
+    total_weight = static_cast<double>(count);
   } else {
-    for (const auto& update : updates) {
-      const double w = static_cast<double>(update.num_samples);
-      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += w * update.psi[i];
+    for (std::size_t k = 0; k < count; ++k) {
+      const double w = static_cast<double>(updates.meta(k).num_samples);
+      const std::span<const float> psi = updates.psi(k);
+      for (std::size_t i = 0; i < dim; ++i) accumulator[i] += w * psi[i];
     }
   }
-  std::vector<float> out(dim);
+  out.resize(dim);
   for (std::size_t i = 0; i < dim; ++i) {
     out[i] = static_cast<float>(accumulator[i] / total_weight);
   }
+}
+
+std::vector<float> weighted_mean(const UpdateView& updates) {
+  std::vector<double> accumulator;
+  std::vector<float> out;
+  weighted_mean_into(updates, accumulator, out);
   return out;
 }
 
-std::vector<float> mean_of(std::span<const ClientUpdate> updates,
-                           std::span<const std::size_t> selected) {
+void mean_of_into(const UpdateView& updates, std::span<const std::size_t> selected,
+                  std::vector<double>& accumulator, std::vector<float>& out) {
   if (selected.empty()) throw std::invalid_argument{"mean_of: empty selection"};
-  const std::size_t dim = validate_updates(updates);
-  std::vector<double> accumulator(dim, 0.0);
+  const std::size_t dim = updates.psi_dim();
+  accumulator.assign(dim, 0.0);
   for (const std::size_t k : selected) {
-    for (std::size_t i = 0; i < dim; ++i) accumulator[i] += updates[k].psi[i];
+    const std::span<const float> psi = updates.psi(k);
+    for (std::size_t i = 0; i < dim; ++i) accumulator[i] += psi[i];
   }
-  std::vector<float> out(dim);
+  out.resize(dim);
   const double inv = 1.0 / static_cast<double>(selected.size());
   for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(accumulator[i] * inv);
+}
+
+std::vector<float> mean_of(const UpdateView& updates, std::span<const std::size_t> selected) {
+  std::vector<double> accumulator;
+  std::vector<float> out;
+  mean_of_into(updates, selected, accumulator, out);
   return out;
 }
 
-DetectionStats compute_detection_stats(std::span<const ClientUpdate> updates,
-                                       const AggregationResult& result) {
+namespace {
+
+template <typename RejectedFn>
+DetectionStats tally_detection(std::size_t count, RejectedFn&& info) {
   DetectionStats stats;
-  const auto rejected = [&result](int id) {
-    return std::find(result.rejected_clients.begin(), result.rejected_clients.end(), id) !=
-           result.rejected_clients.end();
-  };
-  for (const auto& update : updates) {
-    const bool was_rejected = rejected(update.client_id);
-    if (update.truly_malicious && was_rejected) ++stats.true_positives;
-    else if (update.truly_malicious) ++stats.false_negatives;
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto [malicious, was_rejected] = info(k);
+    if (malicious && was_rejected) ++stats.true_positives;
+    else if (malicious) ++stats.false_negatives;
     else if (was_rejected) ++stats.false_positives;
     else ++stats.true_negatives;
   }
   return stats;
+}
+
+bool contains_id(const std::vector<int>& ids, int id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+}  // namespace
+
+DetectionStats compute_detection_stats(std::span<const ClientUpdate> updates,
+                                       const AggregationResult& result) {
+  return tally_detection(updates.size(), [&](std::size_t k) {
+    return std::pair{updates[k].truly_malicious,
+                     contains_id(result.rejected_clients, updates[k].client_id)};
+  });
+}
+
+DetectionStats compute_detection_stats(const UpdateView& updates,
+                                       const AggregationResult& result) {
+  return tally_detection(updates.count(), [&](std::size_t k) {
+    const UpdateMeta& meta = updates.meta(k);
+    return std::pair{meta.truly_malicious, contains_id(result.rejected_clients, meta.client_id)};
+  });
 }
 
 }  // namespace fedguard::defenses

@@ -1,10 +1,16 @@
 #pragma once
 // Aggregation strategy interface shared by the FL server and all defenses.
 //
-// Per federated round the server hands the strategy the set of uploaded
-// client updates; the strategy returns the new global parameter vector plus
-// the accept/reject split it decided on (for diagnostics and the detection
-// metrics reported by the benches).
+// Per federated round the server fills a round-scoped UpdateMatrix arena with
+// the uploaded client updates and hands the strategy a view over it; the
+// strategy writes the new global parameter vector plus the accept/reject
+// split it decided on (for diagnostics and the detection metrics reported by
+// the benches) into an AggregationResult the server reuses across rounds.
+//
+// Strategies implement the private do_aggregate() hook; the public entry
+// points validate the view (dimension + NaN/Inf choke point) exactly once
+// before dispatching. An owned-ClientUpdate overload is kept for tests and
+// examples — it copies into an internal arena and runs the same view path.
 
 #include <cstdint>
 #include <memory>
@@ -12,12 +18,16 @@
 #include <string>
 #include <vector>
 
+#include "defenses/update_matrix.hpp"
+
 namespace fedguard::defenses {
 
-/// One client's upload for a round. `psi` is the flat classifier parameter
-/// vector after local training (possibly poisoned); `theta` is the flat CVAE
-/// decoder parameter vector (only populated when the strategy requests
-/// decoders, i.e. FedGuard).
+/// One client's upload for a round, in owned form (compatibility surface and
+/// the remote client's wire representation). `psi` is the flat classifier
+/// parameter vector after local training (possibly poisoned); `theta` is the
+/// flat CVAE decoder parameter vector (only populated when the strategy
+/// requests decoders, i.e. FedGuard). The zero-copy round loop stores the
+/// same fields as arena rows + UpdateMeta instead.
 struct ClientUpdate {
   int client_id = -1;
   std::vector<float> psi;
@@ -36,35 +46,85 @@ struct AggregationResult {
   std::vector<float> parameters;
   std::vector<int> accepted_clients;
   std::vector<int> rejected_clients;
+
+  /// Empties all three vectors, keeping their capacity for reuse.
+  void clear() noexcept {
+    parameters.clear();
+    accepted_clients.clear();
+    rejected_clients.clear();
+  }
 };
 
 class AggregationStrategy {
  public:
   virtual ~AggregationStrategy() = default;
 
-  [[nodiscard]] virtual AggregationResult aggregate(const AggregationContext& context,
-                                                    std::span<const ClientUpdate> updates) = 0;
+  /// Zero-copy entry point: aggregate the viewed arena rows into `out`
+  /// (cleared first; its buffers are reused across rounds by the server).
+  /// Validates the view — uniform non-zero dimension, finite rows — before
+  /// dispatching to the strategy body.
+  void aggregate_into(const AggregationContext& context, const UpdateView& updates,
+                      AggregationResult& out);
+
+  [[nodiscard]] AggregationResult aggregate(const AggregationContext& context,
+                                            const UpdateView& updates);
+
+  /// Compatibility entry point over owned updates: validates them (exact
+  /// legacy error behaviour, including ragged dimensions), copies into an
+  /// internal arena, and runs the view path.
+  [[nodiscard]] AggregationResult aggregate(const AggregationContext& context,
+                                            std::span<const ClientUpdate> updates);
 
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// True if clients must also upload their CVAE decoder parameters
   /// (FedGuard only); drives the Table V traffic accounting.
   [[nodiscard]] virtual bool wants_decoders() const { return false; }
+
+  /// Flat decoder length each upload must carry when wants_decoders(); sizes
+  /// the round arena's theta planes. 0 for strategies that ignore decoders.
+  [[nodiscard]] virtual std::size_t decoder_parameter_count() const { return 0; }
+
+ private:
+  /// Strategy body. `updates` is non-empty with a validated uniform psi
+  /// dimension; `out` arrives cleared.
+  virtual void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                            AggregationResult& out) = 0;
+
+  UpdateMatrix compat_arena_;  // backs the span<ClientUpdate> overload
 };
 
 // ---- Shared helpers used by several strategies -------------------------------
 
-/// Sample-count weighted arithmetic mean of the given updates' psi vectors.
+/// Sample-count weighted arithmetic mean of the viewed psi rows, written into
+/// `out` using `accumulator` as caller-owned scratch (both resized in place).
 /// Falls back to the unweighted mean when all counts are zero.
-[[nodiscard]] std::vector<float> weighted_mean(std::span<const ClientUpdate> updates);
+void weighted_mean_into(const UpdateView& updates, std::vector<double>& accumulator,
+                        std::vector<float>& out);
+[[nodiscard]] std::vector<float> weighted_mean(const UpdateView& updates);
 
-/// Unweighted mean of selected updates (by index into `updates`).
-[[nodiscard]] std::vector<float> mean_of(std::span<const ClientUpdate> updates,
+/// Unweighted mean of selected view slots (by index into `updates`), in the
+/// caller-given slot order.
+void mean_of_into(const UpdateView& updates, std::span<const std::size_t> selected,
+                  std::vector<double>& accumulator, std::vector<float>& out);
+[[nodiscard]] std::vector<float> mean_of(const UpdateView& updates,
                                          std::span<const std::size_t> selected);
 
 /// Throws std::invalid_argument unless all updates exist and share one
-/// parameter dimension; returns that dimension.
+/// parameter dimension; returns that dimension. (Owned-update form, used by
+/// the compatibility aggregate overload.)
 std::size_t validate_updates(std::span<const ClientUpdate> updates);
+
+/// View form of validate_updates: non-empty, non-zero dimension, and (in
+/// FEDGUARD_ASSERTS builds) every row finite. This is the single boundary at
+/// which a NaN/Inf-poisoned upload is rejected before it can reach an
+/// accumulator.
+std::size_t validate_view(const UpdateView& updates);
+
+/// Copy owned updates into `arena` (psi + theta planes + metadata). The theta
+/// plane is sized to the largest theta present; per-row actual lengths land
+/// in UpdateMeta::theta_count.
+void fill_update_matrix(UpdateMatrix& arena, std::span<const ClientUpdate> updates);
 
 /// Detection quality of a round's accept/reject split against ground truth.
 struct DetectionStats {
@@ -74,6 +134,8 @@ struct DetectionStats {
   std::size_t false_negatives = 0;  // malicious accepted
 };
 [[nodiscard]] DetectionStats compute_detection_stats(std::span<const ClientUpdate> updates,
+                                                     const AggregationResult& result);
+[[nodiscard]] DetectionStats compute_detection_stats(const UpdateView& updates,
                                                      const AggregationResult& result);
 
 }  // namespace fedguard::defenses

@@ -27,42 +27,44 @@ AuxiliaryAuditAggregator::AuxiliaryAuditAggregator(models::ClassifierArch arch,
 
 AuxiliaryAuditAggregator::~AuxiliaryAuditAggregator() = default;
 
-AggregationResult AuxiliaryAuditAggregator::aggregate(const AggregationContext& context,
-                                                      std::span<const ClientUpdate> updates) {
-  validate_updates(updates);
-  AggregationResult result;
+void AuxiliaryAuditAggregator::do_aggregate(const AggregationContext& context,
+                                            const UpdateView& updates, AggregationResult& out) {
+  const std::size_t count = updates.count();
   if (context.round < warmup_rounds_) {
     // PDGAN initialization phase: aggregate everything (the window during
     // which the system is vulnerable — paper §II / §VI-A).
-    last_scores_.assign(updates.size(), 0.0);
-    result.parameters = weighted_mean(updates);
-    for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
-    return result;
+    last_scores_.assign(count, 0.0);
+    weighted_mean_into(updates, accumulator_, out.parameters);
+    for (std::size_t k = 0; k < count; ++k) {
+      out.accepted_clients.push_back(updates.meta(k).client_id);
+    }
+    return;
   }
 
-  last_scores_.resize(updates.size());
-  for (std::size_t k = 0; k < updates.size(); ++k) {
-    scratch_->load_parameters_flat(updates[k].psi);
+  last_scores_.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    scratch_->load_parameters_flat(updates.psi(k));
     last_scores_[k] = scratch_->evaluate_accuracy(audit_images_, audit_labels_);
   }
   const double threshold = util::mean(std::span<const double>{last_scores_});
 
-  std::vector<ClientUpdate> kept;
-  for (std::size_t k = 0; k < updates.size(); ++k) {
+  kept_slots_.clear();
+  for (std::size_t k = 0; k < count; ++k) {
     if (last_scores_[k] >= threshold) {
-      kept.push_back(updates[k]);
-      result.accepted_clients.push_back(updates[k].client_id);
+      kept_slots_.push_back(k);
+      out.accepted_clients.push_back(updates.meta(k).client_id);
     } else {
-      result.rejected_clients.push_back(updates[k].client_id);
+      out.rejected_clients.push_back(updates.meta(k).client_id);
     }
   }
-  if (kept.empty()) {
-    kept.assign(updates.begin(), updates.end());
-    result.accepted_clients = result.rejected_clients;
-    result.rejected_clients.clear();
+  if (kept_slots_.empty()) {
+    kept_slots_.resize(count);
+    std::iota(kept_slots_.begin(), kept_slots_.end(), std::size_t{0});
+    out.accepted_clients.swap(out.rejected_clients);
+    out.rejected_clients.clear();
   }
-  result.parameters = weighted_mean(kept);
-  return result;
+  const UpdateView kept = updates.select(kept_slots_, select_scratch_);
+  weighted_mean_into(kept, accumulator_, out.parameters);
 }
 
 }  // namespace fedguard::defenses

@@ -28,8 +28,6 @@ class AuxiliaryAuditAggregator final : public AggregationStrategy {
                            std::uint64_t seed = 1);
   ~AuxiliaryAuditAggregator() override;
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "aux_audit"; }
 
   [[nodiscard]] const std::vector<double>& last_scores() const noexcept {
@@ -37,12 +35,19 @@ class AuxiliaryAuditAggregator final : public AggregationStrategy {
   }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   data::Dataset auxiliary_;
   std::size_t warmup_rounds_;
   std::unique_ptr<models::Classifier> scratch_;
   tensor::Tensor audit_images_;
   std::vector<int> audit_labels_;
   std::vector<double> last_scores_;
+  // Round-persistent scratch.
+  std::vector<std::size_t> kept_slots_;
+  std::vector<std::size_t> select_scratch_;
+  std::vector<double> accumulator_;
 };
 
 }  // namespace fedguard::defenses

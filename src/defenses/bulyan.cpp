@@ -9,32 +9,32 @@
 
 namespace fedguard::defenses {
 
-AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*context*/,
-                                              std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
-  const std::size_t count = updates.size();
+void BulyanAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                    const UpdateView& updates, AggregationResult& out) {
+  const std::size_t dim = updates.psi_dim();
+  const std::size_t count = updates.count();
 
   auto f = static_cast<std::size_t>(byzantine_fraction_ * static_cast<double>(count));
   // Selection set size n - 2f, at least 1.
   std::size_t selection_size = (count > 2 * f) ? count - 2 * f : 1;
 
-  // Stage 1: iterative Krum selection without replacement.
+  // Stage 1: iterative Krum selection without replacement. Pairwise distances
+  // never change between eliminations, so the O(n^2 d) matrix is computed once
+  // up front; each iteration re-scores the remaining candidates by lookup —
+  // only the O(n) row-index list shrinks, never the [n, dim] point data, and
+  // no distance is ever recomputed.
+  pairwise_squared_distances(updates.points(), distance2_);
   std::vector<std::size_t> remaining(count);
   std::iota(remaining.begin(), remaining.end(), std::size_t{0});
   std::vector<std::size_t> selected;
-  std::vector<float> points;
   while (selected.size() < selection_size && remaining.size() > 0) {
     if (remaining.size() == 1) {
       selected.push_back(remaining.front());
       remaining.clear();
       break;
     }
-    points.clear();
-    points.reserve(remaining.size() * dim);
-    for (const std::size_t k : remaining) {
-      points.insert(points.end(), updates[k].psi.begin(), updates[k].psi.end());
-    }
-    const std::vector<double> scores = krum_scores(points, remaining.size(), dim, f);
+    const std::vector<double> scores =
+        krum_scores_from_distances(distance2_, count, remaining, f);
     const std::size_t best = static_cast<std::size_t>(
         std::min_element(scores.begin(), scores.end()) - scores.begin());
     selected.push_back(remaining[best]);
@@ -46,13 +46,14 @@ AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*contex
   // are independent, so the loop partitions over the kernel pool; each range
   // sorts into its own column buffer.
   std::size_t beta = (selected.size() > 2 * f) ? selected.size() - 2 * f : 1;
-  AggregationResult result;
-  result.parameters.resize(dim);
+  out.parameters.resize(dim);
+  std::vector<const float*> rows(selected.size());
+  for (std::size_t k = 0; k < selected.size(); ++k) rows[k] = updates.psi(selected[k]).data();
   const auto trimmed_coordinates = [&](std::size_t begin, std::size_t end) {
     std::vector<float> column(selected.size());
     for (std::size_t i = begin; i < end; ++i) {
       for (std::size_t k = 0; k < selected.size(); ++k) {
-        column[k] = updates[selected[k]].psi[i];
+        column[k] = rows[k][i];
       }
       std::sort(column.begin(), column.end());
       const float median_value = column[column.size() / 2];
@@ -63,7 +64,7 @@ AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*contex
                         });
       double total = 0.0;
       for (std::size_t k = 0; k < beta; ++k) total += column[k];
-      result.parameters[i] = static_cast<float>(total / static_cast<double>(beta));
+      out.parameters[i] = static_cast<float>(total / static_cast<double>(beta));
     }
   };
   const parallel::KernelConfig kernel_cfg = parallel::kernel_config();
@@ -76,12 +77,11 @@ AggregationResult BulyanAggregator::aggregate(const AggregationContext& /*contex
 
   for (std::size_t k = 0; k < count; ++k) {
     if (std::find(selected.begin(), selected.end(), k) != selected.end()) {
-      result.accepted_clients.push_back(updates[k].client_id);
+      out.accepted_clients.push_back(updates.meta(k).client_id);
     } else {
-      result.rejected_clients.push_back(updates[k].client_id);
+      out.rejected_clients.push_back(updates.meta(k).client_id);
     }
   }
-  return result;
 }
 
 }  // namespace fedguard::defenses

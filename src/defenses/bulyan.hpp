@@ -16,12 +16,14 @@ class BulyanAggregator final : public AggregationStrategy {
   explicit BulyanAggregator(double byzantine_estimate_fraction = 0.2)
       : byzantine_fraction_{byzantine_estimate_fraction} {}
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "bulyan"; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   double byzantine_fraction_;
+  std::vector<double> distance2_;  // round-persistent pairwise distance matrix
 };
 
 }  // namespace fedguard::defenses

@@ -2,13 +2,13 @@
 
 namespace fedguard::defenses {
 
-AggregationResult FedAvgAggregator::aggregate(const AggregationContext& /*context*/,
-                                              std::span<const ClientUpdate> updates) {
-  AggregationResult result;
-  result.parameters = weighted_mean(updates);
-  result.accepted_clients.reserve(updates.size());
-  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
-  return result;
+void FedAvgAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                    const UpdateView& updates, AggregationResult& out) {
+  weighted_mean_into(updates, accumulator_, out.parameters);
+  out.accepted_clients.reserve(updates.count());
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    out.accepted_clients.push_back(updates.meta(k).client_id);
+  }
 }
 
 }  // namespace fedguard::defenses

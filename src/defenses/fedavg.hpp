@@ -8,9 +8,13 @@ namespace fedguard::defenses {
 
 class FedAvgAggregator final : public AggregationStrategy {
  public:
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "fedavg"; }
+
+ private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
+  std::vector<double> accumulator_;  // round-persistent scratch
 };
 
 }  // namespace fedguard::defenses

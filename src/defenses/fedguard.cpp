@@ -1,6 +1,7 @@
 #include "defenses/fedguard.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "defenses/geomed.hpp"
@@ -45,19 +46,22 @@ FedGuardAggregator::FedGuardAggregator(FedGuardConfig config, models::Classifier
 
 FedGuardAggregator::~FedGuardAggregator() = default;
 
-AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*context*/,
-                                                std::span<const ClientUpdate> updates) {
-  validate_updates(updates);
+std::size_t FedGuardAggregator::decoder_parameter_count() const {
+  return scratch_decoder_->parameter_count();
+}
+
+void FedGuardAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                      const UpdateView& updates, AggregationResult& out) {
   const std::size_t decoder_dim = scratch_decoder_->parameter_count();
-  for (const auto& update : updates) {
-    if (update.theta.size() != decoder_dim) {
+  for (std::size_t j = 0; j < updates.count(); ++j) {
+    if (updates.meta(j).theta_count != decoder_dim) {
       throw std::invalid_argument{"FedGuardAggregator: decoder dimension mismatch"};
     }
-    FEDGUARD_CHECK_FINITE(update.theta,
+    FEDGUARD_CHECK_FINITE(updates.theta(j),
                           "FedGuard: non-finite decoder parameters from client " +
-                              std::to_string(update.client_id));
+                              std::to_string(updates.meta(j).client_id));
   }
-  const std::size_t active = updates.size();
+  const std::size_t active = updates.count();
   const std::size_t latent = config_.cvae_spec.latent;
 
   // (1) Shared latent + conditioning samples [z_t], [y_t] (Alg. 1 lines 2-3).
@@ -73,8 +77,8 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
   std::vector<float> syn_pixels;
   std::vector<int> syn_labels;
   const std::size_t pixels = geometry_.pixels();
-  auto decode_range = [&](const ClientUpdate& update, std::size_t begin, std::size_t count) {
-    scratch_decoder_->load_parameters_flat(update.theta);
+  auto decode_range = [&](std::span<const float> theta, std::size_t begin, std::size_t count) {
+    scratch_decoder_->load_parameters_flat(theta);
     tensor::Tensor z_slice{{count, latent}};
     std::vector<int> y_slice(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -88,7 +92,7 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
   };
 
   if (config_.sample_mode == FedGuardConfig::SampleMode::PerDecoder) {
-    for (const auto& update : updates) decode_range(update, 0, t);
+    for (std::size_t j = 0; j < active; ++j) decode_range(updates.theta(j), 0, t);
   } else {
     // Distribute t samples over |J| decoders, remainder to the first ones.
     const std::size_t base = t / active;
@@ -97,7 +101,7 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
     for (std::size_t j = 0; j < active; ++j) {
       const std::size_t count = base + (j < extra ? 1 : 0);
       if (count == 0) continue;
-      decode_range(updates[j], offset, count);
+      decode_range(updates.theta(j), offset, count);
       offset += count;
     }
   }
@@ -110,7 +114,7 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
   // (3) Score each client's classifier on D_syn (Alg. 1 line 5).
   last_scores_.assign(active, 0.0);
   for (std::size_t j = 0; j < active; ++j) {
-    scratch_classifier_->load_parameters_flat(updates[j].psi);
+    scratch_classifier_->load_parameters_flat(updates.psi(j));
     if (config_.score_metric == FedGuardConfig::ScoreMetric::Balanced) {
       // Mean per-class recall over the classes present in D_syn: a targeted
       // attack that sacrifices a class pair cannot hide behind the other
@@ -136,51 +140,39 @@ AggregationResult FedGuardAggregator::aggregate(const AggregationContext& /*cont
   (void)pixels;
 
   // (4) Selective aggregation: keep ACC_j >= mean(ACC) (Alg. 1 lines 6-7).
+  // The kept set is an index sub-view over the round arena — no update is
+  // ever copied for the internal operator.
   last_threshold_ = util::mean(std::span<const double>{last_scores_});
-  std::vector<ClientUpdate> kept;
-  AggregationResult result;
+  kept_slots_.clear();
   for (std::size_t j = 0; j < active; ++j) {
     if (last_scores_[j] >= last_threshold_) {
-      kept.push_back(updates[j]);
-      result.accepted_clients.push_back(updates[j].client_id);
+      kept_slots_.push_back(j);
+      out.accepted_clients.push_back(updates.meta(j).client_id);
     } else {
-      result.rejected_clients.push_back(updates[j].client_id);
+      out.rejected_clients.push_back(updates.meta(j).client_id);
     }
   }
-  if (kept.empty()) {
+  if (kept_slots_.empty()) {
     // Cannot happen with a finite mean (the max is always >= mean), but stay
     // defensive against NaN scores.
-    kept.assign(updates.begin(), updates.end());
-    result.accepted_clients = result.rejected_clients;
-    result.rejected_clients.clear();
+    kept_slots_.resize(active);
+    std::iota(kept_slots_.begin(), kept_slots_.end(), std::size_t{0});
+    out.accepted_clients.swap(out.rejected_clients);
+    out.rejected_clients.clear();
   }
+  const UpdateView kept = updates.select(kept_slots_, select_scratch_);
 
   switch (config_.internal_operator) {
     case InternalOperator::FedAvg:
-      result.parameters = weighted_mean(kept);
+      weighted_mean_into(kept, accumulator_, out.parameters);
       break;
-    case InternalOperator::GeoMed: {
-      const std::size_t dim = kept.front().psi.size();
-      std::vector<float> points;
-      points.reserve(kept.size() * dim);
-      for (const auto& update : kept) {
-        points.insert(points.end(), update.psi.begin(), update.psi.end());
-      }
-      result.parameters = geometric_median(points, kept.size(), dim);
+    case InternalOperator::GeoMed:
+      out.parameters = geometric_median(kept.points());
       break;
-    }
-    case InternalOperator::Median: {
-      const std::size_t dim = kept.front().psi.size();
-      std::vector<float> points;
-      points.reserve(kept.size() * dim);
-      for (const auto& update : kept) {
-        points.insert(points.end(), update.psi.begin(), update.psi.end());
-      }
-      result.parameters = coordinate_median(points, kept.size(), dim);
+    case InternalOperator::Median:
+      out.parameters = coordinate_median(kept.points());
       break;
-    }
   }
-  return result;
 }
 
 }  // namespace fedguard::defenses

@@ -47,11 +47,9 @@ class FedGuardAggregator final : public AggregationStrategy {
                      models::ImageGeometry geometry, std::uint64_t seed);
   ~FedGuardAggregator() override;
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
-
   [[nodiscard]] std::string name() const override { return "fedguard"; }
   [[nodiscard]] bool wants_decoders() const override { return true; }
+  [[nodiscard]] std::size_t decoder_parameter_count() const override;
 
   /// Per-client accuracies on D_syn from the most recent round, in update
   /// order (diagnostics).
@@ -62,6 +60,9 @@ class FedGuardAggregator final : public AggregationStrategy {
   [[nodiscard]] double last_threshold() const noexcept { return last_threshold_; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   FedGuardConfig config_;
   models::ImageGeometry geometry_;
   util::Rng rng_;
@@ -69,6 +70,10 @@ class FedGuardAggregator final : public AggregationStrategy {
   std::unique_ptr<models::CvaeDecoder> scratch_decoder_;
   std::vector<double> last_scores_;
   double last_threshold_ = 0.0;
+  // Round-persistent scratch.
+  std::vector<std::size_t> kept_slots_;
+  std::vector<std::size_t> select_scratch_;
+  std::vector<double> accumulator_;
 };
 
 }  // namespace fedguard::defenses

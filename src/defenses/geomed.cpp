@@ -9,17 +9,21 @@
 
 namespace fedguard::defenses {
 
-std::vector<float> geometric_median(std::span<const float> points, std::size_t count,
-                                    std::size_t dim, std::size_t max_iterations,
+std::vector<float> geometric_median(const PointsView& points, std::size_t max_iterations,
                                     double tolerance) {
-  if (count == 0 || dim == 0 || points.size() != count * dim) {
+  const std::size_t count = points.count();
+  const std::size_t dim = points.dim();
+  if (count == 0 || dim == 0) {
     throw std::invalid_argument{"geometric_median: bad dimensions"};
   }
-  FEDGUARD_CHECK_FINITE(points, "geometric_median: non-finite input point");
+  for (std::size_t k = 0; k < count; ++k) {
+    FEDGUARD_CHECK_FINITE(points.row(k), "geometric_median: non-finite input point");
+  }
   // Start from the arithmetic mean.
   std::vector<double> current(dim, 0.0);
   for (std::size_t k = 0; k < count; ++k) {
-    for (std::size_t i = 0; i < dim; ++i) current[i] += points[k * dim + i];
+    const std::span<const float> point = points.row(k);
+    for (std::size_t i = 0; i < dim; ++i) current[i] += point[i];
   }
   for (auto& v : current) v /= static_cast<double>(count);
 
@@ -38,9 +42,10 @@ std::vector<float> geometric_median(std::span<const float> points, std::size_t c
   for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
     const auto distance_pass = [&](std::size_t begin, std::size_t end) {
       for (std::size_t k = begin; k < end; ++k) {
+        const std::span<const float> point = points.row(k);
         double dist2 = 0.0;
         for (std::size_t i = 0; i < dim; ++i) {
-          const double d = static_cast<double>(points[k * dim + i]) - current[i];
+          const double d = static_cast<double>(point[i]) - current[i];
           dist2 += d * d;
         }
         weights[k] = std::sqrt(dist2);
@@ -72,7 +77,7 @@ std::vector<float> geometric_median(std::span<const float> points, std::size_t c
                 next.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
       for (std::size_t k = 0; k < count; ++k) {
         const double w = weights[k];
-        const float* point = points.data() + k * dim;
+        const float* point = points.row(k).data();
         for (std::size_t i = begin; i < end; ++i) next[i] += w * point[i];
       }
     };
@@ -97,20 +102,22 @@ std::vector<float> geometric_median(std::span<const float> points, std::size_t c
   return out;
 }
 
-AggregationResult GeoMedAggregator::aggregate(const AggregationContext& /*context*/,
-                                              std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
-  std::vector<float> points;
-  points.reserve(updates.size() * dim);
-  for (const auto& update : updates) {
-    points.insert(points.end(), update.psi.begin(), update.psi.end());
+std::vector<float> geometric_median(std::span<const float> points, std::size_t count,
+                                    std::size_t dim, std::size_t max_iterations,
+                                    double tolerance) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"geometric_median: bad dimensions"};
   }
-  AggregationResult result;
-  result.parameters =
-      geometric_median(points, updates.size(), dim, max_iterations_, tolerance_);
+  return geometric_median(PointsView{points, count, dim}, max_iterations, tolerance);
+}
+
+void GeoMedAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                    const UpdateView& updates, AggregationResult& out) {
+  out.parameters = geometric_median(updates.points(), max_iterations_, tolerance_);
   // GeoMed uses every update (robustness comes from the operator itself).
-  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
-  return result;
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    out.accepted_clients.push_back(updates.meta(k).client_id);
+  }
 }
 
 }  // namespace fedguard::defenses

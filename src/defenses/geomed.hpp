@@ -12,17 +12,22 @@ class GeoMedAggregator final : public AggregationStrategy {
   explicit GeoMedAggregator(std::size_t max_iterations = 50, double tolerance = 1e-6)
       : max_iterations_{max_iterations}, tolerance_{tolerance} {}
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "geomed"; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   std::size_t max_iterations_;
   double tolerance_;
 };
 
-/// Weiszfeld iteration over row vectors; exposed for direct testing.
-/// `points` is a flattened [count, dim] array.
+/// Weiszfeld iteration over the view's rows (index indirection, no
+/// sub-matrix materialization).
+[[nodiscard]] std::vector<float> geometric_median(const PointsView& points,
+                                                  std::size_t max_iterations = 50,
+                                                  double tolerance = 1e-6);
+/// Flattened [count, dim] form, kept for direct testing and external callers.
 [[nodiscard]] std::vector<float> geometric_median(std::span<const float> points,
                                                   std::size_t count, std::size_t dim,
                                                   std::size_t max_iterations = 50,

@@ -10,27 +10,20 @@
 
 namespace fedguard::defenses {
 
-std::vector<double> krum_scores(std::span<const float> points, std::size_t count,
-                                std::size_t dim, std::size_t byzantine_count) {
-  if (count == 0 || dim == 0 || points.size() != count * dim) {
-    throw std::invalid_argument{"krum_scores: bad dimensions"};
+void pairwise_squared_distances(const PointsView& points, std::vector<double>& distance2) {
+  const std::size_t count = points.count();
+  const std::size_t dim = points.dim();
+  if (count == 0 || dim == 0) {
+    throw std::invalid_argument{"pairwise_squared_distances: bad dimensions"};
   }
-  FEDGUARD_CHECK_FINITE(points, "krum_scores: non-finite input point");
-  // Clamp f so each update has at least one neighbour in its score.
-  std::size_t f = byzantine_count;
-  if (count < 3) f = 0;
-  else if (f + 2 >= count) f = count - 3;
-  const std::size_t neighbours = count - f - 2 > 0 ? count - f - 2 : 1;
-
-  // Pairwise squared distances — the O(n^2 * d) hot spot. Rows of the upper
-  // triangle are partitioned across the kernel pool; row `a` writes only
-  // entries [a][b] and [b][a] for b > a, so partitions never collide, and
-  // each distance is computed exactly once regardless of thread count.
-  std::vector<double> distance2(count * count, 0.0);
+  // The O(n^2 * d) hot spot. Rows of the upper triangle are partitioned
+  // across the kernel pool; row `a` writes only entries [a][b] and [b][a] for
+  // b > a, so partitions never collide, and each distance is computed exactly
+  // once regardless of thread count.
+  distance2.assign(count * count, 0.0);
   const auto distance_row = [&](std::size_t a) {
     for (std::size_t b = a + 1; b < count; ++b) {
-      const double d2 = util::squared_distance(points.subspan(a * dim, dim),
-                                               points.subspan(b * dim, dim));
+      const double d2 = util::squared_distance(points.row(a), points.row(b));
       distance2[a * count + b] = d2;
       distance2[b * count + a] = d2;
     }
@@ -44,15 +37,37 @@ std::vector<double> krum_scores(std::span<const float> points, std::size_t count
   } else {
     for (std::size_t a = 0; a < count; ++a) distance_row(a);
   }
+}
 
-  // Per-update neighbour sums (reads the finished distance matrix only).
+std::vector<double> krum_scores_from_distances(std::span<const double> distance2,
+                                               std::size_t stride,
+                                               std::span<const std::size_t> rows,
+                                               std::size_t byzantine_count) {
+  const std::size_t count = rows.size();
+  if (count == 0 || stride == 0 || distance2.size() != stride * stride) {
+    throw std::invalid_argument{"krum_scores_from_distances: bad dimensions"};
+  }
+  for (const std::size_t r : rows) {
+    if (r >= stride) {
+      throw std::invalid_argument{"krum_scores_from_distances: row index out of range"};
+    }
+  }
+  // Clamp f so each update has at least one neighbour in its score.
+  std::size_t f = byzantine_count;
+  if (count < 3) f = 0;
+  else if (f + 2 >= count) f = count - 3;
+  const std::size_t neighbours = count - f - 2 > 0 ? count - f - 2 : 1;
+
+  // Per-update neighbour sums over the precomputed matrix. Candidate order
+  // (and therefore the summation order after the partial sort) matches a
+  // fresh krum_scores call over the materialized subset exactly.
   std::vector<double> scores(count, 0.0);
   const auto score_rows = [&](std::size_t begin, std::size_t end) {
     std::vector<double> row;
     for (std::size_t a = begin; a < end; ++a) {
       row.clear();
       for (std::size_t b = 0; b < count; ++b) {
-        if (b != a) row.push_back(distance2[a * count + b]);
+        if (b != a) row.push_back(distance2[rows[a] * stride + rows[b]]);
       }
       const std::size_t k = std::min(neighbours, row.size());
       std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), row.end());
@@ -60,6 +75,7 @@ std::vector<double> krum_scores(std::span<const float> points, std::size_t count
           std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
     }
   };
+  const parallel::KernelConfig config = parallel::kernel_config();
   if (parallel::should_parallelize(count * count, config.distance_min_elements)) {
     parallel::kernel_parallel_ranges(count, 1, score_rows);
   } else {
@@ -68,37 +84,52 @@ std::vector<double> krum_scores(std::span<const float> points, std::size_t count
   return scores;
 }
 
-AggregationResult KrumAggregator::aggregate(const AggregationContext& /*context*/,
-                                            std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
-  const std::size_t count = updates.size();
-  std::vector<float> points;
-  points.reserve(count * dim);
-  for (const auto& update : updates) {
-    points.insert(points.end(), update.psi.begin(), update.psi.end());
+std::vector<double> krum_scores(const PointsView& points, std::size_t byzantine_count) {
+  const std::size_t count = points.count();
+  const std::size_t dim = points.dim();
+  if (count == 0 || dim == 0) {
+    throw std::invalid_argument{"krum_scores: bad dimensions"};
   }
+  for (std::size_t k = 0; k < count; ++k) {
+    FEDGUARD_CHECK_FINITE(points.row(k), "krum_scores: non-finite input point");
+  }
+  std::vector<double> distance2;
+  pairwise_squared_distances(points, distance2);
+  std::vector<std::size_t> rows(count);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return krum_scores_from_distances(distance2, count, rows, byzantine_count);
+}
+
+std::vector<double> krum_scores(std::span<const float> points, std::size_t count,
+                                std::size_t dim, std::size_t byzantine_count) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"krum_scores: bad dimensions"};
+  }
+  return krum_scores(PointsView{points, count, dim}, byzantine_count);
+}
+
+void KrumAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                  const UpdateView& updates, AggregationResult& out) {
+  const std::size_t count = updates.count();
   const auto byzantine_count =
       static_cast<std::size_t>(byzantine_fraction_ * static_cast<double>(count));
-  const std::vector<double> scores = krum_scores(points, count, dim, byzantine_count);
+  scores_ = krum_scores(updates.points(), byzantine_count);
 
-  std::vector<std::size_t> order(count);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  order_.resize(count);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(),
+            [this](std::size_t a, std::size_t b) { return scores_[a] < scores_[b]; });
 
   const std::size_t keep = std::min(std::max<std::size_t>(multi_k_, 1), count);
-  AggregationResult result;
-  std::vector<std::size_t> selected(order.begin(),
-                                    order.begin() + static_cast<std::ptrdiff_t>(keep));
-  result.parameters = mean_of(updates, selected);
+  selected_.assign(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(keep));
+  mean_of_into(updates, selected_, accumulator_, out.parameters);
   for (std::size_t k = 0; k < count; ++k) {
-    if (std::find(selected.begin(), selected.end(), k) != selected.end()) {
-      result.accepted_clients.push_back(updates[k].client_id);
+    if (std::find(selected_.begin(), selected_.end(), k) != selected_.end()) {
+      out.accepted_clients.push_back(updates.meta(k).client_id);
     } else {
-      result.rejected_clients.push_back(updates[k].client_id);
+      out.rejected_clients.push_back(updates.meta(k).client_id);
     }
   }
-  return result;
 }
 
 }  // namespace fedguard::defenses

@@ -5,15 +5,16 @@
 
 namespace fedguard::defenses {
 
-std::vector<float> coordinate_median(std::span<const float> points, std::size_t count,
-                                     std::size_t dim) {
-  if (count == 0 || dim == 0 || points.size() != count * dim) {
+std::vector<float> coordinate_median(const PointsView& points) {
+  const std::size_t count = points.count();
+  const std::size_t dim = points.dim();
+  if (count == 0 || dim == 0) {
     throw std::invalid_argument{"coordinate_median: bad dimensions"};
   }
   std::vector<float> out(dim);
   std::vector<float> column(count);
   for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < count; ++k) column[k] = points[k * dim + i];
+    for (std::size_t k = 0; k < count; ++k) column[k] = points.row(k)[i];
     const std::size_t mid = count / 2;
     std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
                      column.end());
@@ -29,18 +30,21 @@ std::vector<float> coordinate_median(std::span<const float> points, std::size_t 
   return out;
 }
 
-AggregationResult CoordinateMedianAggregator::aggregate(
-    const AggregationContext& /*context*/, std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
-  std::vector<float> points;
-  points.reserve(updates.size() * dim);
-  for (const auto& update : updates) {
-    points.insert(points.end(), update.psi.begin(), update.psi.end());
+std::vector<float> coordinate_median(std::span<const float> points, std::size_t count,
+                                     std::size_t dim) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"coordinate_median: bad dimensions"};
   }
-  AggregationResult result;
-  result.parameters = coordinate_median(points, updates.size(), dim);
-  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
-  return result;
+  return coordinate_median(PointsView{points, count, dim});
+}
+
+void CoordinateMedianAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                              const UpdateView& updates,
+                                              AggregationResult& out) {
+  out.parameters = coordinate_median(updates.points());
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    out.accepted_clients.push_back(updates.meta(k).client_id);
+  }
 }
 
 }  // namespace fedguard::defenses

@@ -9,12 +9,16 @@ namespace fedguard::defenses {
 
 class CoordinateMedianAggregator final : public AggregationStrategy {
  public:
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "median"; }
+
+ private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
 };
 
-/// Coordinate-wise median over a flattened [count, dim] point set.
+/// Coordinate-wise median over the view's rows.
+[[nodiscard]] std::vector<float> coordinate_median(const PointsView& points);
+/// Flattened [count, dim] form, kept for direct testing and external callers.
 [[nodiscard]] std::vector<float> coordinate_median(std::span<const float> points,
                                                    std::size_t count, std::size_t dim);
 

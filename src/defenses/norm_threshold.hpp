@@ -16,11 +16,12 @@ class NormThresholdAggregator final : public AggregationStrategy {
   explicit NormThresholdAggregator(double threshold_multiplier = 1.0)
       : threshold_multiplier_{threshold_multiplier} {}
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "norm_threshold"; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   double threshold_multiplier_;
 };
 

@@ -116,39 +116,40 @@ void SpectralAggregator::pretrain(std::span<const float> initial_parameters) {
                  static_cast<double>(final_loss), surrogates.size());
 }
 
-AggregationResult SpectralAggregator::aggregate(const AggregationContext& context,
-                                                std::span<const ClientUpdate> updates) {
-  validate_updates(updates);
+void SpectralAggregator::do_aggregate(const AggregationContext& context,
+                                      const UpdateView& updates, AggregationResult& out) {
   if (!vae_) pretrain(context.global_parameters);
 
   // Score every update by surrogate reconstruction error.
-  last_errors_.assign(updates.size(), 0.0);
-  for (std::size_t k = 0; k < updates.size(); ++k) {
-    const std::vector<float> s = normalized_surrogate(updates[k].psi);
+  const std::size_t count = updates.count();
+  last_errors_.assign(count, 0.0);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::vector<float> s = normalized_surrogate(updates.psi(k));
     tensor::Tensor batch = tensor::Tensor::from_data({1, s.size()}, s);
     last_errors_[k] = vae_->reconstruction_errors(batch).front();
   }
   const double threshold = util::mean(std::span<const double>{last_errors_});
 
-  // Keep updates at or below the dynamic threshold (mean of errors).
-  std::vector<ClientUpdate> kept;
-  AggregationResult result;
-  for (std::size_t k = 0; k < updates.size(); ++k) {
+  // Keep updates at or below the dynamic threshold (mean of errors). The kept
+  // set is an index sub-view over the round arena — no psi copies.
+  kept_slots_.clear();
+  for (std::size_t k = 0; k < count; ++k) {
     if (last_errors_[k] <= threshold) {
-      kept.push_back(updates[k]);
-      result.accepted_clients.push_back(updates[k].client_id);
+      kept_slots_.push_back(k);
+      out.accepted_clients.push_back(updates.meta(k).client_id);
     } else {
-      result.rejected_clients.push_back(updates[k].client_id);
+      out.rejected_clients.push_back(updates.meta(k).client_id);
     }
   }
-  if (kept.empty()) {
+  if (kept_slots_.empty()) {
     // Degenerate round (all errors equal/above); fall back to FedAvg over all.
-    kept.assign(updates.begin(), updates.end());
-    result.accepted_clients = result.rejected_clients;
-    result.rejected_clients.clear();
+    kept_slots_.resize(count);
+    std::iota(kept_slots_.begin(), kept_slots_.end(), std::size_t{0});
+    out.accepted_clients.swap(out.rejected_clients);
+    out.rejected_clients.clear();
   }
-  result.parameters = weighted_mean(kept);
-  return result;
+  const UpdateView kept = updates.select(kept_slots_, select_scratch_);
+  weighted_mean_into(kept, accumulator_, out.parameters);
 }
 
 }  // namespace fedguard::defenses

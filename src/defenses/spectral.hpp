@@ -51,8 +51,6 @@ class SpectralAggregator final : public AggregationStrategy {
                      std::uint64_t seed);
   ~SpectralAggregator() override;
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "spectral"; }
 
   /// Reconstruction errors of the most recent round (diagnostics).
@@ -62,6 +60,9 @@ class SpectralAggregator final : public AggregationStrategy {
   [[nodiscard]] bool pretrained() const noexcept { return vae_ != nullptr; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   void pretrain(std::span<const float> initial_parameters);
   [[nodiscard]] std::vector<float> surrogate(std::span<const float> psi) const;
   [[nodiscard]] std::vector<float> normalized_surrogate(std::span<const float> psi) const;
@@ -77,6 +78,10 @@ class SpectralAggregator final : public AggregationStrategy {
   std::vector<double> feature_stddev_;
   std::vector<double> last_errors_;
   std::size_t effective_surrogate_dim_ = 0;
+  // Round-persistent scratch.
+  std::vector<std::size_t> kept_slots_;
+  std::vector<std::size_t> select_scratch_;
+  std::vector<double> accumulator_;
 };
 
 }  // namespace fedguard::defenses

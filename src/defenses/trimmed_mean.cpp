@@ -12,9 +12,10 @@ TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
   }
 }
 
-std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count,
-                                std::size_t dim, double trim_fraction) {
-  if (count == 0 || dim == 0 || points.size() != count * dim) {
+std::vector<float> trimmed_mean(const PointsView& points, double trim_fraction) {
+  const std::size_t count = points.count();
+  const std::size_t dim = points.dim();
+  if (count == 0 || dim == 0) {
     throw std::invalid_argument{"trimmed_mean: bad dimensions"};
   }
   auto trim = static_cast<std::size_t>(trim_fraction * static_cast<double>(count));
@@ -24,7 +25,7 @@ std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count
   std::vector<float> out(dim);
   std::vector<float> column(count);
   for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < count; ++k) column[k] = points[k * dim + i];
+    for (std::size_t k = 0; k < count; ++k) column[k] = points.row(k)[i];
     std::sort(column.begin(), column.end());
     double total = 0.0;
     for (std::size_t k = trim; k < count - trim; ++k) total += column[k];
@@ -33,18 +34,20 @@ std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count
   return out;
 }
 
-AggregationResult TrimmedMeanAggregator::aggregate(const AggregationContext& /*context*/,
-                                                   std::span<const ClientUpdate> updates) {
-  const std::size_t dim = validate_updates(updates);
-  std::vector<float> points;
-  points.reserve(updates.size() * dim);
-  for (const auto& update : updates) {
-    points.insert(points.end(), update.psi.begin(), update.psi.end());
+std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count,
+                                std::size_t dim, double trim_fraction) {
+  if (count == 0 || dim == 0 || points.size() != count * dim) {
+    throw std::invalid_argument{"trimmed_mean: bad dimensions"};
   }
-  AggregationResult result;
-  result.parameters = trimmed_mean(points, updates.size(), dim, trim_fraction_);
-  for (const auto& update : updates) result.accepted_clients.push_back(update.client_id);
-  return result;
+  return trimmed_mean(PointsView{points, count, dim}, trim_fraction);
+}
+
+void TrimmedMeanAggregator::do_aggregate(const AggregationContext& /*context*/,
+                                         const UpdateView& updates, AggregationResult& out) {
+  out.parameters = trimmed_mean(updates.points(), trim_fraction_);
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    out.accepted_clients.push_back(updates.meta(k).client_id);
+  }
 }
 
 }  // namespace fedguard::defenses

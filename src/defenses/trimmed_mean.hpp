@@ -11,15 +11,18 @@ class TrimmedMeanAggregator final : public AggregationStrategy {
   /// `trim_fraction` in [0, 0.5): fraction trimmed from EACH side.
   explicit TrimmedMeanAggregator(double trim_fraction = 0.2);
 
-  AggregationResult aggregate(const AggregationContext& context,
-                              std::span<const ClientUpdate> updates) override;
   [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
 
  private:
+  void do_aggregate(const AggregationContext& context, const UpdateView& updates,
+                    AggregationResult& out) override;
+
   double trim_fraction_;
 };
 
-/// Trimmed mean over a flattened [count, dim] point set.
+/// Trimmed mean over the view's rows.
+[[nodiscard]] std::vector<float> trimmed_mean(const PointsView& points, double trim_fraction);
+/// Flattened [count, dim] form, kept for direct testing and external callers.
 [[nodiscard]] std::vector<float> trimmed_mean(std::span<const float> points, std::size_t count,
                                               std::size_t dim, double trim_fraction);
 

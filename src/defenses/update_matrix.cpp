@@ -1,0 +1,37 @@
+#include "defenses/update_matrix.hpp"
+
+#include <algorithm>
+
+namespace fedguard::defenses {
+
+void UpdateMatrix::reset(std::size_t count, std::size_t psi_dim, std::size_t theta_dim) {
+  count_ = count;
+  psi_dim_ = psi_dim;
+  theta_dim_ = theta_dim;
+  psi_storage_.resize(count * psi_dim);
+  theta_storage_.resize(count * theta_dim);
+  meta_.assign(count, UpdateMeta{});
+}
+
+std::span<const float> UpdateMatrix::theta(std::size_t row) const noexcept {
+  const std::size_t len = std::min(meta_[row].theta_count, theta_dim_);
+  return {theta_storage_.data() + row * theta_dim_, len};
+}
+
+UpdateRow UpdateMatrix::row(std::size_t r) noexcept {
+  return UpdateRow{psi(r), {theta_storage_.data() + r * theta_dim_, theta_dim_}, &meta_[r]};
+}
+
+PointsView UpdateView::points() const noexcept {
+  if (!selected_) return PointsView{matrix_->psi_data(), matrix_->count(), matrix_->psi_dim()};
+  return PointsView{matrix_->psi_data(), matrix_->psi_dim(), rows_};
+}
+
+UpdateView UpdateView::select(std::span<const std::size_t> slots,
+                              std::vector<std::size_t>& storage) const {
+  storage.resize(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) storage[i] = row_index(slots[i]);
+  return UpdateView{*matrix_, storage};
+}
+
+}  // namespace fedguard::defenses

@@ -58,8 +58,8 @@ void Client::ensure_cvae_trained() {
   participations_at_last_cvae_ = participations_;
 }
 
-defenses::ClientUpdate Client::run_round(std::span<const float> global_parameters,
-                                         std::size_t round) {
+void Client::run_round_into(std::span<const float> global_parameters, std::size_t round,
+                            defenses::UpdateRow row) {
   ensure_cvae_trained();
   ++participations_;
 
@@ -79,16 +79,39 @@ defenses::ClientUpdate Client::run_round(std::span<const float> global_parameter
     }
   }
 
-  defenses::ClientUpdate update;
-  update.client_id = id_;
-  update.psi = classifier.parameters_flat();
-  update.theta = cached_theta_;
-  update.num_samples = local_data_.size();
-  update.truly_malicious = malicious();
+  classifier.copy_parameters_to(row.psi);
+  row.meta->client_id = id_;
+  row.meta->num_samples = local_data_.size();
+  row.meta->truly_malicious = malicious();
+  // theta_count always records the cached decoder's true length; the copy
+  // happens only when the arena row has capacity for it, so a dimension
+  // mismatch surfaces as metadata for the strategy to reject, never as an
+  // out-of-bounds write.
+  row.meta->theta_count = cached_theta_.size();
+  if (cached_theta_.size() <= row.theta.size()) {
+    std::copy(cached_theta_.begin(), cached_theta_.end(), row.theta.begin());
+  }
 
   if (model_attack_ != nullptr) {
-    model_attack_->apply(update.psi, global_parameters, round);
+    model_attack_->apply(row.psi, global_parameters, round);
   }
+}
+
+defenses::ClientUpdate Client::run_round(std::span<const float> global_parameters,
+                                         std::size_t round) {
+  // Compat wrapper over the zero-copy path (remote clients and tests); the
+  // CVAE must be trained first so the theta buffer can be sized.
+  ensure_cvae_trained();
+
+  defenses::ClientUpdate update;
+  update.psi.resize(global_parameters.size());
+  update.theta.resize(cached_theta_.size());
+  defenses::UpdateMeta meta;
+  run_round_into(global_parameters, round,
+                 defenses::UpdateRow{update.psi, update.theta, &meta});
+  update.client_id = meta.client_id;
+  update.num_samples = meta.num_samples;
+  update.truly_malicious = meta.truly_malicious;
   return update;
 }
 

@@ -68,6 +68,13 @@ class Client {
   [[nodiscard]] defenses::ClientUpdate run_round(std::span<const float> global_parameters,
                                                  std::size_t round);
 
+  /// Zero-copy form: the trained ψ is written directly into `row.psi` (which
+  /// must span the global parameter dimension), θ into `row.theta` when it
+  /// fits, and the metadata into `row.meta`. Identical rng draws and training
+  /// trajectory to run_round — the two forms are bit-for-bit interchangeable.
+  void run_round_into(std::span<const float> global_parameters, std::size_t round,
+                      defenses::UpdateRow row);
+
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] bool malicious() const noexcept {
     return model_attack_ != nullptr || label_flipped_;

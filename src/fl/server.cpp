@@ -34,12 +34,11 @@ double Server::evaluate_global() {
   const std::size_t total = test_set_.size();
   if (total == 0) return 0.0;
   std::size_t correct = 0;
-  std::vector<std::size_t> indices(config_.eval_batch_size);
   for (std::size_t start = 0; start < total; start += config_.eval_batch_size) {
     const std::size_t n = std::min(config_.eval_batch_size, total - start);
-    indices.resize(n);
-    for (std::size_t i = 0; i < n; ++i) indices[i] = start + i;
-    const data::Dataset::Batch batch = test_set_.gather(indices);
+    eval_indices_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) eval_indices_[i] = start + i;
+    const data::Dataset::Batch batch = test_set_.gather(eval_indices_);
     correct += static_cast<std::size_t>(
         eval_classifier_->evaluate_accuracy(batch.images, batch.labels) *
             static_cast<double>(n) +
@@ -54,49 +53,50 @@ RoundRecord Server::run_round(std::size_t round) {
   record.round = round;
 
   // Uniform sampling of m participating clients (Alg. 1 line 17).
-  std::vector<std::size_t> sampled =
-      rng_.sample_without_replacement(clients_.size(), config_.clients_per_round);
-  record.sampled_clients = sampled.size();
+  rng_.sample_without_replacement(clients_.size(), config_.clients_per_round, sampled_);
+  record.sampled_clients = sampled_.size();
 
   // Straggler simulation: sampled clients may fail to respond this round.
   // The predicate (a deterministic test hook) takes priority and consumes no
   // rng draws, keeping the sampling sequence identical to a run without it.
   if (config_.straggler_predicate || config_.straggler_probability > 0.0) {
-    std::vector<std::size_t> responders;
-    for (const std::size_t id : sampled) {
+    responders_.clear();
+    for (const std::size_t id : sampled_) {
       const bool fails = config_.straggler_predicate
                              ? config_.straggler_predicate(id, round)
                              : rng_.bernoulli(config_.straggler_probability);
-      if (!fails) responders.push_back(id);
+      if (!fails) responders_.push_back(id);
     }
-    record.stragglers = sampled.size() - responders.size();
-    if (responders.empty()) {
+    record.stragglers = sampled_.size() - responders_.size();
+    if (responders_.empty()) {
       // Nobody responded: the global model is unchanged this round.
       record.test_accuracy = evaluate_global();
       if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
       record.round_seconds = stopwatch.seconds();
       return record;
     }
-    sampled = std::move(responders);
+    sampled_.swap(responders_);
   }
 
   // Client work items run concurrently on the pool (one process per client
-  // on the paper's testbed).
-  std::vector<defenses::ClientUpdate> updates(sampled.size());
-  parallel::parallel_for(parallel::global_pool(), 0, sampled.size(), [&](std::size_t k) {
-    updates[k] = clients_[sampled[k]]->run_round(global_parameters_, round);
+  // on the paper's testbed), each writing its assigned arena row in place.
+  arena_.reset(sampled_.size(), global_parameters_.size(),
+               strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
+  parallel::parallel_for(parallel::global_pool(), 0, sampled_.size(), [&](std::size_t k) {
+    clients_[sampled_[k]]->run_round_into(global_parameters_, round, arena_.row(k));
   });
-  for (const auto& update : updates) {
-    if (update.truly_malicious) ++record.sampled_malicious;
+  const defenses::UpdateView updates{arena_};
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    if (updates.meta(k).truly_malicious) ++record.sampled_malicious;
   }
 
   // Traffic accounting (Table V).
   const std::size_t psi_wire = nn::parameter_wire_bytes(global_parameters_.size());
-  record.server_upload_bytes = sampled.size() * psi_wire;
-  record.server_download_bytes = sampled.size() * psi_wire;
+  record.server_upload_bytes = sampled_.size() * psi_wire;
+  record.server_download_bytes = sampled_.size() * psi_wire;
   if (strategy_.wants_decoders()) {
-    for (const auto& update : updates) {
-      record.server_download_bytes += nn::parameter_wire_bytes(update.theta.size());
+    for (std::size_t k = 0; k < updates.count(); ++k) {
+      record.server_download_bytes += nn::parameter_wire_bytes(updates.meta(k).theta_count);
     }
   }
 
@@ -104,19 +104,19 @@ RoundRecord Server::run_round(std::size_t round) {
   defenses::AggregationContext context;
   context.round = round;
   context.global_parameters = global_parameters_;
-  const defenses::AggregationResult result = strategy_.aggregate(context, updates);
-  if (result.parameters.size() != global_parameters_.size()) {
+  strategy_.aggregate_into(context, updates, result_);
+  if (result_.parameters.size() != global_parameters_.size()) {
     throw std::runtime_error{"Server: strategy returned wrong parameter dimension"};
   }
   const float eta = config_.server_learning_rate;
   for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
-    global_parameters_[i] += eta * (result.parameters[i] - global_parameters_[i]);
+    global_parameters_[i] += eta * (result_.parameters[i] - global_parameters_[i]);
   }
 
   // Detection bookkeeping.
   const defenses::DetectionStats detection =
-      defenses::compute_detection_stats(updates, result);
-  record.rejected_clients = result.rejected_clients.size();
+      defenses::compute_detection_stats(updates, result_);
+  record.rejected_clients = result_.rejected_clients.size();
   record.rejected_malicious = detection.true_positives;
   record.rejected_benign = detection.false_positives;
 

@@ -76,6 +76,14 @@ class Server {
   std::vector<float> global_parameters_;
   std::unique_ptr<models::Classifier> eval_classifier_;
   util::Rng rng_;
+  // Round-persistent scratch: the arena and index/result buffers keep their
+  // capacity across rounds, so a steady-state round performs no heap
+  // allocation in this loop (strategies own their own scratch likewise).
+  defenses::UpdateMatrix arena_;
+  defenses::AggregationResult result_;
+  std::vector<std::size_t> sampled_;
+  std::vector<std::size_t> responders_;
+  std::vector<std::size_t> eval_indices_;
 };
 
 }  // namespace fedguard::fl

@@ -163,6 +163,10 @@ std::vector<std::size_t> Classifier::confusion_matrix(const tensor::Tensor& imag
 
 std::vector<float> Classifier::parameters_flat() { return nn::flatten_parameters(*network_); }
 
+void Classifier::copy_parameters_to(std::span<float> out) {
+  nn::copy_parameters_to(*network_, out);
+}
+
 void Classifier::load_parameters_flat(std::span<const float> flat) {
   nn::unflatten_parameters(*network_, flat);
 }

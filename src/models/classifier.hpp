@@ -83,6 +83,9 @@ class Classifier {
   [[nodiscard]] const ImageGeometry& geometry() const noexcept { return geometry_; }
 
   [[nodiscard]] std::vector<float> parameters_flat();
+  /// Zero-copy export: write the flat parameters into `out` (size must equal
+  /// parameter_count() exactly). Fills round-arena rows without allocating.
+  void copy_parameters_to(std::span<float> out);
   void load_parameters_flat(std::span<const float> flat);
   [[nodiscard]] std::size_t parameter_count();
 

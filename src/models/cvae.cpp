@@ -36,6 +36,10 @@ tensor::Tensor CvaeDecoder::decode(const tensor::Tensor& z, std::span<const int>
 
 std::vector<float> CvaeDecoder::parameters_flat() { return nn::flatten_parameters(network_); }
 
+void CvaeDecoder::copy_parameters_to(std::span<float> out) {
+  nn::copy_parameters_to(network_, out);
+}
+
 void CvaeDecoder::load_parameters_flat(std::span<const float> flat) {
   nn::unflatten_parameters(network_, flat);
 }

@@ -64,6 +64,8 @@ class CvaeDecoder {
   [[nodiscard]] const CvaeSpec& spec() const noexcept { return spec_; }
 
   [[nodiscard]] std::vector<float> parameters_flat() ;
+  /// Span form of parameters_flat; `out` size must equal parameter_count().
+  void copy_parameters_to(std::span<float> out);
   void load_parameters_flat(std::span<const float> flat);
   [[nodiscard]] std::size_t parameter_count();
 

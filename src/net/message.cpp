@@ -13,6 +13,7 @@ const char* to_string(DecodeErrorCode code) noexcept {
     case DecodeErrorCode::Oversized: return "oversized";
     case DecodeErrorCode::BadCrc: return "bad_crc";
     case DecodeErrorCode::Truncated: return "truncated";
+    case DecodeErrorCode::BadShape: return "bad_shape";
   }
   return "unknown";
 }
@@ -168,6 +169,36 @@ RoundReply decode_round_reply(std::span<const std::byte> payload) {
                       "decode_round_reply: truncated payload"};
   }
   return reply;
+}
+
+std::size_t decode_round_reply_into(std::span<const std::byte> payload,
+                                    defenses::UpdateRow row) {
+  util::ByteReader reader{payload};
+  try {
+    const auto round = static_cast<std::size_t>(reader.read_u64());
+    row.meta->client_id = static_cast<int>(reader.read_u32());
+    row.meta->num_samples = static_cast<std::size_t>(reader.read_u64());
+    row.meta->truly_malicious = reader.read_u32() != 0;
+    const auto psi_count = static_cast<std::size_t>(reader.read_u64());
+    if (psi_count != row.psi.size()) {
+      throw DecodeError{DecodeErrorCode::BadShape,
+                        "decode_round_reply_into: psi count " + std::to_string(psi_count) +
+                            " != expected " + std::to_string(row.psi.size())};
+    }
+    reader.read_f32_into(row.psi);
+    const auto theta_count = static_cast<std::size_t>(reader.read_u64());
+    row.meta->theta_count = theta_count;
+    if (theta_count > row.theta.size()) {
+      throw DecodeError{DecodeErrorCode::BadShape,
+                        "decode_round_reply_into: theta count " + std::to_string(theta_count) +
+                            " exceeds capacity " + std::to_string(row.theta.size())};
+    }
+    reader.read_f32_into(row.theta.subspan(0, theta_count));
+    return round;
+  } catch (const std::out_of_range&) {
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "decode_round_reply_into: truncated payload"};
+  }
 }
 
 std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count) {

@@ -48,6 +48,7 @@ enum class DecodeErrorCode {
   Oversized,  // length field exceeds kMaxPayloadBytes (corrupt length)
   BadCrc,     // payload CRC32 does not match the header (bit corruption)
   Truncated,  // buffer/stream ended before the declared payload length
+  BadShape,   // well-framed reply whose ψ/θ counts don't fit the round arena
 };
 [[nodiscard]] const char* to_string(DecodeErrorCode code) noexcept;
 
@@ -107,6 +108,16 @@ struct RoundReply {
 };
 [[nodiscard]] std::vector<std::byte> encode_round_reply(const RoundReply& reply);
 [[nodiscard]] RoundReply decode_round_reply(std::span<const std::byte> payload);
+
+/// Zero-copy decode: ψ is deserialized straight into `row.psi` (whose size is
+/// the expected dimension) and θ into `row.theta`, with the metadata fields
+/// written through `row.meta`. Throws DecodeError{BadShape} if the reply's ψ
+/// count differs from row.psi.size() or its θ count exceeds the row's θ
+/// capacity — the frame was intact (CRC passed), the peer just sent the wrong
+/// model shape, so the link itself stays trustworthy. Returns the round the
+/// reply answers (the caller decides whether it is stale).
+[[nodiscard]] std::size_t decode_round_reply_into(std::span<const std::byte> payload,
+                                                  defenses::UpdateRow row);
 
 /// Exact on-wire frame size for a RoundReply (traffic accounting parity
 /// between the simulator and the socket deployment).

@@ -211,6 +211,12 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   for (const std::size_t k : drawn) sampled.push_back(universe[k]);
   record.sampled_clients = sampled.size();
 
+  // One arena slot per sampled client, in sample order; each reply
+  // deserializes straight into its slot's row.
+  arena_.reset(sampled.size(), global_parameters_.size(),
+               strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
+  row_filled_.assign(sampled.size(), false);
+
   // Broadcast the round request to the sampled clients...
   RoundRequest request;
   request.round = round;
@@ -246,7 +252,6 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   // ...then collect their updates under the round deadline, multiplexed over
   // all pending links so one dead client costs the deadline at most once per
   // round, not once per client.
-  std::vector<std::optional<defenses::ClientUpdate>> replies(sampled.size());
   const auto deadline = Clock::now() + milliseconds{
       static_cast<std::int64_t>(config_.round_timeout_ms)};
   while (!pending.empty()) {
@@ -280,22 +285,29 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
           throw DecodeError{DecodeErrorCode::BadType,
                             "RemoteServer: expected RoundReply"};
         }
-        RoundReply decoded = decode_round_reply(reply.payload);
+        const std::size_t slot = pending[i].slot;
+        const std::size_t reply_round =
+            decode_round_reply_into(reply.payload, arena_.row(slot));
         record.server_download_bytes += kFrameHeaderBytes + reply.payload.size();
-        if (decoded.round != round) {
+        if (reply_round != round) {
           // A delayed answer to an earlier round: real traffic, stale data.
-          // Keep listening for this round's reply on the same link.
+          // The slot stays unfilled (its row holds the stale bytes until the
+          // current round's reply overwrites them); keep listening for this
+          // round's reply on the same link.
           still_pending.push_back(pending[i]);
           continue;
         }
-        replies[pending[i].slot] = std::move(decoded.update);
+        row_filled_[slot] = true;
         session.consecutive_failures = 0;
       } catch (const DecodeError& e) {
         ++record.corrupt_frames;
-        // An intact-but-CRC-bad frame leaves the stream in sync; anything
-        // else (truncation, bad magic, oversized length) means the byte
-        // stream can no longer be trusted.
-        if (e.code() != DecodeErrorCode::BadCrc) drop_link(session);
+        // An intact-but-CRC-bad or wrong-shape frame leaves the stream in
+        // sync; anything else (truncation, bad magic, oversized length) means
+        // the byte stream can no longer be trusted.
+        if (e.code() != DecodeErrorCode::BadCrc &&
+            e.code() != DecodeErrorCode::BadShape) {
+          drop_link(session);
+        }
         fail(session);
       } catch (const SocketTimeout&) {
         ++record.timeouts;
@@ -314,30 +326,32 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
     fail(sessions[p.session_index]);
   }
 
-  std::vector<defenses::ClientUpdate> updates;
-  updates.reserve(sampled.size());
-  for (auto& reply : replies) {
-    if (reply) updates.push_back(std::move(*reply));
+  // Compact: the aggregation sees a row-index view over the slots that
+  // filled, in sample order — no update data moves.
+  row_indices_.clear();
+  for (std::size_t slot = 0; slot < sampled.size(); ++slot) {
+    if (row_filled_[slot]) row_indices_.push_back(slot);
   }
-  for (const auto& update : updates) {
-    if (update.truly_malicious) ++record.sampled_malicious;
+  for (const std::size_t slot : row_indices_) {
+    if (arena_.meta(slot).truly_malicious) ++record.sampled_malicious;
   }
 
-  if (!updates.empty()) {
+  if (!row_indices_.empty()) {
+    const defenses::UpdateView updates{arena_, row_indices_};
     defenses::AggregationContext context;
     context.round = round;
     context.global_parameters = global_parameters_;
-    const defenses::AggregationResult result = strategy_.aggregate(context, updates);
-    if (result.parameters.size() != global_parameters_.size()) {
+    strategy_.aggregate_into(context, updates, result_);
+    if (result_.parameters.size() != global_parameters_.size()) {
       throw std::runtime_error{"RemoteServer: wrong aggregate dimension"};
     }
     for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
       global_parameters_[i] += config_.server_learning_rate *
-                               (result.parameters[i] - global_parameters_[i]);
+                               (result_.parameters[i] - global_parameters_[i]);
     }
     const defenses::DetectionStats detection =
-        defenses::compute_detection_stats(updates, result);
-    record.rejected_clients = result.rejected_clients.size();
+        defenses::compute_detection_stats(updates, result_);
+    record.rejected_clients = result_.rejected_clients.size();
     record.rejected_malicious = detection.true_positives;
     record.rejected_benign = detection.false_positives;
   } else {

@@ -101,6 +101,13 @@ class RemoteServer {
   std::unique_ptr<models::Classifier> eval_classifier_;
   std::vector<float> global_parameters_;
   util::Rng rng_;
+  // Round-persistent scratch: replies deserialize straight into arena rows
+  // (one slot per sampled client, in sample order); the aggregation sees a
+  // row-index view over the slots that actually filled this round.
+  defenses::UpdateMatrix arena_;
+  defenses::AggregationResult result_;
+  std::vector<bool> row_filled_;
+  std::vector<std::size_t> row_indices_;
 };
 
 /// Client-side retry/backoff policy and optional chaos injection.

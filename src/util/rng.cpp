@@ -144,16 +144,22 @@ std::size_t Rng::categorical(std::span<const double> weights) noexcept {
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) noexcept {
+  std::vector<std::size_t> indices;
+  sample_without_replacement(n, k, indices);
+  return indices;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k,
+                                     std::vector<std::size_t>& out) noexcept {
   assert(k <= n);
   // Partial Fisher-Yates over an index table; O(n) memory, O(n + k) time.
-  std::vector<std::size_t> indices(n);
-  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  out.resize(n);
+  std::iota(out.begin(), out.end(), std::size_t{0});
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
-    std::swap(indices[i], indices[j]);
+    std::swap(out[i], out[j]);
   }
-  indices.resize(k);
-  return indices;
+  out.resize(k);
 }
 
 }  // namespace fedguard::util

@@ -67,6 +67,10 @@ class Rng {
   /// Sample `k` distinct indices from [0, n) uniformly (k <= n).
   [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                                     std::size_t k) noexcept;
+  /// In-place form with the identical draw sequence; reuses `out`'s capacity
+  /// so steady-state callers (the server round loop) allocate nothing.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& out) noexcept;
 
  private:
   std::uint64_t s_[4];

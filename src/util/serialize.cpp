@@ -86,6 +86,13 @@ std::vector<float> ByteReader::read_f32_vector(std::size_t count) {
   return out;
 }
 
+void ByteReader::read_f32_into(std::span<float> out) {
+  if (out.empty()) return;
+  require(out.size() * sizeof(float));
+  std::memcpy(out.data(), data_.data() + offset_, out.size() * sizeof(float));
+  offset_ += out.size() * sizeof(float);
+}
+
 std::string ByteReader::read_string() {
   const auto length = static_cast<std::size_t>(read_u64());
   if (length == 0) return {};

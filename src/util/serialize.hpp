@@ -72,6 +72,9 @@ class ByteReader {
   [[nodiscard]] std::uint64_t read_u64();
   [[nodiscard]] float read_f32();
   [[nodiscard]] std::vector<float> read_f32_vector(std::size_t count);
+  /// Deserialize out.size() floats directly into `out` (zero-copy form of
+  /// read_f32_vector for pre-sized destinations like arena rows).
+  void read_f32_into(std::span<float> out);
   [[nodiscard]] std::string read_string();
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }

@@ -1,0 +1,24 @@
+// Fixture: no-pointset-copy rule. Rebuilding a point set by appending psi
+// vectors inside a defense copies the whole sub-matrix every iteration; the
+// round arena makes this an index selection instead.
+#include <cstddef>
+#include <vector>
+
+namespace fedguard::defenses {
+
+struct FixtureUpdate {
+  std::vector<float> psi;
+};
+
+std::vector<float> fixture_pointset_copy(const std::vector<FixtureUpdate>& updates) {
+  std::vector<float> points;
+  for (const auto& update : updates) {
+    points.insert(points.end(), update.psi.begin(), update.psi.end());  // VIOLATION
+  }
+  // Appending non-psi data to a buffer is fine (synthetic pixels, labels...).
+  std::vector<float> pixels;
+  pixels.insert(pixels.end(), points.begin(), points.end());
+  return points;
+}
+
+}  // namespace fedguard::defenses

@@ -318,5 +318,89 @@ INSTANTIATE_TEST_SUITE_P(AllOps, AggregatorProperties,
                          ::testing::Values(Op::FedAvg, Op::GeoMed, Op::Krum, Op::Median,
                                            Op::TrimmedMean));
 
+// ---- Zero-copy view API edge cases ------------------------------------------
+
+UpdateMatrix arena_from(std::span<const ClientUpdate> updates) {
+  UpdateMatrix arena;
+  fill_update_matrix(arena, updates);
+  return arena;
+}
+
+TEST(UpdateViewApi, MeanOfEmptySelectionThrows) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f, 2.0f}));
+  const UpdateMatrix arena = arena_from(updates);
+  const UpdateView view{arena};
+  EXPECT_THROW((void)mean_of(view, {}), std::invalid_argument);
+}
+
+TEST(UpdateViewApi, WeightedMeanZeroSamplesFallsBackToUnweighted) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {2.0f}, 0));
+  updates.push_back(make_update(1, {4.0f}, 0));
+  const UpdateMatrix arena = arena_from(updates);
+  const std::vector<float> mean = weighted_mean(UpdateView{arena});
+  EXPECT_FLOAT_EQ(mean[0], 3.0f);
+}
+
+TEST(UpdateViewApi, SingleRowSelectionReturnsThatRow) {
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f, -1.0f}, 3));
+  updates.push_back(make_update(1, {7.0f, 9.0f}, 5));
+  updates.push_back(make_update(2, {-4.0f, 2.0f}, 8));
+  const UpdateMatrix arena = arena_from(updates);
+  const UpdateView view{arena};
+
+  const std::vector<std::size_t> only{1};
+  const std::vector<float> picked = mean_of(view, only);
+  EXPECT_FLOAT_EQ(picked[0], 7.0f);
+  EXPECT_FLOAT_EQ(picked[1], 9.0f);
+
+  // Sub-view selection keeps metadata and psi aligned with the arena row.
+  std::vector<std::size_t> storage;
+  const UpdateView sub = view.select(only, storage);
+  ASSERT_EQ(sub.count(), 1u);
+  EXPECT_EQ(sub.meta(0).client_id, 1);
+  EXPECT_EQ(sub.meta(0).num_samples, 5u);
+  EXPECT_FLOAT_EQ(weighted_mean(sub)[1], 9.0f);
+}
+
+TEST(UpdateViewApi, ComposedSelectionIndexesThroughParentView) {
+  // A selection of a selection must resolve to the original arena rows.
+  std::vector<ClientUpdate> updates;
+  for (int k = 0; k < 5; ++k) {
+    updates.push_back(make_update(k, {static_cast<float>(k), 0.0f}, 1));
+  }
+  const UpdateMatrix arena = arena_from(updates);
+  const UpdateView view{arena};
+  std::vector<std::size_t> outer_storage;
+  const std::vector<std::size_t> outer{4, 2, 0};  // arena rows 4, 2, 0
+  const UpdateView first = view.select(outer, outer_storage);
+  std::vector<std::size_t> inner_storage;
+  const std::vector<std::size_t> inner{1, 2};  // slots of `first` -> rows 2, 0
+  const UpdateView second = first.select(inner, inner_storage);
+  ASSERT_EQ(second.count(), 2u);
+  EXPECT_EQ(second.meta(0).client_id, 2);
+  EXPECT_EQ(second.meta(1).client_id, 0);
+  EXPECT_FLOAT_EQ(second.psi(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(second.psi(1)[0], 0.0f);
+}
+
+TEST(UpdateViewApi, MeanOfIteratesSelectionOrder) {
+  // mean_of must accumulate in the caller-given order (Krum passes its
+  // score-sorted order; bit-for-bit parity depends on it). With doubles the
+  // sum is order-sensitive only through rounding, so instead verify the
+  // selection indirection itself by selecting the same row twice.
+  std::vector<ClientUpdate> updates;
+  updates.push_back(make_update(0, {1.0f}, 1));
+  updates.push_back(make_update(1, {4.0f}, 1));
+  const UpdateMatrix arena = arena_from(updates);
+  const UpdateView view{arena};
+  const std::vector<std::size_t> twice{1, 1};
+  EXPECT_FLOAT_EQ(mean_of(view, twice)[0], 4.0f);
+  const std::vector<std::size_t> both{1, 0};
+  EXPECT_FLOAT_EQ(mean_of(view, both)[0], 2.5f);
+}
+
 }  // namespace
 }  // namespace fedguard::defenses

@@ -19,6 +19,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/attacks/allowed.cpp", 16, "allow-justification"),
     ("src/attacks/allowed.cpp", 16, "rng"),  # a rejected allow suppresses nothing
     ("src/core/config_file.cpp", 10, "config-docs"),
+    ("src/defenses/bad_pointset_copy.cpp", 16, "no-pointset-copy"),
     ("src/defenses/bad_unordered.cpp", 12, "unordered-iteration"),
     ("src/defenses/bad_unordered.cpp", 15, "unordered-iteration"),
     ("src/fl/bad_stdout.cpp", 8, "stdout"),
@@ -66,7 +67,7 @@ class FedguardLintGolden(unittest.TestCase):
         result = run_lint("--list-rules")
         self.assertEqual(result.returncode, 0)
         for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
-                     "test-timeout", "config-docs"):
+                     "test-timeout", "config-docs", "no-pointset-copy"):
             self.assertIn(rule, result.stdout)
 
 
