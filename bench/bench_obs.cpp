@@ -1,0 +1,108 @@
+// Observability overhead gate: the same m=50, d=100k server round measured
+// twice — once with no TraceSession installed (spans are one relaxed atomic
+// load each; the registry instruments still run, as they do in every build)
+// and once fully traced into a real trace file. BENCH_obs.json captures both;
+// scripts/check_obs_overhead.py fails the tier-1 `--obs` gate when the traced
+// round costs more than 3% extra (see docs/OBSERVABILITY.md).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "defenses/fedavg.hpp"
+#include "defenses/update_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fedguard;
+
+constexpr std::size_t kClients = 50;   // paper: m = 50 sampled per round
+constexpr std::size_t kDim = 100000;   // ψ dimension ≈ the Mlp classifier
+
+std::vector<std::vector<float>> make_psi_sources() {
+  util::Rng rng{42};
+  std::vector<std::vector<float>> sources(kClients);
+  for (auto& psi : sources) {
+    psi.resize(kDim);
+    for (auto& v : psi) v = rng.uniform_float(-1.0f, 1.0f);
+  }
+  return sources;
+}
+
+/// One server-side round body with the production instrumentation pattern:
+/// round-phase spans, traffic counters, and a round-latency observation. The
+/// only difference between the two benchmark variants is whether a
+/// TraceSession is installed while it runs.
+void run_obs_round(benchmark::State& state, bool traced) {
+  const auto sources = make_psi_sources();
+  defenses::FedAvgAggregator strategy;
+  defenses::UpdateMatrix arena;
+  defenses::AggregationResult result;
+  std::vector<float> global(kDim, 0.0f);
+  defenses::AggregationContext context;
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter upload = registry.counter("bench_obs_upload_bytes_total");
+  obs::Histogram round_seconds = registry.histogram("bench_obs_round_seconds");
+
+  std::unique_ptr<obs::TraceSession> session;
+  const std::string trace_path = "bench_obs_trace.json";
+  if (traced) {
+    // Big enough that no span is dropped at realistic iteration counts (the
+    // drop path is cheaper than the append path and would flatter the gate).
+    session = std::make_unique<obs::TraceSession>(trace_path, 1u << 20);
+  }
+
+  for (auto _ : state) {
+    const std::uint64_t start_ns = obs::now_ns();
+    FEDGUARD_TRACE_SPAN("round", "round:bench");
+    {
+      FEDGUARD_TRACE_SPAN("round", "collect");
+      arena.reset(kClients, kDim);
+      for (std::size_t k = 0; k < kClients; ++k) {
+        const defenses::UpdateRow row = arena.row(k);
+        std::memcpy(row.psi.data(), sources[k].data(), kDim * sizeof(float));
+        row.meta->client_id = static_cast<int>(k);
+        row.meta->num_samples = 100;
+      }
+      upload.add(kClients * kDim * sizeof(float));
+    }
+    {
+      FEDGUARD_TRACE_SPAN("round", "aggregate");
+      context.global_parameters = global;
+      strategy.aggregate_into(context, defenses::UpdateView{arena}, result);
+    }
+    for (std::size_t i = 0; i < kDim; ++i) {
+      global[i] += 0.5f * (result.parameters[i] - global[i]);
+    }
+    round_seconds.observe(static_cast<double>(obs::now_ns() - start_ns) * 1e-9);
+    benchmark::DoNotOptimize(global.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kClients * kDim));
+  if (session != nullptr) {
+    session.reset();  // flush + uninstall before unlinking the file
+    std::remove(trace_path.c_str());
+  }
+}
+
+void BM_ObsRoundUntraced(benchmark::State& state) { run_obs_round(state, false); }
+void BM_ObsRoundTraced(benchmark::State& state) { run_obs_round(state, true); }
+
+// Medians over repetitions keep the 3% gate stable on a loaded 1-core box.
+BENCHMARK(BM_ObsRoundUntraced)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+BENCHMARK(BM_ObsRoundTraced)
+    ->Unit(benchmark::kMillisecond)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
+}  // namespace

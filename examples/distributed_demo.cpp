@@ -15,6 +15,10 @@
 // Fault kinds: --drop, --delay (+ --delay-ms), --truncate, --bitflip,
 // --disconnect, --never-connect; each takes a per-round probability. The same
 // --fault-seed replays the identical fault schedule.
+//
+// Observability (server/demo roles; see docs/OBSERVABILITY.md):
+//   --trace trace.json      Chrome trace_event output (open at ui.perfetto.dev)
+//   --metrics metrics.prom  Prometheus text + per-round snapshots (.jsonl)
 
 #include <cstdio>
 #include <iostream>
@@ -27,11 +31,22 @@
 #include "data/synthetic_mnist.hpp"
 #include "defenses/fedguard.hpp"
 #include "net/remote.hpp"
+#include "obs/exporter.hpp"
 #include "util/logging.hpp"
 
 namespace {
 
 using namespace fedguard;
+
+/// Build a RoundExporter from --trace/--metrics, or null when neither is set.
+std::unique_ptr<obs::RoundExporter> exporter_from_options(
+    const core::CliOptions& options) {
+  obs::ObsOptions obs_options;
+  obs_options.trace_path = options.get("trace", "");
+  obs_options.metrics_path = options.get("metrics", "");
+  if (!obs_options.enabled()) return nullptr;
+  return std::make_unique<obs::RoundExporter>(obs_options);
+}
 
 constexpr std::size_t kTrainSamples = 800;
 constexpr std::uint64_t kDataSeed = 77;
@@ -105,6 +120,7 @@ int run_server(const core::CliOptions& options) {
                            models::ImageGeometry{}};
   std::printf("server listening on port %u, waiting for %zu clients...\n",
               static_cast<unsigned>(server.port()), clients);
+  const auto exporter = exporter_from_options(options);
   const fl::RunHistory history = server.run();
   std::printf("\nfinal accuracy: %.2f%% (strategy %s)\n",
               history.rounds.back().test_accuracy * 100.0, history.strategy.c_str());
@@ -187,6 +203,7 @@ int run_threaded_demo(const core::CliOptions& options) {
       (void)net::run_remote_client("127.0.0.1", port, *clients[id], remote_options);
     });
   }
+  const auto exporter = exporter_from_options(options);
   const fl::RunHistory history = server.run();
   for (auto& thread : threads) thread.join();
 

@@ -2,6 +2,7 @@
 // equivalent of the paper's E2CLAB experiment descriptors (§IV-E).
 //
 //   $ ./run_config configs/signflip50_fedguard.conf [--csv out.csv]
+//                  [--trace trace.json] [--metrics metrics.prom]
 
 #include <cstdio>
 
@@ -12,7 +13,9 @@
 int main(int argc, char** argv) {
   using namespace fedguard;
   if (argc < 2 || std::string{argv[1]}.rfind("--", 0) == 0) {
-    std::printf("usage: run_config <descriptor.conf> [--csv PATH]\n");
+    std::printf(
+        "usage: run_config <descriptor.conf> [--csv PATH] [--trace PATH] "
+        "[--metrics PATH]\n");
     return 1;
   }
   const core::CliOptions options = core::CliOptions::parse(argc, argv);
@@ -24,6 +27,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
+  // CLI flags override the descriptor's obs_* keys.
+  const std::string trace = options.get("trace", "");
+  if (!trace.empty()) config.obs.trace_path = trace;
+  const std::string metrics = options.get("metrics", "");
+  if (!metrics.empty()) config.obs.metrics_path = metrics;
 
   std::printf("descriptor: %s\n  strategy=%s attack=%s malicious=%.0f%% N=%zu m=%zu R=%zu\n\n",
               argv[1], core::to_string(config.strategy), attacks::to_string(config.attack),
@@ -42,6 +50,14 @@ int main(int argc, char** argv) {
   if (!csv.empty()) {
     history.write_csv(csv);
     std::printf("per-round series written to %s\n", csv.c_str());
+  }
+  if (!config.obs.trace_path.empty()) {
+    std::printf("trace written to %s (open at ui.perfetto.dev)\n",
+                config.obs.trace_path.c_str());
+  }
+  if (!config.obs.metrics_path.empty()) {
+    std::printf("metrics written to %s (+ per-round snapshots at %s.jsonl)\n",
+                config.obs.metrics_path.c_str(), config.obs.metrics_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Observability overhead gate: traced round must cost <= 3% over untraced.
+
+Reads the raw google-benchmark report that scripts/run_all_benches.sh (or
+scripts/run_tier1_tests.sh --obs) writes to BENCH_obs.json::
+
+    build/bench/bench_obs --benchmark_out=BENCH_obs.json \\
+                          --benchmark_out_format=json
+
+and compares the median real_time of BM_ObsRoundTraced against
+BM_ObsRoundUntraced (m=50, d=100k server round; see bench/bench_obs.cpp).
+Exit 1 when the traced median exceeds the untraced median by more than the
+threshold. Medians over 5 repetitions keep the gate stable on a noisy box.
+"""
+import json
+import sys
+
+THRESHOLD = 0.03  # documented budget in docs/OBSERVABILITY.md
+
+
+def median_real_time(data, op):
+    for entry in data.get("benchmarks", []):
+        # Aggregate rows are named "<op>_median" (run_name stays "<op>").
+        if (entry.get("aggregate_name") == "median"
+                and entry["name"].startswith(op)):
+            return entry["real_time"], entry.get("time_unit", "ns")
+    raise SystemExit(f"check_obs_overhead: no median aggregate for {op} "
+                     "(run bench_obs with --benchmark_out_format=json)")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_obs.json"
+    with open(path) as f:
+        data = json.load(f)
+    untraced, unit = median_real_time(data, "BM_ObsRoundUntraced")
+    traced, _ = median_real_time(data, "BM_ObsRoundTraced")
+    overhead = traced / untraced - 1.0
+    print(f"untraced round: {untraced:.3f} {unit} | traced round: "
+          f"{traced:.3f} {unit} | overhead {overhead:+.2%} "
+          f"(budget {THRESHOLD:.0%})")
+    if overhead > THRESHOLD:
+        print("FAIL: tracing overhead exceeds the documented budget",
+              file=sys.stderr)
+        return 1
+    print("ok: tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

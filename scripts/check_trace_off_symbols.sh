@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Assert that a binary built from tests/obs_trace_off_probe.cpp carries zero
+# tracing machinery: the FEDGUARD_TRACE_SPAN macro must compile to nothing
+# when FEDGUARD_TRACE_ENABLED is absent, so no fedguard::obs symbol may
+# appear in the probe — defined, undefined, or inlined.
+#
+# Usage: check_trace_off_symbols.sh <probe-binary>
+set -euo pipefail
+
+probe="${1:?usage: check_trace_off_symbols.sh <probe-binary>}"
+
+# The probe's own sanity check (exit 0 iff the loop computed the oracle).
+"${probe}"
+
+if ! command -v nm >/dev/null 2>&1; then
+  echo "check_trace_off_symbols: nm not found; link success is the only check" >&2
+  exit 0
+fi
+
+# nm -C demangles; any mention of the obs namespace means the macro leaked a
+# Span (or something pulled in the tracer translation units).
+if nm -C "${probe}" | grep -E 'fedguard::obs' >/dev/null; then
+  echo "FAIL: fedguard::obs symbols found in trace-off probe:" >&2
+  nm -C "${probe}" | grep -E 'fedguard::obs' >&2
+  exit 1
+fi
+
+echo "ok: trace-off probe carries no fedguard::obs symbols"

@@ -30,6 +30,15 @@ no-pointset-copy     No re-concatenation of ψ update vectors in src/defenses/
                      (insert(xxx.end(), ...psi...)). The round arena makes
                      sub-selection an index operation: build an UpdateView /
                      PointsView selection instead of copying point sets.
+no-raw-stopwatch     No util::Stopwatch in src/fl/, src/net/, or src/defenses/.
+                     Round-path timing must come from obs::now_ns() so trace
+                     spans and RoundRecord::round_seconds share one clock
+                     domain (Table V timing can never disagree with the trace).
+span-category-docs   Every string-literal category passed to
+                     FEDGUARD_TRACE_SPAN must appear in docs/OBSERVABILITY.md —
+                     the span taxonomy is a documented contract, not folklore.
+                     Dynamic categories (e.g. std::string{"agg."} + name())
+                     are covered by the documented agg.<strategy> pattern.
 
 Allowlist
 ---------
@@ -67,6 +76,8 @@ RULES = {
     "test-timeout": "fedguard_add_test without a TIMEOUT",
     "config-docs": "config key referenced in code but not documented in docs/",
     "no-pointset-copy": "psi re-concatenation in a defense (use an UpdateView selection)",
+    "no-raw-stopwatch": "util::Stopwatch in round-path code (use obs::now_ns)",
+    "span-category-docs": "trace span category missing from docs/OBSERVABILITY.md",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -97,6 +108,15 @@ CONFIG_KEY_RE = re.compile(r'key\s*==\s*"([a-z0-9_]+)"|values\.find\("([a-z0-9_]
 # per-iteration point-set copies the round arena exists to eliminate.
 POINTSET_COPY = re.compile(r"\.insert\s*\(\s*\w+\s*\.\s*end\s*\(\s*\)\s*,[^;]*psi")
 POINTSET_SCOPE_DIR = "src/defenses/"
+
+# Round-path code must time through obs::now_ns (the tracer clock) so spans
+# and RoundRecord::round_seconds can never disagree by clock domain.
+STOPWATCH_RE = re.compile(r"\butil::Stopwatch\b")
+STOPWATCH_SCOPE_DIRS = ("src/fl", "src/net", "src/defenses")
+
+# String-literal span categories; dynamic first arguments (no leading quote)
+# are exempt and covered by the documented agg.<strategy> pattern.
+SPAN_CATEGORY_RE = re.compile(r'FEDGUARD_TRACE_SPAN\s*\(\s*"([^"]+)"')
 
 
 class Violation:
@@ -248,6 +268,14 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                     "re-concatenating psi vectors copies the point set; select "
                     "rows through an UpdateView/PointsView index selection instead"))
 
+        if any(relpath.startswith(d + "/") for d in STOPWATCH_SCOPE_DIRS):
+            match = STOPWATCH_RE.search(line)
+            if match and not allowed(allows, idx, "no-raw-stopwatch"):
+                violations.append(Violation(
+                    relpath, idx, "no-raw-stopwatch",
+                    "util::Stopwatch in round-path code forks the clock domain; "
+                    "time with obs::now_ns() so spans and round_seconds agree"))
+
         if in_unordered_scope(relpath):
             hit = None
             range_for = re.search(r"\bfor\s*\(.*:\s*([^)]+)\)", line)
@@ -338,6 +366,34 @@ def check_config_docs(root: Path) -> list[Violation]:
     return violations
 
 
+def check_span_categories(root: Path) -> list[Violation]:
+    """Every string-literal FEDGUARD_TRACE_SPAN category must be listed in
+    docs/OBSERVABILITY.md. Scans RAW lines — the categories live inside string
+    literals, which the token scans deliberately blank out."""
+    violations: list[Violation] = []
+    doc = root / "docs" / "OBSERVABILITY.md"
+    doc_text = doc.read_text(encoding="utf-8", errors="replace") if doc.is_file() else ""
+    for path, relpath in iter_source_files(root):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if "FEDGUARD_TRACE_SPAN" not in text:
+            continue
+        raw_lines = text.splitlines()
+        # Allow problems are already reported by check_source_file.
+        allows, _ = parse_allows(raw_lines, relpath)
+        for idx, line in enumerate(raw_lines, start=1):
+            for match in SPAN_CATEGORY_RE.finditer(line):
+                category = match.group(1)
+                if category in doc_text:
+                    continue
+                if allowed(allows, idx, "span-category-docs"):
+                    continue
+                violations.append(Violation(
+                    relpath, idx, "span-category-docs",
+                    f"span category '{category}' is not part of the documented "
+                    "taxonomy in docs/OBSERVABILITY.md"))
+    return violations
+
+
 def iter_source_files(root: Path):
     for top in SOURCE_ROOTS:
         base = root / top
@@ -360,6 +416,7 @@ def run(root: Path, verbose: bool = False) -> list[Violation]:
         violations.extend(check_source_file(path, relpath))
     violations.extend(check_test_timeouts(root))
     violations.extend(check_config_docs(root))
+    violations.extend(check_span_categories(root))
     if verbose:
         print(f"fedguard-lint: scanned {count} source files under {root}", file=sys.stderr)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))

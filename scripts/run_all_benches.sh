@@ -20,6 +20,11 @@ for b in "$BUILD_DIR"/bench/*; do
   echo "### $(basename "$b")"
   echo "===================================================================="
   case "$b" in
+    *bench_obs*)
+      # Raw google-benchmark report: scripts/check_obs_overhead.py compares
+      # the traced/untraced medians against the 3% budget.
+      "$b" --benchmark_out=BENCH_obs.json --benchmark_out_format=json
+      ;;
     *update_pipeline*)
       "$b" --benchmark_out="$PIPELINE_JSON_DIR/$(basename "$b").json" \
            --benchmark_out_format=json
@@ -39,6 +44,9 @@ if command -v python3 >/dev/null 2>&1; then
     && echo && echo "kernel micro-bench summary written to BENCH_kernels.json"
   python3 "$SCRIPT_DIR/merge_kernel_bench.py" --shape-only "$PIPELINE_JSON_DIR" BENCH_update_pipeline.json \
     && echo "round-pipeline summary written to BENCH_update_pipeline.json"
+  [ -f BENCH_obs.json ] \
+    && python3 "$SCRIPT_DIR/check_obs_overhead.py" BENCH_obs.json \
+    && echo "observability overhead report written to BENCH_obs.json"
 else
   echo "python3 not found; skipping BENCH_kernels.json / BENCH_update_pipeline.json" >&2
 fi

@@ -11,6 +11,10 @@
 #   --lint
 #       Run scripts/fedguard_lint.py over the repo before building; any
 #       violation fails the run.
+#   --obs
+#       After the suite, run bench/bench_obs and fail if the fully-traced
+#       m=50 d=100k round costs more than 3% over the untraced round
+#       (scripts/check_obs_overhead.py; report lands in BENCH_obs.json).
 #   [build-dir]  override the build directory (default: build).
 set -eu
 
@@ -19,6 +23,7 @@ REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 
 SANITIZE=""
 RUN_LINT=0
+RUN_OBS=0
 BUILD_DIR=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -29,6 +34,8 @@ while [ $# -gt 0 ]; do
       SANITIZE="${1#--sanitize=}"; shift ;;
     --lint)
       RUN_LINT=1; shift ;;
+    --obs)
+      RUN_OBS=1; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     *)
@@ -71,3 +78,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Belt and braces: confirm the net label resolves to its three suites even if
 # someone filters the main run.
 ctest --test-dir "$BUILD_DIR" -L net -N
+
+if [ "$RUN_OBS" -eq 1 ]; then
+  echo "== observability overhead gate =="
+  "$BUILD_DIR"/bench/bench_obs --benchmark_out=BENCH_obs.json \
+                               --benchmark_out_format=json
+  python3 "$SCRIPT_DIR/check_obs_overhead.py" BENCH_obs.json
+fi

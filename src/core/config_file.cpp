@@ -164,6 +164,12 @@ void apply_config_values(ExperimentConfig& config,
       config.kernel.elementwise_min_size = to_size(value, key);
     else if (key == "kernel_distance_min")
       config.kernel.distance_min_elements = to_size(value, key);
+    else if (key == "obs_trace_path") config.obs.trace_path = value;
+    else if (key == "obs_metrics_path") config.obs.metrics_path = value;
+    else if (key == "obs_flush_every_rounds")
+      config.obs.flush_every_rounds = to_size(value, key);
+    else if (key == "obs_histogram_buckets")
+      config.obs.histogram_buckets = obs::parse_histogram_buckets(value);
     else if (key == "seed") config.seed = static_cast<std::uint64_t>(to_size(value, key));
     else throw std::invalid_argument{"config: unknown key '" + key + "'"};
   }

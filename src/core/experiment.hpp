@@ -20,6 +20,7 @@
 #include "models/classifier.hpp"
 #include "models/cvae.hpp"
 #include "net/fault_injector.hpp"
+#include "obs/exporter.hpp"
 #include "parallel/kernel_config.hpp"
 
 namespace fedguard::core {
@@ -107,6 +108,12 @@ struct ExperimentConfig {
   // / kernel_distance_min in the descriptor. FEDGUARD_THREADS overrides a
   // kernel_threads of 0 (auto).
   parallel::KernelConfig kernel;
+
+  // ---- Observability ---------------------------------------------------------
+  // Trace/metrics export for the run; keys obs_trace_path / obs_metrics_path /
+  // obs_flush_every_rounds / obs_histogram_buckets in the descriptor (see
+  // docs/OBSERVABILITY.md and docs/CONFIG_REFERENCE.md). Off by default.
+  obs::ObsOptions obs;
 
   std::uint64_t seed = 42;
 

@@ -61,6 +61,13 @@ std::unique_ptr<defenses::AggregationStrategy> make_strategy(const ExperimentCon
 }
 
 fl::RunHistory Federation::run() {
+  // Install the round exporter (if obs_* keys are set) for the duration of
+  // the run; its destructor does the final metrics rewrite + trace flush
+  // after every round (and pool task) has quiesced.
+  std::unique_ptr<obs::RoundExporter> exporter;
+  if (config.obs.enabled()) {
+    exporter = std::make_unique<obs::RoundExporter>(config.obs);
+  }
   fl::RunHistory history = server->run();
   history.attack = attacks::to_string(config.attack);
   history.malicious_fraction = config.malicious_fraction;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace fedguard::defenses {
@@ -58,7 +60,14 @@ void fill_update_matrix(UpdateMatrix& arena, std::span<const ClientUpdate> updat
 
 void AggregationStrategy::aggregate_into(const AggregationContext& context,
                                          const UpdateView& updates, AggregationResult& out) {
-  (void)validate_view(updates);
+  // NVI choke point: every strategy's spans nest under one `agg.<name>`
+  // parent here, so per-strategy sub-spans (FedGuard decode/score/select,
+  // Krum pairwise/score/pick) decompose it in the trace for free.
+  FEDGUARD_TRACE_SPAN(std::string{"agg."} + name(), "aggregate");
+  {
+    FEDGUARD_TRACE_SPAN(std::string{"agg."} + name(), "validate");
+    (void)validate_view(updates);
+  }
   out.clear();
   do_aggregate(context, updates, out);
 }

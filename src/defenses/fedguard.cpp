@@ -6,6 +6,7 @@
 
 #include "defenses/geomed.hpp"
 #include "defenses/median.hpp"
+#include "obs/trace.hpp"
 #include "nn/loss.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -91,18 +92,21 @@ void FedGuardAggregator::do_aggregate(const AggregationContext& /*context*/,
     syn_labels.insert(syn_labels.end(), y_slice.begin(), y_slice.end());
   };
 
-  if (config_.sample_mode == FedGuardConfig::SampleMode::PerDecoder) {
-    for (std::size_t j = 0; j < active; ++j) decode_range(updates.theta(j), 0, t);
-  } else {
-    // Distribute t samples over |J| decoders, remainder to the first ones.
-    const std::size_t base = t / active;
-    const std::size_t extra = t % active;
-    std::size_t offset = 0;
-    for (std::size_t j = 0; j < active; ++j) {
-      const std::size_t count = base + (j < extra ? 1 : 0);
-      if (count == 0) continue;
-      decode_range(updates.theta(j), offset, count);
-      offset += count;
+  {
+    FEDGUARD_TRACE_SPAN("agg.fedguard", "decode");
+    if (config_.sample_mode == FedGuardConfig::SampleMode::PerDecoder) {
+      for (std::size_t j = 0; j < active; ++j) decode_range(updates.theta(j), 0, t);
+    } else {
+      // Distribute t samples over |J| decoders, remainder to the first ones.
+      const std::size_t base = t / active;
+      const std::size_t extra = t % active;
+      std::size_t offset = 0;
+      for (std::size_t j = 0; j < active; ++j) {
+        const std::size_t count = base + (j < extra ? 1 : 0);
+        if (count == 0) continue;
+        decode_range(updates.theta(j), offset, count);
+        offset += count;
+      }
     }
   }
 
@@ -113,6 +117,8 @@ void FedGuardAggregator::do_aggregate(const AggregationContext& /*context*/,
 
   // (3) Score each client's classifier on D_syn (Alg. 1 line 5).
   last_scores_.assign(active, 0.0);
+  {
+  FEDGUARD_TRACE_SPAN("agg.fedguard", "score");
   for (std::size_t j = 0; j < active; ++j) {
     scratch_classifier_->load_parameters_flat(updates.psi(j));
     if (config_.score_metric == FedGuardConfig::ScoreMetric::Balanced) {
@@ -137,11 +143,13 @@ void FedGuardAggregator::do_aggregate(const AggregationContext& /*context*/,
       last_scores_[j] = scratch_classifier_->evaluate_accuracy(syn_images, syn_labels);
     }
   }
+  }
   (void)pixels;
 
   // (4) Selective aggregation: keep ACC_j >= mean(ACC) (Alg. 1 lines 6-7).
   // The kept set is an index sub-view over the round arena — no update is
   // ever copied for the internal operator.
+  FEDGUARD_TRACE_SPAN("agg.fedguard", "select");
   last_threshold_ = util::mean(std::span<const double>{last_scores_});
   kept_slots_.clear();
   for (std::size_t j = 0; j < active; ++j) {

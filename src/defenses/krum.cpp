@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "parallel/kernel_config.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -93,8 +94,14 @@ std::vector<double> krum_scores(const PointsView& points, std::size_t byzantine_
   for (std::size_t k = 0; k < count; ++k) {
     FEDGUARD_CHECK_FINITE(points.row(k), "krum_scores: non-finite input point");
   }
+  // These spans also fire when Bulyan reuses Krum's scorer; they stay in the
+  // agg.krum category and nest under the caller's agg.<strategy> parent.
   std::vector<double> distance2;
-  pairwise_squared_distances(points, distance2);
+  {
+    FEDGUARD_TRACE_SPAN("agg.krum", "pairwise");
+    pairwise_squared_distances(points, distance2);
+  }
+  FEDGUARD_TRACE_SPAN("agg.krum", "score");
   std::vector<std::size_t> rows(count);
   std::iota(rows.begin(), rows.end(), std::size_t{0});
   return krum_scores_from_distances(distance2, count, rows, byzantine_count);
@@ -115,6 +122,7 @@ void KrumAggregator::do_aggregate(const AggregationContext& /*context*/,
       static_cast<std::size_t>(byzantine_fraction_ * static_cast<double>(count));
   scores_ = krum_scores(updates.points(), byzantine_count);
 
+  FEDGUARD_TRACE_SPAN("agg.krum", "pick");
   order_.resize(count);
   std::iota(order_.begin(), order_.end(), std::size_t{0});
   std::sort(order_.begin(), order_.end(),

@@ -4,6 +4,7 @@
 
 #include "attacks/label_flip.hpp"
 #include "data/dataloader.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace fedguard::fl {
@@ -44,6 +45,7 @@ void Client::ensure_cvae_trained() {
       config_.cvae_retrain_interval > 0 &&
       participations_ - participations_at_last_cvae_ >= config_.cvae_retrain_interval;
   if (!cached_theta_.empty() && !stale) return;
+  FEDGUARD_TRACE_SPAN("client.cvae", "cvae_train:" + std::to_string(id_));
   // Static partitions: the CVAE is trained exactly once (paper footnote 5);
   // with a retrain interval it follows the local data stream (§VI-C).
   // Note a label-flipped client trains its CVAE on the flipped labels, so its
@@ -70,12 +72,15 @@ void Client::run_round_into(std::span<const float> global_parameters, std::size_
   std::vector<std::size_t> all(local_data_.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
   data::DataLoader loader{local_data_, all, config_.batch_size, rng_()};
-  for (std::size_t epoch = 0; epoch < config_.local_epochs; ++epoch) {
-    loader.start_epoch();
-    data::Dataset::Batch batch;
-    while (loader.next(batch)) {
-      classifier.train_batch(batch.images, batch.labels, config_.learning_rate,
-                             config_.momentum, config_.proximal_mu, global_parameters);
+  {
+    FEDGUARD_TRACE_SPAN("client.train", "train:" + std::to_string(id_));
+    for (std::size_t epoch = 0; epoch < config_.local_epochs; ++epoch) {
+      loader.start_epoch();
+      data::Dataset::Batch batch;
+      while (loader.next(batch)) {
+        classifier.train_batch(batch.images, batch.labels, config_.learning_rate,
+                               config_.momentum, config_.proximal_mu, global_parameters);
+      }
     }
   }
 

@@ -4,9 +4,10 @@
 #include <stdexcept>
 
 #include "nn/parameter_vector.hpp"
+#include "obs/exporter.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
-#include "util/timer.hpp"
 
 namespace fedguard::fl {
 
@@ -25,6 +26,13 @@ Server::Server(ServerConfig config, std::vector<std::unique_ptr<Client>>& client
   if (config_.clients_per_round == 0 || config_.clients_per_round > clients_.size()) {
     throw std::invalid_argument{"Server: clients_per_round out of range"};
   }
+  auto& registry = obs::Registry::global();
+  rounds_total_ = registry.counter("fl_rounds_total");
+  upload_bytes_total_ = registry.counter("fl_upload_bytes_total");
+  download_bytes_total_ = registry.counter("fl_download_bytes_total");
+  sampled_clients_total_ = registry.counter("fl_sampled_clients_total");
+  stragglers_total_ = registry.counter("fl_stragglers_total");
+  round_seconds_ = registry.histogram("fl_round_seconds");
   // Model initialization (Alg. 1 line 15): ψ0 from the eval classifier's init.
   global_parameters_ = eval_classifier_->parameters_flat();
 }
@@ -48,13 +56,39 @@ double Server::evaluate_global() {
 }
 
 RoundRecord Server::run_round(std::size_t round) {
-  const util::Stopwatch stopwatch;
+  // Round timing and span durations share obs::now_ns() (one steady clock),
+  // so Table V and the trace can never disagree by clock domain.
+  const std::uint64_t round_start_ns = obs::now_ns();
+  FEDGUARD_TRACE_SPAN("round", "round:" + std::to_string(round));
   RoundRecord record;
   record.round = round;
+  // RoundRecord traffic/straggler fields are deltas of the registry counters
+  // over this round; only this (server) thread increments them.
+  const std::uint64_t upload0 = upload_bytes_total_.value();
+  const std::uint64_t download0 = download_bytes_total_.value();
+  const std::uint64_t stragglers0 = stragglers_total_.value();
+
+  auto finalize = [&] {
+    record.server_upload_bytes = upload_bytes_total_.value() - upload0;
+    record.server_download_bytes = download_bytes_total_.value() - download0;
+    record.stragglers = stragglers_total_.value() - stragglers0;
+    record.test_accuracy = evaluate_global();
+    if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
+    const double seconds =
+        static_cast<double>(obs::now_ns() - round_start_ns) * 1e-9;
+    record.round_seconds = seconds;
+    round_seconds_.observe(seconds);
+    rounds_total_.add(1);
+    obs::round_tick(round);
+  };
 
   // Uniform sampling of m participating clients (Alg. 1 line 17).
-  rng_.sample_without_replacement(clients_.size(), config_.clients_per_round, sampled_);
+  {
+    FEDGUARD_TRACE_SPAN("round", "sample");
+    rng_.sample_without_replacement(clients_.size(), config_.clients_per_round, sampled_);
+  }
   record.sampled_clients = sampled_.size();
+  sampled_clients_total_.add(sampled_.size());
 
   // Straggler simulation: sampled clients may fail to respond this round.
   // The predicate (a deterministic test hook) takes priority and consumes no
@@ -67,12 +101,11 @@ RoundRecord Server::run_round(std::size_t round) {
                              : rng_.bernoulli(config_.straggler_probability);
       if (!fails) responders_.push_back(id);
     }
-    record.stragglers = sampled_.size() - responders_.size();
+    stragglers_total_.add(sampled_.size() - responders_.size());
     if (responders_.empty()) {
       // Nobody responded: the global model is unchanged this round.
-      record.test_accuracy = evaluate_global();
-      if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
-      record.round_seconds = stopwatch.seconds();
+      FEDGUARD_TRACE_SPAN("round", "eval");
+      finalize();
       return record;
     }
     sampled_.swap(responders_);
@@ -80,11 +113,14 @@ RoundRecord Server::run_round(std::size_t round) {
 
   // Client work items run concurrently on the pool (one process per client
   // on the paper's testbed), each writing its assigned arena row in place.
-  arena_.reset(sampled_.size(), global_parameters_.size(),
-               strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
-  parallel::parallel_for(parallel::global_pool(), 0, sampled_.size(), [&](std::size_t k) {
-    clients_[sampled_[k]]->run_round_into(global_parameters_, round, arena_.row(k));
-  });
+  {
+    FEDGUARD_TRACE_SPAN("round", "collect");
+    arena_.reset(sampled_.size(), global_parameters_.size(),
+                 strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
+    parallel::parallel_for(parallel::global_pool(), 0, sampled_.size(), [&](std::size_t k) {
+      clients_[sampled_[k]]->run_round_into(global_parameters_, round, arena_.row(k));
+    });
+  }
   const defenses::UpdateView updates{arena_};
   for (std::size_t k = 0; k < updates.count(); ++k) {
     if (updates.meta(k).truly_malicious) ++record.sampled_malicious;
@@ -92,25 +128,29 @@ RoundRecord Server::run_round(std::size_t round) {
 
   // Traffic accounting (Table V).
   const std::size_t psi_wire = nn::parameter_wire_bytes(global_parameters_.size());
-  record.server_upload_bytes = sampled_.size() * psi_wire;
-  record.server_download_bytes = sampled_.size() * psi_wire;
+  upload_bytes_total_.add(sampled_.size() * psi_wire);
+  std::size_t download = sampled_.size() * psi_wire;
   if (strategy_.wants_decoders()) {
     for (std::size_t k = 0; k < updates.count(); ++k) {
-      record.server_download_bytes += nn::parameter_wire_bytes(updates.meta(k).theta_count);
+      download += nn::parameter_wire_bytes(updates.meta(k).theta_count);
     }
   }
+  download_bytes_total_.add(download);
 
   // Aggregate and apply the server learning rate.
-  defenses::AggregationContext context;
-  context.round = round;
-  context.global_parameters = global_parameters_;
-  strategy_.aggregate_into(context, updates, result_);
-  if (result_.parameters.size() != global_parameters_.size()) {
-    throw std::runtime_error{"Server: strategy returned wrong parameter dimension"};
-  }
-  const float eta = config_.server_learning_rate;
-  for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
-    global_parameters_[i] += eta * (result_.parameters[i] - global_parameters_[i]);
+  {
+    FEDGUARD_TRACE_SPAN("round", "aggregate");
+    defenses::AggregationContext context;
+    context.round = round;
+    context.global_parameters = global_parameters_;
+    strategy_.aggregate_into(context, updates, result_);
+    if (result_.parameters.size() != global_parameters_.size()) {
+      throw std::runtime_error{"Server: strategy returned wrong parameter dimension"};
+    }
+    const float eta = config_.server_learning_rate;
+    for (std::size_t i = 0; i < global_parameters_.size(); ++i) {
+      global_parameters_[i] += eta * (result_.parameters[i] - global_parameters_[i]);
+    }
   }
 
   // Detection bookkeeping.
@@ -120,9 +160,8 @@ RoundRecord Server::run_round(std::size_t round) {
   record.rejected_malicious = detection.true_positives;
   record.rejected_benign = detection.false_positives;
 
-  record.test_accuracy = evaluate_global();
-  if (config_.track_per_class_accuracy) record.per_class_accuracy = evaluate_per_class();
-  record.round_seconds = stopwatch.seconds();
+  FEDGUARD_TRACE_SPAN("round", "eval");
+  finalize();
   return record;
 }
 

@@ -16,6 +16,7 @@
 #include "defenses/aggregation.hpp"
 #include "fl/client.hpp"
 #include "fl/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace fedguard::fl {
@@ -84,6 +85,15 @@ class Server {
   std::vector<std::size_t> sampled_;
   std::vector<std::size_t> responders_;
   std::vector<std::size_t> eval_indices_;
+  // Registry instruments (docs/OBSERVABILITY.md §fl_*). RoundRecord's traffic
+  // and straggler fields are per-round deltas of these counters, so Table V
+  // and the metrics exposition can never disagree.
+  obs::Counter rounds_total_;
+  obs::Counter upload_bytes_total_;
+  obs::Counter download_bytes_total_;
+  obs::Counter sampled_clients_total_;
+  obs::Counter stragglers_total_;
+  obs::Histogram round_seconds_;
 };
 
 }  // namespace fedguard::fl

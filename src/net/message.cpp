@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/trace.hpp"
 #include "util/serialize.hpp"
 
 namespace fedguard::net {
@@ -119,6 +120,7 @@ int decode_hello(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> encode_round_request(const RoundRequest& request) {
+  FEDGUARD_TRACE_SPAN("serialize", "encode_round_request");
   util::ByteWriter writer;
   writer.write_u64(request.round);
   writer.write_u32(request.want_decoder ? 1 : 0);
@@ -127,6 +129,7 @@ std::vector<std::byte> encode_round_request(const RoundRequest& request) {
 }
 
 RoundRequest decode_round_request(std::span<const std::byte> payload) {
+  FEDGUARD_TRACE_SPAN("serialize", "decode_round_request");
   util::ByteReader reader{payload};
   RoundRequest request;
   try {
@@ -142,6 +145,7 @@ RoundRequest decode_round_request(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> encode_round_reply(const RoundReply& reply) {
+  FEDGUARD_TRACE_SPAN("serialize", "encode_round_reply");
   util::ByteWriter writer;
   writer.write_u64(reply.round);
   writer.write_u32(static_cast<std::uint32_t>(reply.update.client_id));
@@ -173,6 +177,7 @@ RoundReply decode_round_reply(std::span<const std::byte> payload) {
 
 std::size_t decode_round_reply_into(std::span<const std::byte> payload,
                                     defenses::UpdateRow row) {
+  FEDGUARD_TRACE_SPAN("serialize", "decode_round_reply");
   util::ByteReader reader{payload};
   try {
     const auto round = static_cast<std::size_t>(reader.read_u64());

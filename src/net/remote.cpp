@@ -7,8 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/exporter.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
-#include "util/timer.hpp"
 
 namespace fedguard::net {
 
@@ -32,6 +33,9 @@ struct RemoteServer::Session {
   bool connected = false;
   bool ejected = false;
   std::size_t consecutive_failures = 0;
+  // Request→reply round-trip latency, labelled per client; the handle is
+  // resolved once at accept so the reply path does no registry lookup.
+  obs::Histogram rtt;
 };
 
 RemoteServer::RemoteServer(RemoteServerConfig config,
@@ -56,6 +60,15 @@ RemoteServer::RemoteServer(RemoteServerConfig config,
     throw std::invalid_argument{"RemoteServer: min_clients exceeds expected_clients"};
   }
   global_parameters_ = eval_classifier_->parameters_flat();
+  auto& registry = obs::Registry::global();
+  rounds_total_ = registry.counter("net_rounds_total");
+  upload_bytes_total_ = registry.counter("net_upload_bytes_total");
+  download_bytes_total_ = registry.counter("net_download_bytes_total");
+  dropouts_total_ = registry.counter("net_dropouts_total");
+  timeouts_total_ = registry.counter("net_timeouts_total");
+  corrupt_frames_total_ = registry.counter("net_corrupt_frames_total");
+  ejected_clients_total_ = registry.counter("net_ejected_clients_total");
+  round_seconds_ = registry.histogram("net_round_seconds");
 }
 
 void RemoteServer::accept_clients(std::vector<Session>& sessions) {
@@ -85,6 +98,8 @@ void RemoteServer::accept_clients(std::vector<Session>& sessions) {
       session.client_id = client_id;
       session.stream = std::move(*stream);
       session.connected = true;
+      session.rtt = obs::Registry::global().histogram(
+          "net_client_rtt_seconds{client=\"" + std::to_string(client_id) + "\"}");
       sessions.push_back(std::move(session));
     } catch (const SocketTimeout&) {
       util::log_warn("remote server: rejecting connection (Hello deadline expired)");
@@ -165,9 +180,37 @@ void RemoteServer::evaluate_round(fl::RoundRecord& record) {
 
 fl::RoundRecord RemoteServer::run_round(std::size_t round,
                                         std::vector<Session>& sessions) {
-  const util::Stopwatch stopwatch;
+  const std::uint64_t round_start_ns = obs::now_ns();
+  FEDGUARD_TRACE_SPAN("round", "round:" + std::to_string(round));
   fl::RoundRecord record;
   record.round = round;
+  // RoundRecord traffic/fault fields are deltas of the registry counters over
+  // this round; only this (server) thread increments them.
+  const std::uint64_t upload0 = upload_bytes_total_.value();
+  const std::uint64_t download0 = download_bytes_total_.value();
+  const std::uint64_t dropouts0 = dropouts_total_.value();
+  const std::uint64_t timeouts0 = timeouts_total_.value();
+  const std::uint64_t corrupt0 = corrupt_frames_total_.value();
+  const std::uint64_t ejected0 = ejected_clients_total_.value();
+
+  auto finalize = [&] {
+    record.server_upload_bytes = upload_bytes_total_.value() - upload0;
+    record.server_download_bytes = download_bytes_total_.value() - download0;
+    record.dropouts = dropouts_total_.value() - dropouts0;
+    record.timeouts = timeouts_total_.value() - timeouts0;
+    record.corrupt_frames = corrupt_frames_total_.value() - corrupt0;
+    record.ejected_clients = ejected_clients_total_.value() - ejected0;
+    {
+      FEDGUARD_TRACE_SPAN("round", "eval");
+      evaluate_round(record);
+    }
+    const double seconds =
+        static_cast<double>(obs::now_ns() - round_start_ns) * 1e-9;
+    record.round_seconds = seconds;
+    round_seconds_.observe(seconds);
+    rounds_total_.add(1);
+    obs::round_tick(round);
+  };
 
   // Failed links get one readmission window per round boundary.
   readmit_disconnected(sessions);
@@ -179,7 +222,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
       session.ejected = true;
       session.connected = false;
       session.stream.close();
-      ++record.ejected_clients;
+      ejected_clients_total_.add(1);
       util::log_warn("remote server: ejecting client %d after %zu consecutive failures",
                      session.client_id, session.consecutive_failures);
     }
@@ -199,16 +242,18 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   }
   if (universe.empty()) {
     util::log_warn("remote server: round %zu has no surviving clients", round);
-    evaluate_round(record);
-    record.round_seconds = stopwatch.seconds();
+    finalize();
     return record;
   }
-  const std::size_t per_round = std::min(config_.clients_per_round, universe.size());
-  const std::vector<std::size_t> drawn =
-      rng_.sample_without_replacement(universe.size(), per_round);
   std::vector<std::size_t> sampled;  // session indices, in sample order
-  sampled.reserve(drawn.size());
-  for (const std::size_t k : drawn) sampled.push_back(universe[k]);
+  {
+    FEDGUARD_TRACE_SPAN("round", "sample");
+    const std::size_t per_round = std::min(config_.clients_per_round, universe.size());
+    const std::vector<std::size_t> drawn =
+        rng_.sample_without_replacement(universe.size(), per_round);
+    sampled.reserve(drawn.size());
+    for (const std::size_t k : drawn) sampled.push_back(universe[k]);
+  }
   record.sampled_clients = sampled.size();
 
   // One arena slot per sampled client, in sample order; each reply
@@ -225,33 +270,40 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   const std::vector<std::byte> request_payload = encode_round_request(request);
   struct Pending {
     std::size_t session_index;
-    std::size_t slot;  // position in sample order
+    std::size_t slot;      // position in sample order
+    std::uint64_t sent_ns; // request send time (per-client RTT)
   };
   std::vector<Pending> pending;
   pending.reserve(sampled.size());
-  for (std::size_t slot = 0; slot < sampled.size(); ++slot) {
-    Session& session = sessions[sampled[slot]];
-    if (!session.connected) {
-      ++record.dropouts;
-      fail(session);
-      continue;
-    }
-    try {
-      session.stream.set_send_timeout(
-          milliseconds{static_cast<std::int64_t>(config_.round_timeout_ms)});
-      session.stream.send_message({MessageType::RoundRequest, request_payload});
-      record.server_upload_bytes += kFrameHeaderBytes + request_payload.size();
-      pending.push_back({sampled[slot], slot});
-    } catch (const std::exception&) {
-      ++record.dropouts;
-      drop_link(session);
-      fail(session);
+  {
+    FEDGUARD_TRACE_SPAN("round", "broadcast");
+    for (std::size_t slot = 0; slot < sampled.size(); ++slot) {
+      Session& session = sessions[sampled[slot]];
+      if (!session.connected) {
+        dropouts_total_.add(1);
+        fail(session);
+        continue;
+      }
+      try {
+        FEDGUARD_TRACE_SPAN("net.frame", "send:" + std::to_string(session.client_id));
+        session.stream.set_send_timeout(
+            milliseconds{static_cast<std::int64_t>(config_.round_timeout_ms)});
+        session.stream.send_message({MessageType::RoundRequest, request_payload});
+        upload_bytes_total_.add(kFrameHeaderBytes + request_payload.size());
+        pending.push_back({sampled[slot], slot, obs::now_ns()});
+      } catch (const std::exception&) {
+        dropouts_total_.add(1);
+        drop_link(session);
+        fail(session);
+      }
     }
   }
 
   // ...then collect their updates under the round deadline, multiplexed over
   // all pending links so one dead client costs the deadline at most once per
   // round, not once per client.
+  {
+  FEDGUARD_TRACE_SPAN("round", "collect");
   const auto deadline = Clock::now() + milliseconds{
       static_cast<std::int64_t>(config_.round_timeout_ms)};
   while (!pending.empty()) {
@@ -278,6 +330,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
         continue;
       }
       try {
+        FEDGUARD_TRACE_SPAN("net.frame", "recv:" + std::to_string(session.client_id));
         session.stream.set_receive_timeout(std::max(remaining_until(deadline),
                                                     milliseconds{1}));
         const Message reply = session.stream.receive_message();
@@ -288,7 +341,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
         const std::size_t slot = pending[i].slot;
         const std::size_t reply_round =
             decode_round_reply_into(reply.payload, arena_.row(slot));
-        record.server_download_bytes += kFrameHeaderBytes + reply.payload.size();
+        download_bytes_total_.add(kFrameHeaderBytes + reply.payload.size());
         if (reply_round != round) {
           // A delayed answer to an earlier round: real traffic, stale data.
           // The slot stays unfilled (its row holds the stale bytes until the
@@ -297,10 +350,12 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
           still_pending.push_back(pending[i]);
           continue;
         }
+        session.rtt.observe(static_cast<double>(obs::now_ns() - pending[i].sent_ns) *
+                            1e-9);
         row_filled_[slot] = true;
         session.consecutive_failures = 0;
       } catch (const DecodeError& e) {
-        ++record.corrupt_frames;
+        corrupt_frames_total_.add(1);
         // An intact-but-CRC-bad or wrong-shape frame leaves the stream in
         // sync; anything else (truncation, bad magic, oversized length) means
         // the byte stream can no longer be trusted.
@@ -310,11 +365,11 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
         }
         fail(session);
       } catch (const SocketTimeout&) {
-        ++record.timeouts;
+        timeouts_total_.add(1);
         drop_link(session);  // mid-frame stall: the link is desynced
         fail(session);
       } catch (const std::exception&) {
-        ++record.dropouts;
+        dropouts_total_.add(1);
         drop_link(session);
         fail(session);
       }
@@ -322,8 +377,9 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
     pending = std::move(still_pending);
   }
   for (const Pending& p : pending) {
-    ++record.timeouts;
+    timeouts_total_.add(1);
     fail(sessions[p.session_index]);
+  }
   }
 
   // Compact: the aggregation sees a row-index view over the slots that
@@ -337,6 +393,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   }
 
   if (!row_indices_.empty()) {
+    FEDGUARD_TRACE_SPAN("round", "aggregate");
     const defenses::UpdateView updates{arena_, row_indices_};
     defenses::AggregationContext context;
     context.round = round;
@@ -359,8 +416,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
                    round);
   }
 
-  evaluate_round(record);
-  record.round_seconds = stopwatch.seconds();
+  finalize();
   return record;
 }
 

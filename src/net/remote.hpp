@@ -33,6 +33,7 @@
 #include "fl/metrics.hpp"
 #include "net/fault_injector.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace fedguard::net {
 
@@ -108,6 +109,17 @@ class RemoteServer {
   defenses::AggregationResult result_;
   std::vector<bool> row_filled_;
   std::vector<std::size_t> row_indices_;
+  // Registry instruments (docs/OBSERVABILITY.md §net_*). RoundRecord's
+  // traffic and fault fields are per-round deltas of these counters — the
+  // registry is the single source of truth for fault accounting.
+  obs::Counter rounds_total_;
+  obs::Counter upload_bytes_total_;
+  obs::Counter download_bytes_total_;
+  obs::Counter dropouts_total_;
+  obs::Counter timeouts_total_;
+  obs::Counter corrupt_frames_total_;
+  obs::Counter ejected_clients_total_;
+  obs::Histogram round_seconds_;
 };
 
 /// Client-side retry/backoff policy and optional chaos injection.

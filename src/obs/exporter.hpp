@@ -1,0 +1,79 @@
+#pragma once
+// Round-driven exporter: ties the metrics registry and tracer to files.
+//
+// ObsOptions is the descriptor-facing knob panel (obs_trace_path,
+// obs_metrics_path, obs_flush_every_rounds, obs_histogram_buckets — see
+// docs/CONFIG_REFERENCE.md). RoundExporter turns it into behaviour: it owns
+// the TraceSession (when a trace path is set), appends one registry JSON
+// snapshot per round to <obs_metrics_path>.jsonl, and on the configured
+// cadence rewrites the Prometheus text file and flushes the trace.
+//
+// Both servers report round completion through the free function
+// obs::round_tick(), which is a relaxed atomic load + nothing when no
+// exporter is installed — servers stay oblivious to whether observability is
+// on. Install at most one exporter at a time (the runner owns it for the
+// duration of Federation::run()).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fedguard::obs {
+
+/// Observability configuration, one field per obs_* descriptor key. Empty
+/// paths disable the corresponding output entirely.
+struct ObsOptions {
+  std::string trace_path;    // Chrome trace_event JSON (Perfetto-loadable)
+  std::string metrics_path;  // Prometheus text; JSON snapshots at .jsonl
+  // Rewrite metrics / flush trace every N rounds; 0 = only at teardown. The
+  // per-round JSONL snapshot is appended every round regardless.
+  std::size_t flush_every_rounds = 1;
+  // Histogram bucket upper bounds for histograms registered without explicit
+  // bounds; empty keeps Registry::default_buckets().
+  std::vector<double> histogram_buckets;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+/// Parse the obs_histogram_buckets descriptor value: comma-separated ascending
+/// doubles, e.g. "0.001,0.01,0.1,1". Throws std::invalid_argument on garbage
+/// or non-ascending bounds.
+[[nodiscard]] std::vector<double> parse_histogram_buckets(const std::string& spec);
+
+/// Installed by the runner around a federation run; uninstalls + final-flushes
+/// on destruction. Construction applies histogram_buckets to the global
+/// registry and opens the trace session.
+class RoundExporter {
+ public:
+  explicit RoundExporter(ObsOptions options);
+  ~RoundExporter();
+
+  RoundExporter(const RoundExporter&) = delete;
+  RoundExporter& operator=(const RoundExporter&) = delete;
+
+  /// Called (via round_tick) after each completed round. Appends the JSON
+  /// snapshot line and honours the flush cadence.
+  void on_round_end(std::size_t round_index);
+
+  /// Force a metrics rewrite + trace flush now (teardown path).
+  void flush();
+
+  [[nodiscard]] const ObsOptions& options() const noexcept { return options_; }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<TraceSession> trace_;
+  bool installed_ = false;
+};
+
+/// Report a completed round to the installed exporter, if any. No-op (one
+/// relaxed atomic load) when observability is off.
+void round_tick(std::size_t round_index);
+
+}  // namespace fedguard::obs

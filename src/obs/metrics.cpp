@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedguard::obs {
+
+namespace {
+
+/// Split "name{labels}" into ("name", "labels"); labels is empty when the
+/// instrument name carries no label block.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, brace), name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+std::string join_labels(const std::string& base, const std::string& labels,
+                        const std::string& extra) {
+  std::string joined = base + "{" + labels;
+  if (!labels.empty() && !extra.empty()) joined += ",";
+  joined += extra + "}";
+  return joined;
+}
+
+void append_double(std::ostringstream& out, double value) {
+  if (std::isinf(value)) {
+    out << (value > 0 ? "\"+Inf\"" : "\"-Inf\"");
+    return;
+  }
+  std::ostringstream formatted;
+  formatted.precision(17);
+  formatted << value;
+  out << formatted.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string format_bound(double bound) {
+  std::ostringstream out;
+  out.precision(17);
+  out << bound;
+  return out.str();
+}
+
+}  // namespace
+
+void Histogram::observe(double value) noexcept {
+  if (cell_ == nullptr) return;
+  const auto& bounds = cell_->upper_bounds;
+  // First bucket whose upper bound admits the value; past-the-end = +Inf.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  cell_->counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell_->total.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add_double(cell_->sum, value);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  if (cell_ == nullptr) return {};
+  std::vector<std::uint64_t> out(cell_->upper_bounds.size() + 1, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = cell_->counts[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter Registry::counter(const std::string& name) {
+  const std::lock_guard lock{mutex_};
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<detail::CounterCell>();
+  return Counter{cell.get()};
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  const std::lock_guard lock{mutex_};
+  auto& cell = gauges_[name];
+  if (!cell) cell = std::make_unique<detail::GaugeCell>();
+  return Gauge{cell.get()};
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::span<const double> upper_bounds) {
+  const std::lock_guard lock{mutex_};
+  auto& cell = histograms_[name];
+  if (!cell) {
+    cell = std::make_unique<detail::HistogramCell>();
+    cell->upper_bounds.assign(upper_bounds.begin(), upper_bounds.end());
+    if (cell->upper_bounds.empty()) {
+      cell->upper_bounds =
+          default_buckets_.empty() ? default_buckets() : default_buckets_;
+    }
+    if (!std::is_sorted(cell->upper_bounds.begin(), cell->upper_bounds.end())) {
+      histograms_.erase(name);
+      throw std::invalid_argument{"obs: histogram bounds for '" + name +
+                                  "' must be ascending"};
+    }
+    cell->counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(cell->upper_bounds.size() + 1);
+    for (std::size_t i = 0; i <= cell->upper_bounds.size(); ++i) cell->counts[i] = 0;
+  }
+  return Histogram{cell.get()};
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0
+                               : it->second->value.load(std::memory_order_relaxed);
+}
+
+void Registry::set_default_buckets(std::vector<double> upper_bounds) {
+  if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end())) {
+    throw std::invalid_argument{"obs: default histogram buckets must be ascending"};
+  }
+  const std::lock_guard lock{mutex_};
+  default_buckets_ = std::move(upper_bounds);
+}
+
+const std::vector<double>& Registry::default_buckets() {
+  // Latency-oriented seconds scale: 100 µs .. 10 s, roughly 1-2.5-5 decades.
+  static const std::vector<double> buckets{
+      1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+      5e-2, 1e-1,  0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+  return buckets;
+}
+
+std::string Registry::prometheus_text() const {
+  const std::lock_guard lock{mutex_};
+  std::ostringstream out;
+  for (const auto& [name, cell] : counters_) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " counter\n"
+        << name << " " << cell->value.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : gauges_) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " gauge\n"
+        << name << " " << cell->value.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : histograms_) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < cell->upper_bounds.size(); ++i) {
+      cumulative += cell->counts[i].load(std::memory_order_relaxed);
+      out << join_labels(base + "_bucket", labels,
+                         "le=\"" + format_bound(cell->upper_bounds[i]) + "\"")
+          << " " << cumulative << "\n";
+    }
+    cumulative +=
+        cell->counts[cell->upper_bounds.size()].load(std::memory_order_relaxed);
+    out << join_labels(base + "_bucket", labels, "le=\"+Inf\"") << " " << cumulative
+        << "\n";
+    out << base + "_sum" << (labels.empty() ? "" : "{" + labels + "}") << " ";
+    append_double(out, cell->sum.load(std::memory_order_relaxed));
+    out << "\n"
+        << base + "_count" << (labels.empty() ? "" : "{" + labels + "}") << " "
+        << cell->total.load(std::memory_order_relaxed) << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::json_snapshot() const {
+  const std::lock_guard lock{mutex_};
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":"
+        << cell->value.load(std::memory_order_relaxed);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cell] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":"
+        << cell->value.load(std::memory_order_relaxed);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cell] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"le\":[";
+    for (std::size_t i = 0; i < cell->upper_bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      append_double(out, cell->upper_bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i <= cell->upper_bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      out << cell->counts[i].load(std::memory_order_relaxed);
+    }
+    out << "],\"count\":" << cell->total.load(std::memory_order_relaxed)
+        << ",\"sum\":";
+    append_double(out, cell->sum.load(std::memory_order_relaxed));
+    out << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::write_prometheus(const std::string& path) const {
+  std::ofstream file{path, std::ios::trunc};
+  if (!file) throw std::runtime_error{"obs: cannot write metrics file " + path};
+  file << prometheus_text();
+}
+
+void Registry::zero_all() {
+  const std::lock_guard lock{mutex_};
+  for (const auto& [name, cell] : counters_) cell->value.store(0);
+  for (const auto& [name, cell] : gauges_) cell->value.store(0);
+  for (const auto& [name, cell] : histograms_) {
+    for (std::size_t i = 0; i <= cell->upper_bounds.size(); ++i) cell->counts[i] = 0;
+    cell->total.store(0);
+    cell->sum.store(0.0);
+  }
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace fedguard::obs

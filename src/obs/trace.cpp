@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace fedguard::obs {
+
+namespace {
+
+// Installed session + a monotonically increasing epoch. Thread-local buffer
+// caches are keyed by epoch, not pointer, so a recycled heap address can
+// never resurrect a stale cache entry (classic ABA).
+std::atomic<TraceSession*> g_session{nullptr};
+std::atomic<std::uint64_t> g_epoch_source{0};
+
+void json_escape_into(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+thread_local std::uint64_t TraceSession::t_buffer_epoch = 0;
+thread_local TraceSession::ThreadBuffer* TraceSession::t_buffer = nullptr;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSession::TraceSession(std::string path, std::size_t events_per_thread)
+    : path_{std::move(path)},
+      events_per_thread_{events_per_thread < 4 ? 4 : events_per_thread},
+      epoch_{g_epoch_source.fetch_add(1, std::memory_order_relaxed) + 1},
+      start_ns_{now_ns()} {
+  TraceSession* expected = nullptr;
+  installed_ =
+      g_session.compare_exchange_strong(expected, this, std::memory_order_release,
+                                        std::memory_order_relaxed);
+  if (!installed_) {
+    util::log_warn(
+        "obs: a TraceSession is already active; '%s' will record nothing",
+        path_.c_str());
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (installed_) {
+    // Uninstall first so no new span can pick this session up, then drain.
+    // Callers must have quiesced instrumented threads (see header contract).
+    g_session.store(nullptr, std::memory_order_release);
+  }
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    util::log_warn("obs: final trace flush failed: %s", e.what());
+  }
+}
+
+bool TraceSession::active() noexcept {
+  return g_session.load(std::memory_order_acquire) != nullptr;
+}
+
+TraceSession::ThreadBuffer* TraceSession::buffer_for_current_thread() {
+  if (t_buffer_epoch == epoch_ && t_buffer != nullptr) return t_buffer;
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->events.reserve(events_per_thread_);
+  ThreadBuffer* raw = buffer.get();
+  {
+    const std::lock_guard lock{buffers_mutex_};
+    raw->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::move(buffer));
+  }
+  t_buffer = raw;
+  t_buffer_epoch = epoch_;
+  return raw;
+}
+
+std::uint64_t TraceSession::dropped_spans() const noexcept {
+  std::uint64_t dropped = 0;
+  const std::lock_guard lock{const_cast<std::mutex&>(buffers_mutex_)};
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard buffer_lock{const_cast<std::mutex&>(buffer->mutex)};
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void TraceSession::flush() {
+  {
+    const std::lock_guard lock{buffers_mutex_};
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard buffer_lock{buffer->mutex};
+      for (Event& event : buffer->events) {
+        event.tid = buffer->tid;
+        flushed_.push_back(std::move(event));
+      }
+      buffer->events.clear();
+    }
+  }
+  write_file();
+}
+
+void TraceSession::write_file() {
+  std::ofstream file{path_, std::ios::trunc};
+  if (!file) throw std::runtime_error{"obs: cannot write trace file " + path_};
+  // One event object per line so tests (and grep) can parse the file without
+  // a JSON library. Timestamps are microseconds relative to session start,
+  // with sub-µs kept as a fraction so close-together spans stay ordered.
+  file << "{\"traceEvents\":[\n";
+  std::string line;
+  for (std::size_t i = 0; i < flushed_.size(); ++i) {
+    const Event& event = flushed_[i];
+    const std::uint64_t rel_ns = event.ts_ns - start_ns_;
+    line.clear();
+    line += "{\"name\":\"";
+    json_escape_into(line, event.name);
+    line += "\",\"cat\":\"";
+    json_escape_into(line, event.category);
+    line += "\",\"ph\":\"";
+    line += event.phase;
+    line += "\",\"ts\":";
+    line += std::to_string(rel_ns / 1000);
+    line += '.';
+    const std::uint64_t frac = rel_ns % 1000;
+    line += static_cast<char>('0' + frac / 100);
+    line += static_cast<char>('0' + frac / 10 % 10);
+    line += static_cast<char>('0' + frac % 10);
+    line += ",\"pid\":1,\"tid\":";
+    line += std::to_string(event.tid);
+    line += "}";
+    if (i + 1 < flushed_.size()) line += ',';
+    line += '\n';
+    file << line;
+  }
+  file << "]}\n";
+}
+
+Span::Span(std::string category, std::string name) {
+  TraceSession* session = g_session.load(std::memory_order_acquire);
+  if (session == nullptr) return;
+  TraceSession::ThreadBuffer* buffer = session->buffer_for_current_thread();
+  const std::lock_guard lock{buffer->mutex};
+  // Reserve this span's E slot up front: a B is only recorded when both its
+  // own slot and the eventual E slot fit, so the trace can never hold an
+  // unmatched B from overflow.
+  if (buffer->events.size() + buffer->open_spans + 2 >
+      buffer->events.capacity()) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back({name, category, now_ns(), 'B'});
+  ++buffer->open_spans;
+  buffer_ = buffer;
+  category_ = std::move(category);
+  name_ = std::move(name);
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  const std::lock_guard lock{buffer_->mutex};
+  buffer_->events.push_back({std::move(name_), std::move(category_), now_ns(), 'E'});
+  --buffer_->open_spans;
+}
+
+}  // namespace fedguard::obs

@@ -1,0 +1,134 @@
+#pragma once
+// Scoped tracer: RAII obs::Span instances record B/E (begin/end) event pairs
+// into per-thread buffers owned by the active obs::TraceSession, which
+// flushes them as Chrome trace_event JSON — load the file at ui.perfetto.dev
+// or chrome://tracing. Span categories form a fixed taxonomy (`round`,
+// `client.train`, `client.cvae`, `serialize`, `net.frame`, `agg.<strategy>`,
+// `kernel.gemm`, `pool.task`) documented in docs/OBSERVABILITY.md;
+// fedguard-lint (rule span-category-docs) keeps code and doc in sync.
+//
+// Cost model: with no session installed a span is one relaxed atomic load.
+// With a session active, an append is a short critical section on the
+// calling thread's own buffer mutex (contended only while flush() drains).
+// Hot kernels use the FEDGUARD_TRACE_SPAN macro, which compiles to nothing
+// when the FEDGUARD_TRACE CMake option is OFF — a disabled build carries
+// zero tracing instructions (tests/obs_trace_off_probe.cpp pins this).
+//
+// Threading contract: install at most one session at a time, and destroy it
+// only after every instrumented thread has quiesced (worker pools joined or
+// idle). Both servers satisfy this by construction — the exporter outlives
+// the run loop.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fedguard::obs {
+
+/// Monotonic (steady_clock) timestamp in nanoseconds. The single time source
+/// for span durations AND RoundRecord::round_seconds, so Table V timing and
+/// trace spans can never disagree by clock domain.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+class Span;
+
+/// Owns the per-thread trace buffers and the output file for one recording.
+/// Constructing installs the session process-wide (spans start recording);
+/// destruction flushes and uninstalls.
+class TraceSession {
+ public:
+  /// `events_per_thread` bounds each thread's buffer between flushes; a span
+  /// that would overflow its thread's buffer is dropped whole (both B and E,
+  /// so the written trace always stays balanced) and counted.
+  explicit TraceSession(std::string path, std::size_t events_per_thread = 1 << 16);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Drain every thread buffer and rewrite the trace file with all events
+  /// recorded so far. Safe to call while spans are being recorded.
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Spans dropped to buffer overflow since construction (0 in healthy runs;
+  /// raise events_per_thread or flush more often otherwise).
+  [[nodiscard]] std::uint64_t dropped_spans() const noexcept;
+  /// True when some session is currently installed process-wide.
+  [[nodiscard]] static bool active() noexcept;
+
+ private:
+  friend class Span;
+
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint64_t ts_ns = 0;
+    char phase = 'B';
+    int tid = 0;  // stamped from the owning buffer when drained
+  };
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::size_t open_spans = 0;  // E slots reserved by not-yet-closed spans
+    std::uint64_t dropped = 0;
+    int tid = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer* buffer_for_current_thread();
+  void write_file();
+
+  // Per-thread buffer cache, keyed by session epoch so a pointer from a
+  // previous (destroyed) session can never be reused.
+  static thread_local std::uint64_t t_buffer_epoch;
+  static thread_local ThreadBuffer* t_buffer;
+
+  std::string path_;
+  std::size_t events_per_thread_;
+  std::uint64_t epoch_ = 0;     // unique per session; keys thread-local caches
+  std::uint64_t start_ns_ = 0;  // trace timestamps are relative to this
+  bool installed_ = false;
+  std::mutex buffers_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<Event> flushed_;  // drained events, in flush order
+};
+
+/// RAII span: records a B event at construction and the matching E event at
+/// destruction on the same thread. Near-free when no session is installed.
+/// Categories must come from the documented taxonomy; prefer the
+/// FEDGUARD_TRACE_SPAN macro so disabled builds compile the span away.
+class Span {
+ public:
+  Span(std::string category, std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSession::ThreadBuffer* buffer_ = nullptr;
+  std::string category_;
+  std::string name_;
+};
+
+}  // namespace fedguard::obs
+
+// Compile-time tracing switch (CMake option FEDGUARD_TRACE, default ON; the
+// obs target publishes FEDGUARD_TRACE_ENABLED). When OFF the macro expands to
+// a no-op expression: no Span object, no obs symbol references, bit-for-bit
+// identical science (pinned by tests/test_update_pipeline.cpp goldens).
+#if defined(FEDGUARD_TRACE_ENABLED)
+#define FEDGUARD_TRACE_CONCAT_IMPL(a, b) a##b
+#define FEDGUARD_TRACE_CONCAT(a, b) FEDGUARD_TRACE_CONCAT_IMPL(a, b)
+#define FEDGUARD_TRACE_SPAN(category, name)                 \
+  const ::fedguard::obs::Span FEDGUARD_TRACE_CONCAT(        \
+      fedguard_trace_span_, __COUNTER__) {                  \
+    (category), (name)                                      \
+  }
+#else
+#define FEDGUARD_TRACE_SPAN(category, name) static_cast<void>(0)
+#endif

@@ -93,7 +93,7 @@ ThreadPool& kernel_pool() {
   const std::lock_guard lock{s.mutex};
   if (!s.pool || s.pool_threads != want) {
     s.pool.reset();  // join the old workers before replacing them
-    s.pool = std::make_unique<ThreadPool>(want);
+    s.pool = std::make_unique<ThreadPool>(want, "kernel");
     s.pool_threads = want;
   }
   return *s.pool;

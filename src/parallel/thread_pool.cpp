@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace fedguard::parallel {
 
@@ -12,13 +15,24 @@ thread_local bool t_in_worker = false;
 
 bool in_worker_thread() noexcept { return t_in_worker; }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, const char* name) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  auto& registry = obs::Registry::global();
+  const std::string label = std::string{"{pool=\""} + name + "\"}";
+  queue_depth_ = registry.gauge("pool_queue_depth" + label);
+  tasks_total_ = registry.counter("pool_tasks_total" + label);
+  task_seconds_ = registry.histogram("pool_task_seconds" + label);
+  worker_busy_ns_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    worker_busy_ns_.push_back(
+        registry.counter(std::string{"pool_worker_busy_ns_total{pool=\""} + name +
+                         "\",worker=\"" + std::to_string(i) + "\"}"));
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -33,7 +47,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   t_in_worker = true;
   for (;;) {
     std::function<void()> task;
@@ -44,7 +58,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    queue_depth_.sub(1);
+    const std::uint64_t start_ns = obs::now_ns();
+    {
+      FEDGUARD_TRACE_SPAN("pool.task", "task");
+      task();
+    }
+    const std::uint64_t busy_ns = obs::now_ns() - start_ns;
+    tasks_total_.add(1);
+    task_seconds_.observe(static_cast<double>(busy_ns) * 1e-9);
+    worker_busy_ns_[worker_index].add(busy_ns);
   }
 }
 
@@ -72,7 +95,7 @@ void ThreadPool::run_batch(std::size_t count, const std::function<void(std::size
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool{0, "clients"};
   return pool;
 }
 

@@ -17,13 +17,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace fedguard::parallel {
 
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 selects std::thread::hardware_concurrency()
-  /// (minimum 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// (minimum 1). `name` labels this pool's metrics (pool_queue_depth,
+  /// pool_tasks_total, pool_task_seconds, pool_worker_busy_ns_total — see
+  /// docs/OBSERVABILITY.md); distinct pools must use distinct names.
+  explicit ThreadPool(std::size_t threads = 0, const char* name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -42,6 +46,7 @@ class ThreadPool {
       if (stopping_) throw std::runtime_error{"ThreadPool: submit after shutdown"};
       tasks_.emplace([packaged] { (*packaged)(); });
     }
+    queue_depth_.add(1);
     condition_.notify_one();
     return result;
   }
@@ -52,13 +57,19 @@ class ThreadPool {
   void run_batch(std::size_t count, const std::function<void(std::size_t)>& factory);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable condition_;
   bool stopping_ = false;
+  // Registry handles, resolved once at construction — the per-task cost is
+  // relaxed atomic adds only.
+  obs::Gauge queue_depth_;
+  obs::Counter tasks_total_;
+  obs::Histogram task_seconds_;
+  std::vector<obs::Counter> worker_busy_ns_;
 };
 
 /// Global pool shared by the simulation (lazily constructed, sized from

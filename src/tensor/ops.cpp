@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "parallel/kernel_config.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
@@ -213,23 +214,27 @@ constexpr std::size_t kElementwiseGrain = 4096;
 
 void matmul(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
             std::size_t n) {
+  FEDGUARD_TRACE_SPAN("kernel.gemm", "matmul");
   std::fill(c, c + m * n, 0.0f);
   gemm_dispatch(a, k, 1, b, c, m, k, n);
 }
 
 void matmul_trans_a(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                     std::size_t n) {
+  FEDGUARD_TRACE_SPAN("kernel.gemm", "matmul_trans_a");
   std::fill(c, c + m * n, 0.0f);
   gemm_dispatch(a, 1, m, b, c, m, k, n);
 }
 
 void matmul_trans_a_accumulate(const float* a, const float* b, float* c, std::size_t m,
                                std::size_t k, std::size_t n) {
+  FEDGUARD_TRACE_SPAN("kernel.gemm", "matmul_trans_a_accumulate");
   gemm_dispatch(a, 1, m, b, c, m, k, n);
 }
 
 void matmul_trans_b(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
                     std::size_t n) {
+  FEDGUARD_TRACE_SPAN("kernel.gemm", "matmul_trans_b");
   gemm_tb_dispatch(a, b, c, m, k, n);
 }
 

@@ -1,7 +1,13 @@
 #pragma once
-// Wall-clock stopwatch used by the round-timing instrumentation (Table V).
+// Monotonic (steady_clock) stopwatch — NOT wall-clock; immune to NTP steps.
+// Round loops in src/fl and src/net time themselves with obs::now_ns() (the
+// same steady clock) so Table V's round_seconds and trace span durations share
+// one time source; Stopwatch remains for benches and coarse CLI timing, and
+// fedguard-lint (rule no-raw-stopwatch) keeps it out of the instrumented
+// layers.
 
 #include <chrono>
+#include <cstdint>
 
 namespace fedguard::util {
 
@@ -12,6 +18,13 @@ class Stopwatch {
   /// Seconds elapsed since construction or the last reset().
   [[nodiscard]] double seconds() const noexcept {
     return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
   }
 
   void reset() noexcept { start_ = clock::now(); }

@@ -1,0 +1,16 @@
+// Fixture: no-raw-stopwatch rule. Round-path code must time through
+// obs::now_ns() — the tracer clock — not util::Stopwatch, so trace spans and
+// RoundRecord::round_seconds can never disagree by clock domain.
+
+namespace fedguard::fl {
+
+double fixture_time_round() {
+  util::Stopwatch timer;  // VIOLATION: raw stopwatch in round-path code
+  // fedguard-lint: allow(no-raw-stopwatch) fixture exercising the allowlist
+  util::Stopwatch allowed_timer;  // NOT flagged: justified allow() above
+  (void)timer;
+  (void)allowed_timer;
+  return 0.0;
+}
+
+}  // namespace fedguard::fl

@@ -1,0 +1,14 @@
+// Fixture: span-category-docs rule. Every string-literal span category must
+// be listed in docs/OBSERVABILITY.md (this fixture tree documents only
+// `net.frame`); dynamic category expressions are exempt — they are covered by
+// the documented agg.<strategy> pattern.
+
+namespace fedguard::net {
+
+void fixture_spans() {
+  FEDGUARD_TRACE_SPAN("net.frame", "send");   // NOT flagged: documented
+  FEDGUARD_TRACE_SPAN("net.bogus", "send");   // VIOLATION: undocumented category
+  FEDGUARD_TRACE_SPAN(std::string{"agg."} + name(), "x");  // NOT flagged: dynamic
+}
+
+}  // namespace fedguard::net

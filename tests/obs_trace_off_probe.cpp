@@ -1,0 +1,35 @@
+// Proof that FEDGUARD_TRACE=OFF compiles tracing away entirely.
+//
+// This translation unit includes obs/trace.hpp and uses FEDGUARD_TRACE_SPAN,
+// but is deliberately built WITHOUT linking fedguard_obs — so it never sees
+// the FEDGUARD_TRACE_ENABLED compile definition, exactly like every TU in a
+// -DFEDGUARD_TRACE=OFF build. Linking succeeds only if the macro expanded to
+// a no-op (obs::Span is defined out-of-line in fedguard_obs; a stray
+// expansion would be an unresolved symbol). scripts/check_trace_off_symbols.sh
+// additionally runs nm over the binary and asserts that no fedguard::obs
+// symbol survives.
+
+#include "obs/trace.hpp"
+
+#if defined(FEDGUARD_TRACE_ENABLED)
+#error "probe must be compiled without FEDGUARD_TRACE_ENABLED"
+#endif
+
+namespace {
+
+// Mirrors a hot kernel entry: the macro must vanish, leaving only the math.
+int traced_work(int iterations) {
+  int acc = 0;
+  for (int i = 0; i < iterations; ++i) {
+    FEDGUARD_TRACE_SPAN("kernel.gemm", "probe");
+    acc += i * i;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  // 0+1+4+9 = 14; the exit status doubles as a sanity check for the script.
+  return traced_work(4) == 14 ? 0 : 1;
+}

@@ -23,7 +23,9 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/defenses/bad_unordered.cpp", 12, "unordered-iteration"),
     ("src/defenses/bad_unordered.cpp", 15, "unordered-iteration"),
     ("src/fl/bad_stdout.cpp", 8, "stdout"),
+    ("src/fl/bad_stopwatch.cpp", 8, "no-raw-stopwatch"),
     ("src/models/bad_random.cpp", 9, "rng"),
+    ("src/net/bad_span.cpp", 10, "span-category-docs"),
     ("src/nn/bad_new.cpp", 9, "naked-new"),
     ("src/nn/bad_new.cpp", 11, "naked-new"),
     ("tests/CMakeLists.txt", 7, "test-timeout"),
@@ -67,7 +69,8 @@ class FedguardLintGolden(unittest.TestCase):
         result = run_lint("--list-rules")
         self.assertEqual(result.returncode, 0)
         for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
-                     "test-timeout", "config-docs", "no-pointset-copy"):
+                     "test-timeout", "config-docs", "no-pointset-copy",
+                     "no-raw-stopwatch", "span-category-docs"):
             self.assertIn(rule, result.stdout)
 
 

@@ -15,6 +15,7 @@
 #include "defenses/krum.hpp"
 #include "net/fault_injector.hpp"
 #include "net/remote.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace fedguard::net {
@@ -379,6 +380,55 @@ TEST_F(ChaosFixture, ClientFailingEveryRoundIsEjected) {
   EXPECT_EQ(history.rounds[2].sampled_clients, 0u);
   EXPECT_EQ(history.rounds[3].sampled_clients, 0u);
   EXPECT_EQ(history.rounds[2].test_accuracy, history.rounds[3].test_accuracy);
+}
+
+// ---- Registry as the single source of truth -----------------------------------
+
+// RoundRecord's fault and traffic fields are per-round deltas of the obs
+// registry counters (net_dropouts_total etc.), so summing the records must
+// reproduce the counter deltas exactly — under a seeded chaos matrix that
+// exercises dropouts, timeouts, and corrupt frames at once.
+TEST_F(ChaosFixture, HistoryFaultTotalsMatchRegistryCounterDeltas) {
+  FaultPlan plan;
+  plan.drop_probability = 0.2;
+  plan.truncate_probability = 0.15;
+  plan.bit_flip_probability = 0.15;
+  plan.disconnect_probability = 0.1;
+  plan.seed = 950;
+
+  obs::Registry& registry = obs::Registry::global();
+  const std::uint64_t rounds0 = registry.counter_value("net_rounds_total");
+  const std::uint64_t upload0 = registry.counter_value("net_upload_bytes_total");
+  const std::uint64_t download0 = registry.counter_value("net_download_bytes_total");
+  const std::uint64_t dropouts0 = registry.counter_value("net_dropouts_total");
+  const std::uint64_t timeouts0 = registry.counter_value("net_timeouts_total");
+  const std::uint64_t corrupt0 = registry.counter_value("net_corrupt_frames_total");
+  const std::uint64_t ejected0 = registry.counter_value("net_ejected_clients_total");
+
+  const ChaosResult result = run_chaos(Strategy::FedAvg, plan, 3, 1500);
+  ASSERT_EQ(result.history.rounds.size(), 3u);
+
+  EXPECT_EQ(registry.counter_value("net_rounds_total") - rounds0, 3u);
+  EXPECT_EQ(registry.counter_value("net_dropouts_total") - dropouts0,
+            result.history.total_dropouts());
+  EXPECT_EQ(registry.counter_value("net_timeouts_total") - timeouts0,
+            result.history.total_timeouts());
+  EXPECT_EQ(registry.counter_value("net_corrupt_frames_total") - corrupt0,
+            result.history.total_corrupt_frames());
+  EXPECT_EQ(registry.counter_value("net_ejected_clients_total") - ejected0,
+            result.history.total_ejected());
+
+  std::size_t upload = 0;
+  std::size_t download = 0;
+  std::size_t faults = 0;
+  for (const auto& record : result.history.rounds) {
+    upload += record.server_upload_bytes;
+    download += record.server_download_bytes;
+    faults += record.dropouts + record.timeouts + record.corrupt_frames;
+  }
+  EXPECT_EQ(registry.counter_value("net_upload_bytes_total") - upload0, upload);
+  EXPECT_EQ(registry.counter_value("net_download_bytes_total") - download0, download);
+  ASSERT_GT(faults, 0u) << "the chaos plan must actually inject something";
 }
 
 }  // namespace

@@ -1,0 +1,361 @@
+// Observability layer: Chrome-trace structural invariants (balanced B/E,
+// per-tid monotonic timestamps, drop-whole overflow), histogram bucket math
+// against a hand-computed oracle, Prometheus/JSON exposition, and registry
+// determinism — the Table V traffic counters must not depend on how many
+// kernel threads computed the updates.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace fedguard::obs {
+namespace {
+
+// ---- Trace-file parsing helpers ----------------------------------------------
+
+struct ParsedEvent {
+  std::string name;
+  std::string category;
+  char phase = '?';
+  double ts_us = 0.0;
+  int tid = -1;
+};
+
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto begin = line.find(needle);
+  if (begin == std::string::npos) return "";
+  const auto end = line.find('"', begin + needle.size());
+  return line.substr(begin + needle.size(), end - begin - needle.size());
+}
+
+double extract_number(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto begin = line.find(needle);
+  if (begin == std::string::npos) return -1.0;
+  return std::stod(line.substr(begin + needle.size()));
+}
+
+/// Parse the one-event-per-line trace file written by TraceSession.
+std::vector<ParsedEvent> parse_trace_file(const std::string& path) {
+  std::ifstream file{path};
+  EXPECT_TRUE(file.is_open()) << "trace file missing: " << path;
+  std::vector<ParsedEvent> events;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.find("\"ph\"") == std::string::npos) continue;  // header/footer
+    ParsedEvent event;
+    event.name = extract_string(line, "name");
+    event.category = extract_string(line, "cat");
+    const std::string phase = extract_string(line, "ph");
+    event.phase = phase.empty() ? '?' : phase[0];
+    event.ts_us = extract_number(line, "ts");
+    event.tid = static_cast<int>(extract_number(line, "tid"));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string temp_path(const char* stem) {
+  return ::testing::TempDir() + stem;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { util::set_log_level(util::LogLevel::Warn); }
+};
+
+// ---- Chrome-trace structural invariants ---------------------------------------
+
+TEST_F(ObsTest, TraceEventsAreBalancedAndMonotonicPerThread) {
+  const std::string path = temp_path("trace_balanced.json");
+  {
+    TraceSession session{path};
+    ASSERT_TRUE(TraceSession::active());
+    auto burst = [] {
+      for (int i = 0; i < 20; ++i) {
+        Span outer{"round", "outer"};
+        Span inner{"pool.task", "inner"};
+      }
+    };
+    std::thread a{burst};
+    std::thread b{burst};
+    burst();
+    a.join();
+    b.join();
+    EXPECT_EQ(session.dropped_spans(), 0u);
+  }  // destructor flushes and uninstalls
+  ASSERT_FALSE(TraceSession::active());
+
+  const std::vector<ParsedEvent> events = parse_trace_file(path);
+  ASSERT_EQ(events.size(), 3u * 20u * 2u * 2u) << "3 threads x 20 x 2 spans x B/E";
+
+  // Per tid: B/E nest like parentheses (never negative, ends at zero), E
+  // closes the span the matching B opened, and timestamps never go backwards.
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<int, double> last_ts;
+  for (const ParsedEvent& event : events) {
+    ASSERT_GE(event.tid, 0);
+    ASSERT_GE(event.ts_us, 0.0);
+    if (last_ts.count(event.tid) != 0) {
+      EXPECT_GE(event.ts_us, last_ts[event.tid])
+          << "timestamps must be monotonic within tid " << event.tid;
+    }
+    last_ts[event.tid] = event.ts_us;
+    auto& stack = stacks[event.tid];
+    if (event.phase == 'B') {
+      stack.push_back(event.name);
+    } else {
+      ASSERT_EQ(event.phase, 'E');
+      ASSERT_FALSE(stack.empty()) << "E without matching B on tid " << event.tid;
+      EXPECT_EQ(stack.back(), event.name) << "spans must close LIFO";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST_F(ObsTest, OverflowDropsWholeSpansAndKeepsTraceBalanced) {
+  const std::string path = temp_path("trace_overflow.json");
+  std::uint64_t dropped = 0;
+  {
+    // Capacity 4 events = two complete spans; the rest must drop whole.
+    TraceSession session{path, 4};
+    for (int i = 0; i < 10; ++i) Span span{"round", "tiny"};
+    dropped = session.dropped_spans();
+  }
+  EXPECT_EQ(dropped, 8u);
+  const std::vector<ParsedEvent> events = parse_trace_file(path);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  EXPECT_EQ(events[2].phase, 'B');
+  EXPECT_EQ(events[3].phase, 'E');
+}
+
+TEST_F(ObsTest, SpansAreNoOpsWithoutAnActiveSession) {
+  ASSERT_FALSE(TraceSession::active());
+  Span span{"round", "orphan"};  // must not crash or allocate a buffer
+  SUCCEED();
+}
+
+// ---- Histogram oracle ----------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketsMatchHandComputedOracle) {
+  Registry registry;  // local instance: immune to other tests' instruments
+  const std::vector<double> bounds{1.0, 2.0, 5.0};
+  Histogram hist = registry.histogram("oracle_seconds", bounds);
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 10.0}) hist.observe(v);
+
+  // le is inclusive (Prometheus): 1.0 lands in le="1", 2.0 in le="2".
+  EXPECT_EQ(hist.bucket_counts(), (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 18.0);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE oracle_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_bucket{le=\"2\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_bucket{le=\"5\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_bucket{le=\"+Inf\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_sum 18"), std::string::npos);
+  EXPECT_NE(text.find("oracle_seconds_count 6"), std::string::npos);
+}
+
+TEST_F(ObsTest, LabeledHistogramSplicesLeIntoExistingBlock) {
+  Registry registry;
+  // 0.25 is exactly representable, so the le label renders without a
+  // 17-digit decimal tail.
+  const std::vector<double> bounds{0.25};
+  Histogram hist = registry.histogram("net_client_rtt_seconds{client=\"3\"}", bounds);
+  hist.observe(0.05);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(
+      text.find("net_client_rtt_seconds_bucket{client=\"3\",le=\"0.25\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("net_client_rtt_seconds_sum{client=\"3\"}"), std::string::npos);
+  EXPECT_NE(text.find("net_client_rtt_seconds_count{client=\"3\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, CountersAndGaugesKeepLabelIdentity) {
+  Registry registry;
+  Counter a = registry.counter("frames_total{client=\"0\"}");
+  Counter b = registry.counter("frames_total{client=\"1\"}");
+  a.add(3);
+  b.add(5);
+  EXPECT_EQ(registry.counter_value("frames_total{client=\"0\"}"), 3u);
+  EXPECT_EQ(registry.counter_value("frames_total{client=\"1\"}"), 5u);
+  EXPECT_EQ(registry.counter_value("frames_total{client=\"9\"}"), 0u);
+
+  Gauge depth = registry.gauge("queue_depth");
+  depth.add(4);
+  depth.sub(1);
+  EXPECT_EQ(depth.value(), 3);
+  depth.set(-2);
+  EXPECT_EQ(depth.value(), -2);
+}
+
+TEST_F(ObsTest, InertHandlesAreSafeNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram hist;
+  counter.add(7);
+  gauge.set(9);
+  hist.observe(1.0);
+  EXPECT_FALSE(counter.valid());
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_TRUE(hist.bucket_counts().empty());
+}
+
+TEST_F(ObsTest, DefaultBucketOverrideAppliesOnlyToLaterHistograms) {
+  Registry registry;
+  Histogram before = registry.histogram("h_before");
+  registry.set_default_buckets({1.0, 2.0});
+  Histogram after = registry.histogram("h_after");
+  EXPECT_EQ(before.upper_bounds().size(), Registry::default_buckets().size());
+  ASSERT_EQ(after.upper_bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(after.upper_bounds()[0], 1.0);
+  EXPECT_THROW(registry.set_default_buckets({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, JsonSnapshotCarriesEveryInstrument) {
+  Registry registry;
+  registry.counter("c_total").add(2);
+  registry.gauge("g_now").set(-4);
+  const std::vector<double> bounds{1.0};
+  registry.histogram("h_seconds", bounds).observe(0.5);
+  const std::string json = registry.json_snapshot();
+  EXPECT_NE(json.find("\"c_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"g_now\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"h_seconds\":{\"le\":[1],\"counts\":[1,0],\"count\":1"),
+            std::string::npos);
+}
+
+// ---- Bucket-spec parsing (obs_histogram_buckets descriptor key) ---------------
+
+TEST_F(ObsTest, ParseHistogramBucketsAcceptsAscendingSpec) {
+  const std::vector<double> bounds = parse_histogram_buckets("0.001,0.01,0.1,1");
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+}
+
+TEST_F(ObsTest, ParseHistogramBucketsRejectsBadSpecs) {
+  EXPECT_THROW((void)parse_histogram_buckets(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_histogram_buckets("1,garbage"), std::invalid_argument);
+  EXPECT_THROW((void)parse_histogram_buckets("2,1"), std::invalid_argument);
+}
+
+// ---- Round exporter ------------------------------------------------------------
+
+TEST_F(ObsTest, RoundExporterWritesMetricsTraceAndJsonl) {
+  ObsOptions options;
+  options.trace_path = temp_path("exporter_trace.json");
+  options.metrics_path = temp_path("exporter_metrics.prom");
+  options.flush_every_rounds = 1;
+  ASSERT_TRUE(options.enabled());
+  {
+    RoundExporter exporter{options};
+    { Span span{"round", "round:0"}; }
+    round_tick(0);
+    round_tick(1);
+  }
+  std::ifstream prom{options.metrics_path};
+  ASSERT_TRUE(prom.is_open());
+  std::ifstream jsonl{options.metrics_path + ".jsonl"};
+  ASSERT_TRUE(jsonl.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    ++lines;
+    EXPECT_EQ(line.find("{\"round\":"), 0u);
+    EXPECT_NE(line.find("\"metrics\":{"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+  const std::vector<ParsedEvent> events = parse_trace_file(options.trace_path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].category, "round");
+}
+
+// ---- Registry determinism across kernel thread counts -------------------------
+
+struct TrafficDeltas {
+  std::uint64_t rounds = 0;
+  std::uint64_t upload = 0;
+  std::uint64_t download = 0;
+  std::uint64_t sampled = 0;
+  std::uint64_t from_history_upload = 0;
+  std::uint64_t from_history_download = 0;
+};
+
+TrafficDeltas run_and_measure(std::size_t kernel_threads) {
+  core::ExperimentConfig config = core::ExperimentConfig::small_scale();
+  config.train_samples = 320;
+  config.test_samples = 80;
+  config.auxiliary_samples = 40;
+  config.num_clients = 4;
+  config.clients_per_round = 2;
+  config.rounds = 2;
+  config.client.local_epochs = 1;
+  config.strategy = core::StrategyKind::FedAvg;
+  config.seed = 4242;
+  config.kernel.threads = kernel_threads;
+
+  Registry& registry = Registry::global();
+  const std::uint64_t rounds0 = registry.counter_value("fl_rounds_total");
+  const std::uint64_t upload0 = registry.counter_value("fl_upload_bytes_total");
+  const std::uint64_t download0 = registry.counter_value("fl_download_bytes_total");
+  const std::uint64_t sampled0 = registry.counter_value("fl_sampled_clients_total");
+
+  const fl::RunHistory history = core::run_experiment(config);
+
+  TrafficDeltas deltas;
+  deltas.rounds = registry.counter_value("fl_rounds_total") - rounds0;
+  deltas.upload = registry.counter_value("fl_upload_bytes_total") - upload0;
+  deltas.download = registry.counter_value("fl_download_bytes_total") - download0;
+  deltas.sampled = registry.counter_value("fl_sampled_clients_total") - sampled0;
+  for (const fl::RoundRecord& record : history.rounds) {
+    deltas.from_history_upload += record.server_upload_bytes;
+    deltas.from_history_download += record.server_download_bytes;
+  }
+  return deltas;
+}
+
+TEST_F(ObsTest, TrafficCountersAreDeterministicAcrossKernelThreads) {
+  const TrafficDeltas one = run_and_measure(1);
+  const TrafficDeltas four = run_and_measure(4);
+
+  EXPECT_EQ(one.rounds, 2u);
+  EXPECT_EQ(four.rounds, 2u);
+  EXPECT_EQ(one.sampled, 4u) << "2 rounds x 2 clients";
+  EXPECT_EQ(one.upload, four.upload)
+      << "Table V traffic must not depend on kernel parallelism";
+  EXPECT_EQ(one.download, four.download);
+  EXPECT_EQ(one.sampled, four.sampled);
+  // RoundRecord traffic fields are views over the registry counters: summing
+  // the per-round deltas reproduces the counter totals bit-for-bit.
+  EXPECT_EQ(one.upload, one.from_history_upload);
+  EXPECT_EQ(one.download, one.from_history_download);
+  EXPECT_EQ(four.upload, four.from_history_upload);
+  EXPECT_EQ(four.download, four.from_history_download);
+}
+
+}  // namespace
+}  // namespace fedguard::obs
