@@ -3,9 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
 #include "parallel/kernel_config.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +58,44 @@ BENCHMARK(BM_Matmul)
     ->Args({256, 2})
     ->Args({256, 4})
     ->Unit(benchmark::kMicrosecond);
+
+// Per-ISA-tier GEMM rows: the same 256^3 single-thread shape pinned to each
+// kernel tier this CPU supports, so BENCH_kernels.json tracks the SIMD
+// speedup (acceptance bar: widest tier >= 2x the serial GFLOP/s). The tier
+// is encoded as an op-name suffix (BM_Matmul_serial / _avx2 / _avx512);
+// merge_kernel_bench.py turns it into the kernel_arch record field.
+void BM_MatmulKernelArch(benchmark::State& state, tensor::kernels::KernelArch arch) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  set_kernel_threads(static_cast<std::size_t>(state.range(1)));
+  tensor::kernels::set_kernel_arch(arch);
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c{{n, n}};
+  for (auto _ : state) {
+    tensor::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  tensor::kernels::set_kernel_arch(tensor::kernels::KernelArch::Auto);
+  parallel::set_kernel_config(parallel::KernelConfig{});
+}
+
+const int register_arch_gemm = [] {
+  namespace kernels = fedguard::tensor::kernels;
+  for (const kernels::KernelArch arch : {kernels::KernelArch::Serial,
+                                         kernels::KernelArch::Avx2,
+                                         kernels::KernelArch::Avx512}) {
+    if (!kernels::kernel_arch_available(arch)) continue;
+    const std::string name =
+        std::string{"BM_Matmul_"} + std::string{kernels::to_string(arch)};
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [arch](benchmark::State& s) { BM_MatmulKernelArch(s, arch); })
+        ->Args({256, 1})
+        ->Unit(benchmark::kMicrosecond);
+  }
+  return 0;
+}();
 
 void BM_MatmulTransA(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

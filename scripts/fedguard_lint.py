@@ -39,6 +39,12 @@ span-category-docs   Every string-literal category passed to
                      the span taxonomy is a documented contract, not folklore.
                      Dynamic categories (e.g. std::string{"agg."} + name())
                      are covered by the documented agg.<strategy> pattern.
+no-raw-intrinsics    No raw SIMD intrinsics (<immintrin.h>, _mm*_ calls,
+                     __m128/__m256/__m512 types) outside src/tensor/kernels/.
+                     The kernel TUs are the only code compiled with widened
+                     ISA flags behind the runtime cpuid gate; an intrinsic
+                     anywhere else either fails to compile or, worse, sneaks
+                     past the gate and SIGILLs on older hosts.
 
 Allowlist
 ---------
@@ -78,6 +84,7 @@ RULES = {
     "no-pointset-copy": "psi re-concatenation in a defense (use an UpdateView selection)",
     "no-raw-stopwatch": "util::Stopwatch in round-path code (use obs::now_ns)",
     "span-category-docs": "trace span category missing from docs/OBSERVABILITY.md",
+    "no-raw-intrinsics": "raw SIMD intrinsics outside src/tensor/kernels/",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -117,6 +124,14 @@ STOPWATCH_SCOPE_DIRS = ("src/fl", "src/net", "src/defenses")
 # String-literal span categories; dynamic first arguments (no leading quote)
 # are exempt and covered by the documented agg.<strategy> pattern.
 SPAN_CATEGORY_RE = re.compile(r'FEDGUARD_TRACE_SPAN\s*\(\s*"([^"]+)"')
+
+# Raw SIMD intrinsics are confined to the runtime-dispatched kernel TUs: the
+# intrinsic headers, _mm*_ calls, and vector register types.
+INTRINSICS_RE = re.compile(
+    r"#\s*include\s*<[a-z0-9_]*intrin\.h>|#\s*include\s*<arm_neon\.h>"
+    r"|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
+)
+INTRINSICS_SCOPE_DIR = "src/tensor/kernels/"
 
 
 class Violation:
@@ -267,6 +282,15 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                     relpath, idx, "no-pointset-copy",
                     "re-concatenating psi vectors copies the point set; select "
                     "rows through an UpdateView/PointsView index selection instead"))
+
+        if not relpath.startswith(INTRINSICS_SCOPE_DIR):
+            match = INTRINSICS_RE.search(line)
+            if match and not allowed(allows, idx, "no-raw-intrinsics"):
+                violations.append(Violation(
+                    relpath, idx, "no-raw-intrinsics",
+                    f"'{match.group(0).strip()}' uses raw SIMD intrinsics outside "
+                    "src/tensor/kernels/; go through the tensor::kernels dispatch "
+                    "table so the cpuid gate stays the single point of ISA selection"))
 
         if any(relpath.startswith(d + "/") for d in STOPWATCH_SCOPE_DIRS):
             match = STOPWATCH_RE.search(line)

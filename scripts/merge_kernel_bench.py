@@ -16,6 +16,14 @@ set to flops per iteration; benches without it omit the field.
 With ``--shape-only`` every slash-separated argument is part of the shape and
 threads is reported as 1 — for benches whose arguments are all problem sizes
 (the round-pipeline benches use [clients, dim]).
+
+Two further conventions ride on the record:
+
+* An op name ending in ``_serial`` / ``_avx2`` / ``_avx512`` marks a bench
+  pinned to that SIMD kernel tier (bench_micro_tensor's per-arch GEMM rows);
+  the suffix is surfaced as a ``kernel_arch`` field (``auto`` otherwise).
+* Custom google-benchmark counters whose names start with ``wire_`` (the
+  bench_wire byte-accounting counters) are copied onto the record verbatim.
 """
 import json
 import pathlib
@@ -38,14 +46,23 @@ def parse_benchmark(entry, shape_only=False):
         shape = "x".join(args) if args else ""
     time_unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     scale = time_unit_ns.get(entry.get("time_unit", "ns"), 1.0)
+    kernel_arch = "auto"
+    for suffix in ("serial", "avx2", "avx512"):
+        if op.endswith("_" + suffix):
+            kernel_arch = suffix
+            break
     record = {
         "op": op,
         "shape": shape,
         "threads": threads,
+        "kernel_arch": kernel_arch,
         "ns_per_iter": entry["real_time"] * scale,
     }
     if "items_per_second" in entry:
         record["gflops"] = entry["items_per_second"] / 1e9
+    for key, value in entry.items():
+        if key.startswith("wire_"):
+            record[key] = value
     return record
 
 

@@ -4,14 +4,17 @@
 # BENCH_kernels.json (op, shape, threads, ns/iter, GFLOP/s) for tracking the
 # blocked/parallel tensor kernels across commits, and the round-pipeline
 # bench emits BENCH_update_pipeline.json (zero-copy arena vs legacy-ownership
-# round costs, Bulyan elimination old vs new).
+# round costs, Bulyan elimination old vs new), and the wire bench emits
+# BENCH_wire.json (ψ codec encode/decode µs and bytes/round for fp32/q8/fp16
+# at the paper's m=50, d≈100k traffic shape).
 # Usage: scripts/run_all_benches.sh [build-dir] (default: build)
 set -u
 BUILD_DIR="${1:-build}"
 SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 KERNEL_JSON_DIR="$(mktemp -d)"
 PIPELINE_JSON_DIR="$(mktemp -d)"
-trap 'rm -rf "$KERNEL_JSON_DIR" "$PIPELINE_JSON_DIR"' EXIT
+WIRE_JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$KERNEL_JSON_DIR" "$PIPELINE_JSON_DIR" "$WIRE_JSON_DIR"' EXIT
 
 for b in "$BUILD_DIR"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -29,6 +32,11 @@ for b in "$BUILD_DIR"/bench/*; do
       "$b" --benchmark_out="$PIPELINE_JSON_DIR/$(basename "$b").json" \
            --benchmark_out_format=json
       ;;
+    *bench_wire*)
+      # ψ wire-codec encode/decode costs + bytes/round -> BENCH_wire.json.
+      "$b" --benchmark_out="$WIRE_JSON_DIR/$(basename "$b").json" \
+           --benchmark_out_format=json
+      ;;
     *micro*)
       # Keep the human-readable console output AND capture the JSON report.
       "$b" --benchmark_out="$KERNEL_JSON_DIR/$(basename "$b").json" \
@@ -44,6 +52,8 @@ if command -v python3 >/dev/null 2>&1; then
     && echo && echo "kernel micro-bench summary written to BENCH_kernels.json"
   python3 "$SCRIPT_DIR/merge_kernel_bench.py" --shape-only "$PIPELINE_JSON_DIR" BENCH_update_pipeline.json \
     && echo "round-pipeline summary written to BENCH_update_pipeline.json"
+  python3 "$SCRIPT_DIR/merge_kernel_bench.py" --shape-only "$WIRE_JSON_DIR" BENCH_wire.json \
+    && echo "wire-codec summary written to BENCH_wire.json"
   [ -f BENCH_obs.json ] \
     && python3 "$SCRIPT_DIR/check_obs_overhead.py" BENCH_obs.json \
     && echo "observability overhead report written to BENCH_obs.json"

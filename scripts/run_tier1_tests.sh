@@ -11,6 +11,12 @@
 #   --lint
 #       Run scripts/fedguard_lint.py over the repo before building; any
 #       violation fails the run.
+#   --kernel-arch serial|avx2|avx512|auto
+#       Export FEDGUARD_KERNEL_ARCH for the ctest run so the whole suite
+#       executes under that SIMD kernel tier (the matrix leg of the dispatch
+#       gate; an unavailable tier degrades down the chain). Golden-pinned
+#       digests are only asserted under the serial tier — SIMD runs check
+#       invariants and local/remote parity instead.
 #   --obs
 #       After the suite, run bench/bench_obs and fail if the fully-traced
 #       m=50 d=100k round costs more than 3% over the untraced round
@@ -22,6 +28,7 @@ SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 
 SANITIZE=""
+KERNEL_ARCH=""
 RUN_LINT=0
 RUN_OBS=0
 BUILD_DIR=""
@@ -32,6 +39,11 @@ while [ $# -gt 0 ]; do
       SANITIZE="$2"; shift 2 ;;
     --sanitize=*)
       SANITIZE="${1#--sanitize=}"; shift ;;
+    --kernel-arch)
+      [ $# -ge 2 ] || { echo "--kernel-arch requires an argument" >&2; exit 2; }
+      KERNEL_ARCH="$2"; shift 2 ;;
+    --kernel-arch=*)
+      KERNEL_ARCH="${1#--kernel-arch=}"; shift ;;
     --lint)
       RUN_LINT=1; shift ;;
     --obs)
@@ -46,6 +58,12 @@ done
 case "$SANITIZE" in
   ""|address|undefined|thread|address,undefined) ;;
   *) echo "unknown --sanitize preset '$SANITIZE' (want address|undefined|thread|address,undefined)" >&2
+     exit 2 ;;
+esac
+
+case "$KERNEL_ARCH" in
+  ""|auto|serial|avx2|avx512) ;;
+  *) echo "unknown --kernel-arch tier '$KERNEL_ARCH' (want auto|serial|avx2|avx512)" >&2
      exit 2 ;;
 esac
 
@@ -73,6 +91,10 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"
 cmake --build "$BUILD_DIR" -j
 
 # The whole suite (the net label is part of tier-1, not an opt-in extra).
+if [ -n "$KERNEL_ARCH" ]; then
+  echo "== kernel tier for this run: $KERNEL_ARCH (FEDGUARD_KERNEL_ARCH) =="
+  export FEDGUARD_KERNEL_ARCH="$KERNEL_ARCH"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Belt and braces: confirm the net label resolves to its three suites even if

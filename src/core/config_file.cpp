@@ -157,6 +157,28 @@ void apply_config_values(ExperimentConfig& config,
       config.fault_plan.disconnect_probability = to_double(value, key);
     else if (key == "fault_never_connect_probability")
       config.fault_plan.never_connect_probability = to_double(value, key);
+    else if (key == "kernel_arch") {
+      tensor::kernels::KernelArch arch{};
+      if (!tensor::kernels::parse_kernel_arch(value, arch)) {
+        throw std::invalid_argument{"config: unknown kernel_arch '" + value +
+                                    "' (auto/serial/avx2/avx512)"};
+      }
+      config.kernel_arch = arch;
+    }
+    else if (key == "wire_codec") {
+      util::WireCodec codec{};
+      if (!util::parse_wire_codec(value, codec)) {
+        throw std::invalid_argument{"config: unknown wire_codec '" + value +
+                                    "' (fp32/q8/fp16)"};
+      }
+      config.wire_codec = codec;
+    }
+    else if (key == "wire_chunk_size") {
+      config.wire_chunk_size = to_size(value, key);
+      if (config.wire_chunk_size == 0) {
+        throw std::invalid_argument{"config: wire_chunk_size must be positive"};
+      }
+    }
     else if (key == "kernel_threads") config.kernel.threads = to_size(value, key);
     else if (key == "kernel_gemm_min_flops")
       config.kernel.gemm_min_flops = to_size(value, key);

@@ -22,6 +22,8 @@
 #include "net/fault_injector.hpp"
 #include "obs/exporter.hpp"
 #include "parallel/kernel_config.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
+#include "util/serialize.hpp"
 
 namespace fedguard::core {
 
@@ -108,6 +110,18 @@ struct ExperimentConfig {
   // / kernel_distance_min in the descriptor. FEDGUARD_THREADS overrides a
   // kernel_threads of 0 (auto).
   parallel::KernelConfig kernel;
+  // SIMD kernel tier (descriptor key kernel_arch: auto/serial/avx2/avx512);
+  // applied process-wide via tensor::kernels::set_kernel_arch when the
+  // federation is built. Auto defers to the FEDGUARD_KERNEL_ARCH env var and
+  // then to the best tier the CPU supports.
+  tensor::kernels::KernelArch kernel_arch = tensor::kernels::KernelArch::Auto;
+
+  // ---- ψ-upload wire codec ---------------------------------------------------
+  // Descriptor keys wire_codec (fp32/q8/fp16) and wire_chunk_size. Applied to
+  // the in-process server (bit-identical simulated quantization roundtrip)
+  // and the remote deployment (actual quantized reply frames) alike.
+  util::WireCodec wire_codec = util::WireCodec::Fp32;
+  std::size_t wire_chunk_size = util::kDefaultQ8ChunkSize;
 
   // ---- Observability ---------------------------------------------------------
   // Trace/metrics export for the run; keys obs_trace_path / obs_metrics_path /

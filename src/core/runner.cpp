@@ -12,6 +12,7 @@
 #include "defenses/median.hpp"
 #include "defenses/norm_threshold.hpp"
 #include "defenses/trimmed_mean.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
 #include "util/logging.hpp"
 
 namespace fedguard::core {
@@ -95,6 +96,7 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   // The descriptor's kernel section governs the numeric kernels everywhere in
   // this process (client SGD, CVAE synthesis, aggregation distance passes).
   parallel::set_kernel_config(config.kernel);
+  tensor::kernels::set_kernel_arch(config.kernel_arch);
   // Force the CVAE to the task's pixel count (guards against preset mixing).
   config.cvae.input_dim = config.geometry().pixels();
   config.cvae.num_classes = config.geometry().num_classes;
@@ -155,6 +157,8 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   server_config.seed = config.seed ^ 0x5e12e5ULL;
   server_config.straggler_probability = config.straggler_probability;
   server_config.track_per_class_accuracy = config.track_per_class_accuracy;
+  server_config.psi_codec = config.wire_codec;
+  server_config.psi_chunk = config.wire_chunk_size;
   fed.server = std::make_unique<fl::Server>(server_config, fed.clients, *fed.strategy,
                                             fed.test_set, config.arch, config.geometry());
   fed.config = std::move(config);
@@ -179,6 +183,8 @@ net::RemoteServerConfig remote_server_config(const ExperimentConfig& config,
   remote.round_timeout_ms = config.remote_round_timeout_ms;
   remote.min_clients = config.remote_min_clients;
   remote.eject_after_failures = config.remote_eject_after_failures;
+  remote.psi_codec = config.wire_codec;
+  remote.psi_chunk = config.wire_chunk_size;
   return remote;
 }
 

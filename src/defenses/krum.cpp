@@ -6,6 +6,7 @@
 
 #include "obs/trace.hpp"
 #include "parallel/kernel_config.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -20,11 +21,15 @@ void pairwise_squared_distances(const PointsView& points, std::vector<double>& d
   // The O(n^2 * d) hot spot. Rows of the upper triangle are partitioned
   // across the kernel pool; row `a` writes only entries [a][b] and [b][a] for
   // b > a, so partitions never collide, and each distance is computed exactly
-  // once regardless of thread count.
+  // once regardless of thread count. The inner loop goes through the runtime
+  // kernel dispatch; the serial tier is bit-identical to
+  // util::squared_distance.
   distance2.assign(count * count, 0.0);
+  const auto squared_distance = tensor::kernels::kernel_table().squared_distance;
   const auto distance_row = [&](std::size_t a) {
+    const std::span<const float> row_a = points.row(a);
     for (std::size_t b = a + 1; b < count; ++b) {
-      const double d2 = util::squared_distance(points.row(a), points.row(b));
+      const double d2 = squared_distance(row_a.data(), points.row(b).data(), dim);
       distance2[a * count + b] = d2;
       distance2[b * count + a] = d2;
     }

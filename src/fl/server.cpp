@@ -118,7 +118,12 @@ RoundRecord Server::run_round(std::size_t round) {
     arena_.reset(sampled_.size(), global_parameters_.size(),
                  strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
     parallel::parallel_for(parallel::global_pool(), 0, sampled_.size(), [&](std::size_t k) {
-      clients_[sampled_[k]]->run_round_into(global_parameters_, round, arena_.row(k));
+      const defenses::UpdateRow row = arena_.row(k);
+      clients_[sampled_[k]]->run_round_into(global_parameters_, round, row);
+      // Simulate the lossy ψ upload: the roundtrip helper shares its
+      // arithmetic with write_q8_span / read_q8_into, so the aggregation sees
+      // bit-identical updates to the socket deployment's. Fp32 is a no-op.
+      util::quantize_roundtrip(config_.psi_codec, row.psi, config_.psi_chunk);
     });
   }
   const defenses::UpdateView updates{arena_};
@@ -126,10 +131,14 @@ RoundRecord Server::run_round(std::size_t round) {
     if (updates.meta(k).truly_malicious) ++record.sampled_malicious;
   }
 
-  // Traffic accounting (Table V).
+  // Traffic accounting (Table V). The ψ0 broadcast always travels fp32; the
+  // ψ uploads are charged at their codec's wire size.
   const std::size_t psi_wire = nn::parameter_wire_bytes(global_parameters_.size());
   upload_bytes_total_.add(sampled_.size() * psi_wire);
-  std::size_t download = sampled_.size() * psi_wire;
+  std::size_t download =
+      sampled_.size() * util::codec_span_wire_size(config_.psi_codec,
+                                                   global_parameters_.size(),
+                                                   config_.psi_chunk);
   if (strategy_.wants_decoders()) {
     for (std::size_t k = 0; k < updates.count(); ++k) {
       download += nn::parameter_wire_bytes(updates.meta(k).theta_count);

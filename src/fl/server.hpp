@@ -18,6 +18,7 @@
 #include "fl/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/serialize.hpp"
 
 namespace fedguard::fl {
 
@@ -37,6 +38,13 @@ struct ServerConfig {
   /// server rng — so a remote fault plan can be replayed in-process with
   /// identical sampling sequences and responder sets.
   std::function<bool(std::size_t, std::size_t)> straggler_predicate;
+  /// ψ-upload wire codec simulated in-process: each collected ψ row is
+  /// quantize-roundtripped with exactly the arithmetic of the socket
+  /// deployment's encoder/decoder, so local and remote runs see bit-identical
+  /// (lossy) updates, and the traffic meter charges the quantized wire size.
+  util::WireCodec psi_codec = util::WireCodec::Fp32;
+  /// Elements per q8 quantization chunk (ignored by other codecs).
+  std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
 };
 
 class Server {

@@ -15,6 +15,7 @@ const char* to_string(DecodeErrorCode code) noexcept {
     case DecodeErrorCode::BadCrc: return "bad_crc";
     case DecodeErrorCode::Truncated: return "truncated";
     case DecodeErrorCode::BadShape: return "bad_shape";
+    case DecodeErrorCode::BadCodec: return "bad_codec";
   }
   return "unknown";
 }
@@ -31,6 +32,36 @@ std::array<std::uint32_t, 256> make_crc_table() noexcept {
     table[i] = value;
   }
   return table;
+}
+
+util::WireCodec read_codec_tag(util::ByteReader& reader) {
+  const std::uint32_t tag = reader.read_u32();
+  if (tag > static_cast<std::uint32_t>(util::WireCodec::Fp16)) {
+    throw DecodeError{DecodeErrorCode::BadCodec,
+                      "unknown psi codec tag " + std::to_string(tag)};
+  }
+  return static_cast<util::WireCodec>(tag);
+}
+
+void write_psi_span(util::ByteWriter& writer, util::WireCodec codec,
+                    std::span<const float> psi, std::size_t chunk) {
+  switch (codec) {
+    case util::WireCodec::Q8: writer.write_q8_span(psi, chunk); return;
+    case util::WireCodec::Fp16: writer.write_f16_span(psi); return;
+    case util::WireCodec::Fp32: break;
+  }
+  writer.write_f32_span(psi);
+}
+
+// All three codecs share the leading u64 element count (already consumed by
+// the caller for shape validation); this reads the codec-specific remainder.
+void read_psi_span(util::ByteReader& reader, util::WireCodec codec, std::span<float> out) {
+  switch (codec) {
+    case util::WireCodec::Q8: reader.read_q8_into(out); return;
+    case util::WireCodec::Fp16: reader.read_f16_into(out); return;
+    case util::WireCodec::Fp32: break;
+  }
+  reader.read_f32_into(out);
 }
 
 }  // namespace
@@ -124,6 +155,8 @@ std::vector<std::byte> encode_round_request(const RoundRequest& request) {
   util::ByteWriter writer;
   writer.write_u64(request.round);
   writer.write_u32(request.want_decoder ? 1 : 0);
+  writer.write_u32(static_cast<std::uint32_t>(request.psi_codec));
+  writer.write_u32(static_cast<std::uint32_t>(request.psi_chunk));
   writer.write_f32_span(request.global_parameters);
   return writer.bytes();
 }
@@ -135,6 +168,8 @@ RoundRequest decode_round_request(std::span<const std::byte> payload) {
   try {
     request.round = static_cast<std::size_t>(reader.read_u64());
     request.want_decoder = reader.read_u32() != 0;
+    request.psi_codec = read_codec_tag(reader);
+    request.psi_chunk = static_cast<std::size_t>(reader.read_u32());
     const auto count = static_cast<std::size_t>(reader.read_u64());
     request.global_parameters = reader.read_f32_vector(count);
   } catch (const std::out_of_range&) {
@@ -151,7 +186,8 @@ std::vector<std::byte> encode_round_reply(const RoundReply& reply) {
   writer.write_u32(static_cast<std::uint32_t>(reply.update.client_id));
   writer.write_u64(reply.update.num_samples);
   writer.write_u32(reply.update.truly_malicious ? 1 : 0);
-  writer.write_f32_span(reply.update.psi);
+  writer.write_u32(static_cast<std::uint32_t>(reply.psi_codec));
+  write_psi_span(writer, reply.psi_codec, reply.update.psi, reply.psi_chunk);
   writer.write_f32_span(reply.update.theta);
   return writer.bytes();
 }
@@ -164,8 +200,10 @@ RoundReply decode_round_reply(std::span<const std::byte> payload) {
     reply.update.client_id = static_cast<int>(reader.read_u32());
     reply.update.num_samples = static_cast<std::size_t>(reader.read_u64());
     reply.update.truly_malicious = reader.read_u32() != 0;
+    reply.psi_codec = read_codec_tag(reader);
     const auto psi_count = static_cast<std::size_t>(reader.read_u64());
-    reply.update.psi = reader.read_f32_vector(psi_count);
+    reply.update.psi.resize(psi_count);
+    read_psi_span(reader, reply.psi_codec, reply.update.psi);
     const auto theta_count = static_cast<std::size_t>(reader.read_u64());
     reply.update.theta = reader.read_f32_vector(theta_count);
   } catch (const std::out_of_range&) {
@@ -184,13 +222,14 @@ std::size_t decode_round_reply_into(std::span<const std::byte> payload,
     row.meta->client_id = static_cast<int>(reader.read_u32());
     row.meta->num_samples = static_cast<std::size_t>(reader.read_u64());
     row.meta->truly_malicious = reader.read_u32() != 0;
+    const util::WireCodec psi_codec = read_codec_tag(reader);
     const auto psi_count = static_cast<std::size_t>(reader.read_u64());
     if (psi_count != row.psi.size()) {
       throw DecodeError{DecodeErrorCode::BadShape,
                         "decode_round_reply_into: psi count " + std::to_string(psi_count) +
                             " != expected " + std::to_string(row.psi.size())};
     }
-    reader.read_f32_into(row.psi);
+    read_psi_span(reader, psi_codec, row.psi);
     const auto theta_count = static_cast<std::size_t>(reader.read_u64());
     row.meta->theta_count = theta_count;
     if (theta_count > row.theta.size()) {
@@ -207,9 +246,16 @@ std::size_t decode_round_reply_into(std::span<const std::byte> payload,
 }
 
 std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count) {
+  return client_update_frame_bytes(psi_count, theta_count, util::WireCodec::Fp32,
+                                   util::kDefaultQ8ChunkSize);
+}
+
+std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count,
+                                      util::WireCodec psi_codec, std::size_t psi_chunk) {
   return kFrameHeaderBytes + sizeof(std::uint64_t) /*round*/ +
          sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*n*/ +
-         sizeof(std::uint32_t) /*malicious*/ + util::f32_vector_wire_size(psi_count) +
+         sizeof(std::uint32_t) /*malicious*/ + sizeof(std::uint32_t) /*psi codec tag*/ +
+         util::codec_span_wire_size(psi_codec, psi_count, psi_chunk) +
          util::f32_vector_wire_size(theta_count);
 }
 

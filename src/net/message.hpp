@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "defenses/aggregation.hpp"
+#include "util/serialize.hpp"
 
 namespace fedguard::net {
 
@@ -49,6 +50,7 @@ enum class DecodeErrorCode {
   BadCrc,     // payload CRC32 does not match the header (bit corruption)
   Truncated,  // buffer/stream ended before the declared payload length
   BadShape,   // well-framed reply whose ψ/θ counts don't fit the round arena
+  BadCodec,   // ψ codec tag outside the WireCodec range
 };
 [[nodiscard]] const char* to_string(DecodeErrorCode code) noexcept;
 
@@ -96,6 +98,12 @@ void verify_payload_crc(const FrameHeader& header, std::span<const std::byte> pa
 struct RoundRequest {
   std::size_t round = 0;
   bool want_decoder = false;  // FedGuard asks for θ alongside ψ
+  // ψ-upload codec negotiation: the server states the encoding (and q8 chunk
+  // size) it would like reply ψ spans in. A client that cannot (or will not)
+  // quantize ignores the offer and answers fp32 — the reply self-tags its
+  // codec, so mixed fleets interoperate without a capability handshake.
+  util::WireCodec psi_codec = util::WireCodec::Fp32;
+  std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
   std::vector<float> global_parameters;
 };
 [[nodiscard]] std::vector<std::byte> encode_round_request(const RoundRequest& request);
@@ -104,6 +112,11 @@ struct RoundRequest {
 /// A client's answer to one RoundRequest, tagged with the round it answers.
 struct RoundReply {
   std::size_t round = 0;
+  // Encoding of the ψ span in this reply (self-describing; normally echoes
+  // the request's offer). θ always travels fp32 — it is FedGuard-only, tiny
+  // relative to ψ, and feeds the defense's decoder reconstruction directly.
+  util::WireCodec psi_codec = util::WireCodec::Fp32;
+  std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
   defenses::ClientUpdate update;
 };
 [[nodiscard]] std::vector<std::byte> encode_round_reply(const RoundReply& reply);
@@ -120,9 +133,14 @@ struct RoundReply {
                                                   defenses::UpdateRow row);
 
 /// Exact on-wire frame size for a RoundReply (traffic accounting parity
-/// between the simulator and the socket deployment).
+/// between the simulator and the socket deployment). The two-argument form
+/// assumes the fp32 ψ codec.
 [[nodiscard]] std::size_t client_update_frame_bytes(std::size_t psi_count,
                                                     std::size_t theta_count);
+[[nodiscard]] std::size_t client_update_frame_bytes(std::size_t psi_count,
+                                                    std::size_t theta_count,
+                                                    util::WireCodec psi_codec,
+                                                    std::size_t psi_chunk);
 
 inline constexpr std::uint32_t kFrameMagic = 0x46474e4d;  // "FGNM"
 inline constexpr std::size_t kFrameHeaderBytes = 20;  // magic + type + length + crc

@@ -266,6 +266,8 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   RoundRequest request;
   request.round = round;
   request.want_decoder = strategy_.wants_decoders();
+  request.psi_codec = config_.psi_codec;
+  request.psi_chunk = config_.psi_chunk;
   request.global_parameters = global_parameters_;
   const std::vector<std::byte> request_payload = encode_round_request(request);
   struct Pending {
@@ -533,6 +535,12 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
     if (!request.want_decoder) update.theta.clear();  // don't ship unused θ
     RoundReply reply;
     reply.round = request.round;
+    // Honor the server's ψ codec offer unless this client is configured as a
+    // legacy fp32 uploader; a nonsense chunk offer falls back to the default
+    // rather than failing the encode.
+    reply.psi_codec = options.force_fp32 ? util::WireCodec::Fp32 : request.psi_codec;
+    reply.psi_chunk =
+        request.psi_chunk == 0 ? util::kDefaultQ8ChunkSize : request.psi_chunk;
     reply.update = std::move(update);
     const std::vector<std::byte> frame =
         encode_frame({MessageType::RoundReply, encode_round_reply(reply)});

@@ -34,6 +34,7 @@
 #include "net/fault_injector.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "util/serialize.hpp"
 
 namespace fedguard::net {
 
@@ -59,6 +60,13 @@ struct RemoteServerConfig {
   std::size_t readmit_timeout_ms = 2000;
   /// Eject a client after this many consecutive failed rounds (0 = never).
   std::size_t eject_after_failures = 3;
+  // ---- ψ-upload wire codec --------------------------------------------------
+  /// Encoding the server asks clients to use for reply ψ spans (q8 cuts the
+  /// upload ~4×). Replies self-tag their codec, so a client that ignores the
+  /// offer (RemoteClientOptions::force_fp32) still interoperates.
+  util::WireCodec psi_codec = util::WireCodec::Fp32;
+  /// Elements per q8 quantization chunk (ignored by other codecs).
+  std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
 };
 
 /// Server endpoint of the distributed federation.
@@ -131,6 +139,9 @@ struct RemoteClientOptions {
   /// client gives up gracefully (returns the rounds served so far).
   std::size_t reconnect_attempts = 4;
   std::size_t backoff_ms = 25;
+  /// Behave like a legacy fp32-only client: ignore the server's ψ codec
+  /// offer and upload fp32 (exercises the negotiation fallback path).
+  bool force_fp32 = false;
   /// Deterministic chaos injection; not owned, may be null (no faults).
   FaultInjector* faults = nullptr;
 };

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace fedguard::tensor::kernels {
+
+// Runtime-selected ISA tier for the numeric hot loops (GEMM micro-kernels and
+// the defense distance passes). `Serial` is the always-available determinism
+// oracle — the same scalar loops the library shipped with — and the wider
+// tiers are hand-written SIMD kernels compiled into dedicated translation
+// units under src/tensor/kernels/ (the only directory where raw intrinsics
+// are permitted; fedguard-lint rule `no-raw-intrinsics`).
+//
+// Selection order mirrors the thread-count knob: explicit set_kernel_arch()
+// (descriptor key `kernel_arch`) > FEDGUARD_KERNEL_ARCH env var > Auto.
+// Auto resolves to the widest tier both compiled in and supported by the CPU,
+// and an unavailable explicit request degrades down the chain
+// (avx512 -> avx2 -> serial) instead of failing.
+enum class KernelArch { Auto = 0, Serial, Avx2, Avx512 };
+
+/// GEMM register micro-kernel over an `mr x nr` tile of C (mr/nr may be the
+/// partial edge sizes). Signature matches the scalar micro-kernel in ops.cpp:
+/// A is addressed as a[ii * a_rs + p * a_cs], B/C row-major with unit column
+/// stride, and every C element accumulates its kc products in ascending p
+/// order so results are blocking- and thread-count independent.
+using GemmMicroKernelFn = void (*)(const float* a, std::size_t a_rs, std::size_t a_cs,
+                                   const float* b_panel, std::size_t ldb, float* c_tile,
+                                   std::size_t ldc, std::size_t mr, std::size_t nr,
+                                   std::size_t kc);
+
+/// One C row of A * B^T: c_row[j] = dot(a_row, b + j * k) for j in [0, n).
+using GemmTbRowFn = void (*)(const float* a_row, const float* b, float* c_row,
+                             std::size_t k, std::size_t n);
+
+/// sum((a[i] - b[i])^2) accumulated in double.
+using SquaredDistanceFn = double (*)(const float* a, const float* b, std::size_t n);
+
+/// sum((point[i] - center[i])^2) with a float point against a double center
+/// (the GeoMed Weiszfeld inner loop).
+using SquaredDistanceWideFn = double (*)(const float* point, const double* center,
+                                         std::size_t n);
+
+struct KernelTable {
+  KernelArch arch = KernelArch::Serial;
+  // nullptr selects the inlined scalar 4x16 micro-kernel in ops.cpp.
+  GemmMicroKernelFn gemm_micro = nullptr;
+  std::size_t gemm_mr = 4;
+  std::size_t gemm_nr = 16;
+  // nullptr selects the inlined lane-blocked dot loop in ops.cpp.
+  GemmTbRowFn gemm_tb_row = nullptr;
+  // Distance kernels are never null; the serial entries are compiled with
+  // FP contraction off so they stay bit-identical to util::squared_distance
+  // and the original GeoMed loop.
+  SquaredDistanceFn squared_distance = nullptr;
+  SquaredDistanceWideFn squared_distance_wide = nullptr;
+};
+
+/// Accepts "auto", "serial", "avx2", "avx512". Returns false (out untouched)
+/// on anything else.
+bool parse_kernel_arch(std::string_view text, KernelArch& out) noexcept;
+std::string_view to_string(KernelArch arch) noexcept;
+
+/// True when the tier is both compiled in and supported by this CPU.
+/// Auto and Serial are always available.
+bool kernel_arch_available(KernelArch arch) noexcept;
+
+/// Explicit override (descriptor key). Auto clears the override so the env
+/// var / CPU detection applies again.
+void set_kernel_arch(KernelArch arch) noexcept;
+
+/// The arch that would be requested before availability clamping:
+/// override if set, else FEDGUARD_KERNEL_ARCH, else Auto.
+KernelArch requested_kernel_arch() noexcept;
+
+/// The resolved arch actually dispatched to (never Auto).
+KernelArch active_kernel_arch() noexcept;
+
+/// Dispatch table for the active arch. Cheap enough to fetch per kernel
+/// launch (one relaxed atomic load plus a table lookup).
+const KernelTable& kernel_table() noexcept;
+
+}  // namespace fedguard::tensor::kernels

@@ -1,0 +1,147 @@
+// AVX2/FMA kernels for the runtime dispatch table. This file (and its AVX-512
+// sibling) are the only translation units allowed to touch raw intrinsics
+// (fedguard-lint rule `no-raw-intrinsics`); it is compiled with
+// -mavx2 -mfma regardless of the library's baseline flags, and is only ever
+// dispatched to after __builtin_cpu_supports() confirms the host ISA.
+
+#include <immintrin.h>
+
+#include "tensor/kernels/kernel_impl.hpp"
+
+namespace fedguard::tensor::kernels::avx2 {
+
+namespace {
+
+// Edge tiles fall back to a scalar FMA loop. Each C element still accumulates
+// its kc products in ascending p order through fused multiply-adds, the same
+// per-element chain the full-width tile produces, so full and edge tiles are
+// mutually consistent.
+void gemm_edge(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b_panel,
+               std::size_t ldb, float* c_tile, std::size_t ldc, std::size_t mr,
+               std::size_t nr, std::size_t kc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b_row = b_panel + p * ldb;
+    for (std::size_t ii = 0; ii < mr; ++ii) {
+      const float av = a[ii * a_rs + p * a_cs];
+      float* c_row = c_tile + ii * ldc;
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        c_row[jj] = __builtin_fmaf(av, b_row[jj], c_row[jj]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_micro_6x16(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b_panel,
+                     std::size_t ldb, float* c_tile, std::size_t ldc, std::size_t mr,
+                     std::size_t nr, std::size_t kc) {
+  if (mr != 6 || nr != 16) {
+    gemm_edge(a, a_rs, a_cs, b_panel, ldb, c_tile, ldc, mr, nr, kc);
+    return;
+  }
+  __m256 acc[6][2];
+  for (std::size_t ii = 0; ii < 6; ++ii) {
+    acc[ii][0] = _mm256_loadu_ps(c_tile + ii * ldc);
+    acc[ii][1] = _mm256_loadu_ps(c_tile + ii * ldc + 8);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b_row = b_panel + p * ldb;
+    const __m256 b0 = _mm256_loadu_ps(b_row);
+    const __m256 b1 = _mm256_loadu_ps(b_row + 8);
+    for (std::size_t ii = 0; ii < 6; ++ii) {
+      const __m256 av = _mm256_set1_ps(a[ii * a_rs + p * a_cs]);
+      acc[ii][0] = _mm256_fmadd_ps(av, b0, acc[ii][0]);
+      acc[ii][1] = _mm256_fmadd_ps(av, b1, acc[ii][1]);
+    }
+  }
+  for (std::size_t ii = 0; ii < 6; ++ii) {
+    _mm256_storeu_ps(c_tile + ii * ldc, acc[ii][0]);
+    _mm256_storeu_ps(c_tile + ii * ldc + 8, acc[ii][1]);
+  }
+}
+
+void gemm_tb_row(const float* a_row, const float* b, float* c_row, std::size_t k,
+                 std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* b_row = b + j * k;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 16 <= k; p += 16) {
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + p), _mm256_loadu_ps(b_row + p), acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + p + 8), _mm256_loadu_ps(b_row + p + 8),
+                             acc1);
+    }
+    for (; p + 8 <= k; p += 8) {
+      acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + p), _mm256_loadu_ps(b_row + p), acc0);
+    }
+    // Fixed-order reduction: lane 0..7 of (acc0 + acc1), then the scalar tail.
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, _mm256_add_ps(acc0, acc1));
+    for (; p < k; ++p) lanes[0] = __builtin_fmaf(a_row[p], b_row[p], lanes[0]);
+    float total = 0.0f;
+    for (std::size_t l = 0; l < 8; ++l) total += lanes[l];
+    c_row[j] = total;
+  }
+}
+
+namespace {
+
+// Shared shape of both distance kernels: widen 4 floats to doubles per step,
+// accumulate (x - y)^2 into two alternating FMA chains, reduce the 8 lanes in
+// a fixed order. Summation order differs from the serial kernel (which is a
+// single sequential chain), so callers treat cross-arch results as equal only
+// within tolerance — the equivalence oracle in tests/test_kernel_arch.cpp.
+double reduce_lanes(__m256d acc0, __m256d acc1, double tail) {
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc0);
+  _mm256_store_pd(lanes + 4, acc1);
+  double total = 0.0;
+  for (std::size_t l = 0; l < 8; ++l) total += lanes[l];
+  return total + tail;
+}
+
+}  // namespace
+
+double squared_distance(const float* a, const float* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    const __m256d d1 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                                     _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return reduce_lanes(acc0, acc1, tail);
+}
+
+double squared_distance_wide(const float* point, const double* center, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(point + i)),
+                                     _mm256_loadu_pd(center + i));
+    const __m256d d1 = _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(point + i + 4)),
+                                     _mm256_loadu_pd(center + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(point[i]) - center[i];
+    tail += d * d;
+  }
+  return reduce_lanes(acc0, acc1, tail);
+}
+
+}  // namespace fedguard::tensor::kernels::avx2

@@ -1,0 +1,136 @@
+// AVX-512/FMA kernels for the runtime dispatch table. Compiled with
+// -mavx512f -mfma; dispatched to only after __builtin_cpu_supports("avx512f").
+// See kernel_avx2.cpp for the tier-wide conventions (edge-tile handling,
+// fixed-order reductions, tolerance vs. the serial oracle).
+
+#include <immintrin.h>
+
+#include "tensor/kernels/kernel_impl.hpp"
+
+namespace fedguard::tensor::kernels::avx512 {
+
+namespace {
+
+void gemm_edge(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b_panel,
+               std::size_t ldb, float* c_tile, std::size_t ldc, std::size_t mr,
+               std::size_t nr, std::size_t kc) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b_row = b_panel + p * ldb;
+    for (std::size_t ii = 0; ii < mr; ++ii) {
+      const float av = a[ii * a_rs + p * a_cs];
+      float* c_row = c_tile + ii * ldc;
+      for (std::size_t jj = 0; jj < nr; ++jj) {
+        c_row[jj] = __builtin_fmaf(av, b_row[jj], c_row[jj]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_micro_8x32(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b_panel,
+                     std::size_t ldb, float* c_tile, std::size_t ldc, std::size_t mr,
+                     std::size_t nr, std::size_t kc) {
+  if (mr != 8 || nr != 32) {
+    gemm_edge(a, a_rs, a_cs, b_panel, ldb, c_tile, ldc, mr, nr, kc);
+    return;
+  }
+  __m512 acc[8][2];
+  for (std::size_t ii = 0; ii < 8; ++ii) {
+    acc[ii][0] = _mm512_loadu_ps(c_tile + ii * ldc);
+    acc[ii][1] = _mm512_loadu_ps(c_tile + ii * ldc + 16);
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* b_row = b_panel + p * ldb;
+    const __m512 b0 = _mm512_loadu_ps(b_row);
+    const __m512 b1 = _mm512_loadu_ps(b_row + 16);
+    for (std::size_t ii = 0; ii < 8; ++ii) {
+      const __m512 av = _mm512_set1_ps(a[ii * a_rs + p * a_cs]);
+      acc[ii][0] = _mm512_fmadd_ps(av, b0, acc[ii][0]);
+      acc[ii][1] = _mm512_fmadd_ps(av, b1, acc[ii][1]);
+    }
+  }
+  for (std::size_t ii = 0; ii < 8; ++ii) {
+    _mm512_storeu_ps(c_tile + ii * ldc, acc[ii][0]);
+    _mm512_storeu_ps(c_tile + ii * ldc + 16, acc[ii][1]);
+  }
+}
+
+void gemm_tb_row(const float* a_row, const float* b, float* c_row, std::size_t k,
+                 std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const float* b_row = b + j * k;
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    std::size_t p = 0;
+    for (; p + 32 <= k; p += 32) {
+      acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a_row + p), _mm512_loadu_ps(b_row + p), acc0);
+      acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a_row + p + 16), _mm512_loadu_ps(b_row + p + 16),
+                             acc1);
+    }
+    for (; p + 16 <= k; p += 16) {
+      acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a_row + p), _mm512_loadu_ps(b_row + p), acc0);
+    }
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, _mm512_add_ps(acc0, acc1));
+    for (; p < k; ++p) lanes[0] = __builtin_fmaf(a_row[p], b_row[p], lanes[0]);
+    float total = 0.0f;
+    for (std::size_t l = 0; l < 16; ++l) total += lanes[l];
+    c_row[j] = total;
+  }
+}
+
+namespace {
+
+double reduce_lanes(__m512d acc0, __m512d acc1, double tail) {
+  alignas(64) double lanes[16];
+  _mm512_store_pd(lanes, acc0);
+  _mm512_store_pd(lanes + 8, acc1);
+  double total = 0.0;
+  for (std::size_t l = 0; l < 16; ++l) total += lanes[l];
+  return total + tail;
+}
+
+}  // namespace
+
+double squared_distance(const float* a, const float* b, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d d0 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i)),
+                                     _mm512_cvtps_pd(_mm256_loadu_ps(b + i)));
+    const __m512d d1 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8)),
+                                     _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8)));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    tail += d * d;
+  }
+  return reduce_lanes(acc0, acc1, tail);
+}
+
+double squared_distance_wide(const float* point, const double* center, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d d0 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(point + i)),
+                                     _mm512_loadu_pd(center + i));
+    const __m512d d1 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(point + i + 8)),
+                                     _mm512_loadu_pd(center + i + 8));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(point[i]) - center[i];
+    tail += d * d;
+  }
+  return reduce_lanes(acc0, acc1, tail);
+}
+
+}  // namespace fedguard::tensor::kernels::avx512

@@ -1,0 +1,32 @@
+// Serial reference kernels for the runtime dispatch table.
+//
+// This translation unit is compiled with -ffp-contract=off (see
+// src/tensor/CMakeLists.txt): the loops below replace direct calls to
+// util::squared_distance and the GeoMed Weiszfeld inner loop, both of which
+// live in libraries built without FMA contraction, so the serial tier must
+// perform the exact same IEEE multiply-then-add sequence to keep the
+// aggregation golden digests bit-stable.
+
+#include "tensor/kernels/kernel_impl.hpp"
+
+namespace fedguard::tensor::kernels::serial {
+
+double squared_distance(const float* a, const float* b, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+double squared_distance_wide(const float* point, const double* center, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(point[i]) - center[i];
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace fedguard::tensor::kernels::serial

@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "parallel/kernel_config.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
 #include "util/check.hpp"
 
 namespace fedguard::tensor {
@@ -88,21 +89,32 @@ void micro_kernel(const float* a, std::size_t a_rs, std::size_t a_cs, const floa
   }
 }
 
-/// Accumulates C[row_begin:row_end, :] += op(A) * B for one row slice.
+/// Accumulates C[row_begin:row_end, :] += op(A) * B for one row slice. The
+/// micro-tile geometry and kernel come from the runtime dispatch table; the
+/// serial tier (kt.gemm_micro == nullptr) keeps the inlined scalar kernel
+/// above as the determinism oracle.
 void gemm_rows(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b, float* c,
-               std::size_t k, std::size_t n, std::size_t row_begin, std::size_t row_end) {
+               std::size_t k, std::size_t n, std::size_t row_begin, std::size_t row_end,
+               const kernels::KernelTable& kt) {
+  const std::size_t tile_mr = kt.gemm_mr;
+  const std::size_t tile_nr = kt.gemm_nr;
   for (std::size_t pc = 0; pc < k; pc += kKc) {
     const std::size_t kc = std::min(kKc, k - pc);
     for (std::size_t ic = row_begin; ic < row_end; ic += kMc) {
       const std::size_t mc = std::min(kMc, row_end - ic);
       for (std::size_t jc = 0; jc < n; jc += kNc) {
         const std::size_t nc = std::min(kNc, n - jc);
-        for (std::size_t i = 0; i < mc; i += kMr) {
-          const std::size_t mr = std::min(kMr, mc - i);
-          for (std::size_t j = 0; j < nc; j += kNr) {
-            const std::size_t nr = std::min(kNr, nc - j);
-            micro_kernel(a + (ic + i) * a_rs + pc * a_cs, a_rs, a_cs, b + pc * n + jc + j, n,
-                         c + (ic + i) * n + jc + j, n, mr, nr, kc);
+        for (std::size_t i = 0; i < mc; i += tile_mr) {
+          const std::size_t mr = std::min(tile_mr, mc - i);
+          for (std::size_t j = 0; j < nc; j += tile_nr) {
+            const std::size_t nr = std::min(tile_nr, nc - j);
+            if (kt.gemm_micro != nullptr) {
+              kt.gemm_micro(a + (ic + i) * a_rs + pc * a_cs, a_rs, a_cs, b + pc * n + jc + j,
+                            n, c + (ic + i) * n + jc + j, n, mr, nr, kc);
+            } else {
+              micro_kernel(a + (ic + i) * a_rs + pc * a_cs, a_rs, a_cs, b + pc * n + jc + j,
+                           n, c + (ic + i) * n + jc + j, n, mr, nr, kc);
+            }
           }
         }
       }
@@ -115,14 +127,15 @@ void gemm_rows(const float* a, std::size_t a_rs, std::size_t a_cs, const float* 
 void gemm_dispatch(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b, float* c,
                    std::size_t m, std::size_t k, std::size_t n) {
   if (m == 0 || n == 0 || k == 0) return;
+  const kernels::KernelTable& kt = kernels::kernel_table();
   const parallel::KernelConfig config = parallel::kernel_config();
   const std::size_t flops = 2 * m * k * n;
   if (!parallel::should_parallelize(flops, config.gemm_min_flops)) {
-    gemm_rows(a, a_rs, a_cs, b, c, k, n, 0, m);
+    gemm_rows(a, a_rs, a_cs, b, c, k, n, 0, m, kt);
     return;
   }
   parallel::kernel_parallel_ranges(m, kMc, [&](std::size_t row_begin, std::size_t row_end) {
-    gemm_rows(a, a_rs, a_cs, b, c, k, n, row_begin, row_end);
+    gemm_rows(a, a_rs, a_cs, b, c, k, n, row_begin, row_end, kt);
   });
 }
 
@@ -138,10 +151,14 @@ constexpr std::size_t kLanes = 8;
 constexpr std::size_t kDotCols = 4;
 
 void gemm_tb_rows(const float* a, const float* b, float* c, std::size_t k, std::size_t n,
-                  std::size_t row_begin, std::size_t row_end) {
+                  std::size_t row_begin, std::size_t row_end, kernels::GemmTbRowFn simd_row) {
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * n;
+    if (simd_row != nullptr) {
+      simd_row(a_row, b, c_row, k, n);
+      continue;
+    }
     std::size_t j = 0;
     for (; j + kDotCols <= n; j += kDotCols) {
       float acc[kDotCols][kLanes] = {};
@@ -187,14 +204,15 @@ void gemm_tb_dispatch(const float* a, const float* b, float* c, std::size_t m, s
     std::fill(c, c + m * n, 0.0f);
     return;
   }
+  const kernels::GemmTbRowFn simd_row = kernels::kernel_table().gemm_tb_row;
   const parallel::KernelConfig config = parallel::kernel_config();
   const std::size_t flops = 2 * m * k * n;
   if (!parallel::should_parallelize(flops, config.gemm_min_flops)) {
-    gemm_tb_rows(a, b, c, k, n, 0, m);
+    gemm_tb_rows(a, b, c, k, n, 0, m, simd_row);
     return;
   }
   parallel::kernel_parallel_ranges(m, 1, [&](std::size_t row_begin, std::size_t row_end) {
-    gemm_tb_rows(a, b, c, k, n, row_begin, row_end);
+    gemm_tb_rows(a, b, c, k, n, row_begin, row_end, simd_row);
   });
 }
 

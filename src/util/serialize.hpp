@@ -10,10 +10,28 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace fedguard::util {
+
+// ---- Wire codecs --------------------------------------------------------------
+// Encodings for float spans crossing the wire. Fp32 is the exact baseline;
+// Q8 is a per-chunk affine uint8 quantization (scale + offset per chunk,
+// max dequantization error <= scale/2); Fp16 is IEEE binary16 truncation
+// with round-to-nearest-even. The numeric values are the on-wire tags.
+
+enum class WireCodec : std::uint8_t { Fp32 = 0, Q8 = 1, Fp16 = 2 };
+
+[[nodiscard]] std::string_view to_string(WireCodec codec) noexcept;
+/// Accepts "fp32", "q8", "fp16"; returns false (out untouched) otherwise.
+[[nodiscard]] bool parse_wire_codec(std::string_view text, WireCodec& out) noexcept;
+
+/// Default elements per q8 chunk: small enough that one outlier only inflates
+/// the scale of its own 256-value neighbourhood, large enough that the 8-byte
+/// per-chunk header stays ~3% overhead.
+inline constexpr std::size_t kDefaultQ8ChunkSize = 256;
 
 // ---- memcpy-based load/store --------------------------------------------------
 // Alignment- and aliasing-safe framing primitives: every place that used to
@@ -54,6 +72,16 @@ class ByteWriter {
   void write_u64(std::uint64_t value);
   void write_f32(float value);
   void write_f32_span(std::span<const float> values);
+  /// Per-chunk affine uint8 quantization: u64 count, u32 chunk size, then per
+  /// chunk [f32 scale][f32 offset][chunk u8 codes] with value ~= offset +
+  /// scale * code. A chunk containing any non-finite value gets scale = NaN
+  /// (every element dequantizes to NaN, so the aggregation-boundary finite
+  /// check still fires); a constant chunk gets scale = 0 and decodes exactly.
+  void write_q8_span(std::span<const float> values,
+                     std::size_t chunk_size = kDefaultQ8ChunkSize);
+  /// IEEE binary16: u64 count then count u16 half-floats (round-to-nearest-
+  /// even, overflow to inf, NaN preserved).
+  void write_f16_span(std::span<const float> values);
   void write_string(const std::string& value);
 
   [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buffer_; }
@@ -75,6 +103,12 @@ class ByteReader {
   /// Deserialize out.size() floats directly into `out` (zero-copy form of
   /// read_f32_vector for pre-sized destinations like arena rows).
   void read_f32_into(std::span<float> out);
+  /// Dequantize a write_q8_span payload (sans the u64 count, which the caller
+  /// reads to size `out`) directly into `out` — the quantized twin of
+  /// read_f32_into, so arena rows fill without an intermediate buffer.
+  void read_q8_into(std::span<float> out);
+  /// Decode a write_f16_span payload (sans the u64 count) into `out`.
+  void read_f16_into(std::span<float> out);
   [[nodiscard]] std::string read_string();
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
@@ -92,6 +126,47 @@ class ByteReader {
 [[nodiscard]] constexpr std::size_t f32_vector_wire_size(std::size_t count) noexcept {
   return sizeof(std::uint64_t) + count * sizeof(float);
 }
+
+/// Serialized size of write_q8_span: u64 count + u32 chunk size + one
+/// (scale, offset) float pair per chunk + one byte per element.
+[[nodiscard]] constexpr std::size_t q8_span_wire_size(std::size_t count,
+                                                      std::size_t chunk_size) noexcept {
+  const std::size_t chunks = chunk_size == 0 ? 0 : (count + chunk_size - 1) / chunk_size;
+  return sizeof(std::uint64_t) + sizeof(std::uint32_t) + chunks * 2 * sizeof(float) + count;
+}
+
+/// Serialized size of write_f16_span: u64 count + two bytes per element.
+[[nodiscard]] constexpr std::size_t f16_span_wire_size(std::size_t count) noexcept {
+  return sizeof(std::uint64_t) + count * sizeof(std::uint16_t);
+}
+
+/// Serialized size of a float span under `codec` (including length prefix).
+[[nodiscard]] constexpr std::size_t codec_span_wire_size(WireCodec codec, std::size_t count,
+                                                         std::size_t chunk_size) noexcept {
+  switch (codec) {
+    case WireCodec::Q8: return q8_span_wire_size(count, chunk_size);
+    case WireCodec::Fp16: return f16_span_wire_size(count);
+    case WireCodec::Fp32: break;
+  }
+  return f32_vector_wire_size(count);
+}
+
+/// Quantize + dequantize `values` in place with exactly the arithmetic of
+/// write_q8_span / read_q8_into, so an in-process federation can reproduce
+/// the remote path's quantization noise bit-for-bit without buffering an
+/// encoded payload.
+void quantize_roundtrip_q8(std::span<float> values,
+                           std::size_t chunk_size = kDefaultQ8ChunkSize);
+/// Fp16 twin of quantize_roundtrip_q8.
+void quantize_roundtrip_f16(std::span<float> values) noexcept;
+
+/// Apply `codec`'s lossy roundtrip in place (Fp32 is a no-op).
+void quantize_roundtrip(WireCodec codec, std::span<float> values, std::size_t chunk_size);
+
+/// Portable IEEE binary16 conversions (round-to-nearest-even, overflow to
+/// inf, NaN payloads collapsed to a quiet NaN).
+[[nodiscard]] std::uint16_t f32_to_f16_bits(float value) noexcept;
+[[nodiscard]] float f16_bits_to_f32(std::uint16_t bits) noexcept;
 
 /// Write a float vector to a file (length-prefixed). Throws on I/O error.
 void save_f32_vector(const std::string& path, std::span<const float> values);

@@ -1,0 +1,16 @@
+// Fixture: raw SIMD intrinsics outside src/tensor/kernels/ must be flagged
+// (rule no-raw-intrinsics). Vector code belongs in the runtime-dispatched
+// kernel TUs, where the cpuid gate guarantees the ISA is actually present.
+
+#include <cstddef>
+
+#include <immintrin.h>
+
+void fixture_sum(const float* a, float* out, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = 0; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(a + i));
+  }
+  (void)acc;
+  *out = 0.0f;
+}

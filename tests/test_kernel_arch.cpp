@@ -1,0 +1,186 @@
+// Kernel-arch dispatch (tensor::kernels): parsing, availability, override
+// semantics, and the equivalence oracle — every SIMD tier this CPU supports
+// must agree with the serial determinism oracle on GEMM and the defense
+// distance kernels, within reduction-reorder tolerance; the serial distance
+// tier must agree with util::squared_distance bit-for-bit (it backs the
+// pinned goldens in test_update_pipeline).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/kernels/kernel_arch.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fedguard {
+namespace {
+
+namespace kernels = tensor::kernels;
+using kernels::KernelArch;
+
+// Every test must leave the process-wide dispatch override cleared, or later
+// tests in the same binary would silently inherit a pinned tier.
+struct KernelArchTest : ::testing::Test {
+  void TearDown() override { kernels::set_kernel_arch(KernelArch::Auto); }
+};
+
+std::vector<float> random_values(std::size_t n, util::Rng& rng) {
+  std::vector<float> values(n);
+  for (auto& v : values) v = rng.uniform_float(-1.0f, 1.0f);
+  return values;
+}
+
+std::vector<KernelArch> available_simd_tiers() {
+  std::vector<KernelArch> tiers;
+  for (const KernelArch arch : {KernelArch::Avx2, KernelArch::Avx512}) {
+    if (kernels::kernel_arch_available(arch)) tiers.push_back(arch);
+  }
+  return tiers;
+}
+
+TEST_F(KernelArchTest, ParseAndToStringRoundTrip) {
+  for (const KernelArch arch :
+       {KernelArch::Auto, KernelArch::Serial, KernelArch::Avx2, KernelArch::Avx512}) {
+    KernelArch parsed = KernelArch::Auto;
+    ASSERT_TRUE(kernels::parse_kernel_arch(kernels::to_string(arch), parsed));
+    EXPECT_EQ(parsed, arch);
+  }
+  KernelArch out = KernelArch::Serial;
+  EXPECT_FALSE(kernels::parse_kernel_arch("sse9", out));
+  EXPECT_EQ(out, KernelArch::Serial);
+}
+
+TEST_F(KernelArchTest, SerialAndAutoAlwaysAvailable) {
+  EXPECT_TRUE(kernels::kernel_arch_available(KernelArch::Auto));
+  EXPECT_TRUE(kernels::kernel_arch_available(KernelArch::Serial));
+}
+
+TEST_F(KernelArchTest, ExplicitOverrideWinsAndAutoClearsIt) {
+  kernels::set_kernel_arch(KernelArch::Serial);
+  EXPECT_EQ(kernels::requested_kernel_arch(), KernelArch::Serial);
+  EXPECT_EQ(kernels::active_kernel_arch(), KernelArch::Serial);
+  EXPECT_EQ(kernels::kernel_table().arch, KernelArch::Serial);
+
+  kernels::set_kernel_arch(KernelArch::Auto);
+  // Auto resolves (via env var or CPU detection) to a concrete, available tier.
+  const KernelArch active = kernels::active_kernel_arch();
+  EXPECT_NE(active, KernelArch::Auto);
+  EXPECT_TRUE(kernels::kernel_arch_available(active));
+}
+
+TEST_F(KernelArchTest, UnavailableRequestDegradesDownTheChain) {
+  // Requesting a tier is always legal; the active arch must end up available
+  // even when the request itself is not supported on this CPU.
+  for (const KernelArch arch : {KernelArch::Avx512, KernelArch::Avx2}) {
+    kernels::set_kernel_arch(arch);
+    const KernelArch active = kernels::active_kernel_arch();
+    EXPECT_NE(active, KernelArch::Auto);
+    EXPECT_TRUE(kernels::kernel_arch_available(active));
+    if (kernels::kernel_arch_available(arch)) {
+      EXPECT_EQ(active, arch);
+    }
+  }
+}
+
+TEST_F(KernelArchTest, SerialDistanceKernelBitMatchesUtil) {
+  // The pinned pipeline goldens assume the serial tier reproduces the exact
+  // pre-dispatch arithmetic (compiled with FP contraction off).
+  kernels::set_kernel_arch(KernelArch::Serial);
+  const kernels::KernelTable& table = kernels::kernel_table();
+  ASSERT_EQ(table.arch, KernelArch::Serial);
+  util::Rng rng{0xa17ull};
+  for (const std::size_t n : {1u, 7u, 63u, 64u, 65u, 1003u}) {
+    const std::vector<float> a = random_values(n, rng);
+    const std::vector<float> b = random_values(n, rng);
+    EXPECT_EQ(table.squared_distance(a.data(), b.data(), n),
+              util::squared_distance(a, b))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelArchTest, SimdDistanceKernelsMatchSerialWithinTolerance) {
+  util::Rng rng{0xa18ull};
+  const std::size_t sizes[] = {1, 5, 16, 17, 31, 257, 1003, 4099};
+  for (const KernelArch arch : available_simd_tiers()) {
+    kernels::set_kernel_arch(arch);
+    const kernels::KernelTable table = kernels::kernel_table();
+    ASSERT_EQ(table.arch, arch);
+    kernels::set_kernel_arch(KernelArch::Serial);
+    const kernels::KernelTable serial = kernels::kernel_table();
+    for (const std::size_t n : sizes) {
+      const std::vector<float> a = random_values(n, rng);
+      const std::vector<float> b = random_values(n, rng);
+      const double expect = serial.squared_distance(a.data(), b.data(), n);
+      const double got = table.squared_distance(a.data(), b.data(), n);
+      EXPECT_NEAR(got, expect, 1e-10 * static_cast<double>(n) + 1e-12)
+          << kernels::to_string(arch) << " n=" << n;
+
+      std::vector<double> center(n);
+      for (auto& c : center) c = rng.uniform(-1.0, 1.0);
+      const double expect_wide =
+          serial.squared_distance_wide(a.data(), center.data(), n);
+      const double got_wide = table.squared_distance_wide(a.data(), center.data(), n);
+      EXPECT_NEAR(got_wide, expect_wide, 1e-10 * static_cast<double>(n) + 1e-12)
+          << kernels::to_string(arch) << " wide n=" << n;
+    }
+  }
+}
+
+TEST_F(KernelArchTest, SimdGemmMatchesSerialOnOddShapes) {
+  util::Rng rng{0xa19ull};
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  // Deliberately awkward: prime edges, single rows/columns, and sizes around
+  // the micro-kernel tile boundaries (mr=4/nr=16 scalar; 8/16-lane SIMD).
+  const Shape shapes[] = {{1, 1, 1}, {7, 13, 17}, {4, 16, 16}, {5, 256, 3},
+                          {67, 129, 65}, {33, 31, 130}};
+  const std::vector<KernelArch> tiers = available_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD tier compiled in / supported";
+  for (const Shape& shape : shapes) {
+    const std::vector<float> a = random_values(shape.m * shape.k, rng);
+    const std::vector<float> b = random_values(shape.k * shape.n, rng);
+    std::vector<float> serial_c(shape.m * shape.n);
+    kernels::set_kernel_arch(KernelArch::Serial);
+    tensor::matmul(a.data(), b.data(), serial_c.data(), shape.m, shape.k, shape.n);
+    for (const KernelArch arch : tiers) {
+      kernels::set_kernel_arch(arch);
+      std::vector<float> simd_c(shape.m * shape.n);
+      tensor::matmul(a.data(), b.data(), simd_c.data(), shape.m, shape.k, shape.n);
+      for (std::size_t i = 0; i < simd_c.size(); ++i) {
+        const float tolerance =
+            1e-5f * (std::abs(serial_c[i]) + static_cast<float>(shape.k) * 1e-3f);
+        EXPECT_NEAR(simd_c[i], serial_c[i], tolerance)
+            << kernels::to_string(arch) << " shape " << shape.m << "x" << shape.k << "x"
+            << shape.n << " element " << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelArchTest, SimdTransposedGemmVariantsMatchSerial) {
+  // The trans_b path backs the classifier backward pass; check it against the
+  // serial tier too (trans_a/_accumulate share the same row kernel).
+  util::Rng rng{0xa1aull};
+  const std::size_t m = 19, k = 37, n = 23;
+  const std::vector<float> a = random_values(m * k, rng);
+  const std::vector<float> bt = random_values(n * k, rng);  // B^T is [n, k]
+  std::vector<float> serial_c(m * n);
+  kernels::set_kernel_arch(KernelArch::Serial);
+  tensor::matmul_trans_b(a.data(), bt.data(), serial_c.data(), m, k, n);
+  for (const KernelArch arch : available_simd_tiers()) {
+    kernels::set_kernel_arch(arch);
+    std::vector<float> simd_c(m * n);
+    tensor::matmul_trans_b(a.data(), bt.data(), simd_c.data(), m, k, n);
+    for (std::size_t i = 0; i < simd_c.size(); ++i) {
+      EXPECT_NEAR(simd_c[i], serial_c[i], 1e-4f) << kernels::to_string(arch) << " " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedguard

@@ -26,6 +26,9 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/fl/bad_stopwatch.cpp", 8, "no-raw-stopwatch"),
     ("src/models/bad_random.cpp", 9, "rng"),
     ("src/net/bad_span.cpp", 10, "span-category-docs"),
+    ("src/nn/bad_intrinsics.cpp", 7, "no-raw-intrinsics"),
+    ("src/nn/bad_intrinsics.cpp", 10, "no-raw-intrinsics"),
+    ("src/nn/bad_intrinsics.cpp", 12, "no-raw-intrinsics"),
     ("src/nn/bad_new.cpp", 9, "naked-new"),
     ("src/nn/bad_new.cpp", 11, "naked-new"),
     ("tests/CMakeLists.txt", 7, "test-timeout"),
@@ -70,7 +73,8 @@ class FedguardLintGolden(unittest.TestCase):
         self.assertEqual(result.returncode, 0)
         for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
                      "test-timeout", "config-docs", "no-pointset-copy",
-                     "no-raw-stopwatch", "span-category-docs"):
+                     "no-raw-stopwatch", "span-category-docs",
+                     "no-raw-intrinsics"):
             self.assertIn(rule, result.stdout)
 
 
