@@ -1,0 +1,160 @@
+// Robustness leaderboard harness: runs a scenario sweep matrix (attack ×
+// defense × data regime × malicious fraction; see docs/ROBUSTNESS_SWEEP.md)
+// and writes the BENCH_robustness.json leaderboard artifact that
+// scripts/check_robustness.py gates against the committed baseline.
+//
+// Flags (core::CliOptions --key value):
+//   --matrix smoke|default|full   matrix preset (default: smoke)
+//   --config PATH                 descriptor file: base-config keys plus the
+//                                 scenario_* axis overrides, applied on top
+//                                 of the preset
+//   --seed N                      matrix seed (default 42)
+//   --rounds N                    rounds per cell override
+//   --cell ID[,ID...]             replay just these cells by id (e.g.
+//                                 "covert+40/fedguard/iid") — the (matrix
+//                                 seed, cell id) pair fully determines a
+//                                 cell's run, so the emitted rows are
+//                                 bit-identical to the same rows of the full
+//                                 sweep and merge back in cleanly with
+//                                 scripts/merge_robustness.py. Each attack
+//                                 cell's none+0 baseline cell is run too so
+//                                 baseline_accuracy/attack_success carry the
+//                                 same linked values the sweep would emit.
+//   --out PATH                    leaderboard path (default BENCH_robustness.json)
+//   --kernel-arch TIER            auto|serial|avx2|avx512 — pin serial for the
+//                                 bit-identical reproducibility contract
+//   --quiet                       suppress per-round logging (cell lines stay)
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/config_file.hpp"
+#include "scenario/matrix.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "tensor/kernels/kernel_arch.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedguard;
+  const core::CliOptions options = core::CliOptions::parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(options.get_int("seed", 42));
+  const std::string matrix_name = options.get("matrix", "smoke");
+
+  scenario::SweepMatrix matrix;
+  if (matrix_name == "smoke") matrix = scenario::smoke_matrix(seed);
+  else if (matrix_name == "default") matrix = scenario::default_matrix(seed);
+  else if (matrix_name == "full") matrix = scenario::full_matrix(seed);
+  else {
+    std::fprintf(stderr, "unknown --matrix '%s' (smoke|default|full)\n",
+                 matrix_name.c_str());
+    return 2;
+  }
+
+  if (options.has("config")) {
+    const auto values = core::parse_config_file(options.get("config", ""));
+    std::map<std::string, std::string> base_values;
+    for (const auto& [key, value] : values) {
+      if (key.rfind("scenario_", 0) != 0) base_values[key] = value;
+    }
+    core::apply_config_values(matrix.base, base_values);
+    scenario::apply_scenario_values(matrix, values);
+    matrix.base.seed = seed;  // --seed stays authoritative for replay
+  }
+  if (options.has("rounds")) {
+    matrix.base.rounds = static_cast<std::size_t>(options.get_int("rounds", 6));
+  }
+  if (options.has("kernel-arch")) {
+    tensor::kernels::KernelArch arch{};
+    const std::string tier = options.get("kernel-arch", "auto");
+    if (!tensor::kernels::parse_kernel_arch(tier, arch)) {
+      std::fprintf(stderr, "unknown --kernel-arch '%s' (auto|serial|avx2|avx512)\n",
+                   tier.c_str());
+      return 2;
+    }
+    matrix.base.kernel_arch = arch;
+  }
+  if (options.has("quiet")) util::set_log_level(util::LogLevel::Warn);
+
+  scenario::Leaderboard board;
+  if (options.has("cell")) {
+    // Targeted replay: run only the named cells. Cell seeds derive from
+    // (matrix seed, cell id), so these rows match the full sweep's exactly.
+    const std::vector<scenario::Cell> all = matrix.enumerate();
+    board.matrix_name = matrix_name;
+    board.seed = matrix.base.seed;
+    board.rounds = matrix.base.rounds;
+    std::string ids = options.get("cell", "");
+    for (std::size_t begin = 0; begin <= ids.size();) {
+      std::size_t comma = ids.find(',', begin);
+      if (comma == std::string::npos) comma = ids.size();
+      const std::string id = ids.substr(begin, comma - begin);
+      begin = comma + 1;
+      if (id.empty()) continue;
+      const auto it = std::find_if(all.begin(), all.end(), [&](const auto& c) {
+        return c.id() == id;
+      });
+      if (it == all.end()) {
+        std::fprintf(stderr, "--cell '%s' is not in matrix '%s'\n", id.c_str(),
+                     matrix_name.c_str());
+        return 2;
+      }
+      const bool seen = std::any_of(
+          board.cells.begin(), board.cells.end(),
+          [&](const auto& row) { return row.cell_id == id; });
+      if (!seen) board.cells.push_back(scenario::run_cell(matrix, *it));
+    }
+    // Pull in each attack cell's none+0 baseline so the linked
+    // baseline_accuracy/attack_success fields match the full sweep's rows.
+    const std::size_t requested = board.cells.size();
+    for (std::size_t i = 0; i < requested; ++i) {
+      if (board.cells[i].attack == "none") continue;
+      const std::string baseline_id =
+          "none+0/" + board.cells[i].defense + "/" + board.cells[i].regime;
+      const bool seen = std::any_of(
+          board.cells.begin(), board.cells.end(),
+          [&](const auto& row) { return row.cell_id == baseline_id; });
+      if (seen) continue;
+      const auto it = std::find_if(all.begin(), all.end(), [&](const auto& c) {
+        return c.id() == baseline_id;
+      });
+      if (it != all.end()) board.cells.push_back(scenario::run_cell(matrix, *it));
+    }
+    for (auto& row : board.cells) {
+      const auto it = std::find_if(
+          board.cells.begin(), board.cells.end(), [&](const auto& candidate) {
+            return candidate.attack == "none" &&
+                   candidate.defense == row.defense &&
+                   candidate.regime == row.regime;
+          });
+      if (it == board.cells.end()) continue;
+      row.baseline_accuracy = it->final_accuracy;
+      if (row.attack != "none" && it->final_accuracy > 0.0) {
+        row.attack_success = std::max(
+            0.0, (it->final_accuracy - row.final_accuracy) / it->final_accuracy);
+      }
+    }
+    std::sort(board.cells.begin(), board.cells.end(),
+              [](const auto& a, const auto& b) { return a.cell_id < b.cell_id; });
+    std::printf("=== robustness replay: matrix=%s, %zu cell(s), seed=%llu ===\n",
+                matrix_name.c_str(), board.cells.size(),
+                static_cast<unsigned long long>(board.seed));
+  } else {
+    const std::size_t cell_count = matrix.enumerate().size();
+    std::printf("=== robustness sweep: matrix=%s, %zu cells, seed=%llu, R=%zu ===\n",
+                matrix_name.c_str(), cell_count,
+                static_cast<unsigned long long>(matrix.base.seed),
+                matrix.base.rounds);
+    board = scenario::run_sweep(matrix, matrix_name);
+  }
+  scenario::print_leaderboard(std::cout, board);
+
+  const std::string out_path = options.get("out", "BENCH_robustness.json");
+  scenario::write_json(board, out_path);
+  std::printf("leaderboard -> %s (%zu cells)\n", out_path.c_str(), board.cells.size());
+  return 0;
+}

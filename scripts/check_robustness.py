@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_robustness.json leaderboard against the committed baseline.
+
+Usage::
+
+    scripts/check_robustness.py BENCH_robustness.json \
+        [--baseline scripts/robustness_baseline.json]
+
+The baseline (see scripts/robustness_baseline.json) has two kinds of
+expectations, both keyed by leaderboard cell id:
+
+* ``cells``: per-cell floors/ceilings —
+    - ``min_accuracy`` / ``max_accuracy``: bounds on ``final_accuracy``.
+      ``max_accuracy`` exists so a *broken attack* fails too: if the covert
+      attack stops hurting plain FedAvg, the sweep is no longer testing
+      anything.
+    - ``min_ejection_recall``: floor on the obs-counter-derived attacker
+      ejection recall (only meaningful for filtering defenses).
+  A baseline cell missing from the leaderboard is a failure — shrinking the
+  matrix must be an explicit baseline edit, not a silent pass.
+
+* ``relations``: ordering constraints ``higher.final_accuracy >=
+  lower.final_accuracy + margin``. These encode the science headline (e.g.
+  the covert attack beats plain FedAvg but not Krum/FedCPA/FedGuard) so a
+  defense regression that stays above its absolute floor still fails if it
+  collapses into the undefended band.
+
+Exit status: 0 when every expectation holds, 1 with one line per violation
+otherwise, 2 on usage/schema errors.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+LEADERBOARD_SCHEMA = "fedguard-robustness-v1"
+BASELINE_SCHEMA = "fedguard-robustness-baseline-v1"
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("leaderboard", help="BENCH_robustness.json to check")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).parent / "robustness_baseline.json"),
+        help="baseline expectations (default: scripts/robustness_baseline.json)",
+    )
+    args = parser.parse_args()
+
+    board = load_json(args.leaderboard)
+    baseline = load_json(args.baseline)
+    if board.get("schema") != LEADERBOARD_SCHEMA:
+        print(f"error: {args.leaderboard}: expected schema {LEADERBOARD_SCHEMA}, "
+              f"got {board.get('schema')!r}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"error: {args.baseline}: expected schema {BASELINE_SCHEMA}, "
+              f"got {baseline.get('schema')!r}", file=sys.stderr)
+        return 2
+
+    rows = {row["cell"]: row for row in board.get("cells", [])}
+    failures = []
+
+    for cell_id, bounds in baseline.get("cells", {}).items():
+        row = rows.get(cell_id)
+        if row is None:
+            failures.append(f"{cell_id}: missing from leaderboard")
+            continue
+        accuracy = row["final_accuracy"]
+        if "min_accuracy" in bounds and accuracy < bounds["min_accuracy"]:
+            failures.append(
+                f"{cell_id}: final_accuracy {accuracy:.4f} "
+                f"< floor {bounds['min_accuracy']:.4f}")
+        if "max_accuracy" in bounds and accuracy > bounds["max_accuracy"]:
+            failures.append(
+                f"{cell_id}: final_accuracy {accuracy:.4f} "
+                f"> ceiling {bounds['max_accuracy']:.4f} (attack no longer bites)")
+        if "min_ejection_recall" in bounds:
+            recall = row["ejection_recall"]
+            if recall < bounds["min_ejection_recall"]:
+                failures.append(
+                    f"{cell_id}: ejection_recall {recall:.4f} "
+                    f"< floor {bounds['min_ejection_recall']:.4f}")
+
+    for relation in baseline.get("relations", []):
+        lower = rows.get(relation["lower"])
+        higher = rows.get(relation["higher"])
+        margin = relation.get("margin", 0.0)
+        if lower is None or higher is None:
+            missing = relation["lower"] if lower is None else relation["higher"]
+            failures.append(f"relation {relation['lower']} < {relation['higher']}: "
+                            f"missing cell {missing}")
+            continue
+        if higher["final_accuracy"] < lower["final_accuracy"] + margin:
+            failures.append(
+                f"relation violated: {relation['higher']} "
+                f"({higher['final_accuracy']:.4f}) must exceed {relation['lower']} "
+                f"({lower['final_accuracy']:.4f}) by >= {margin:.2f}")
+
+    if failures:
+        print(f"robustness regression: {len(failures)} violation(s) against "
+              f"{args.baseline}:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+
+    checked = len(baseline.get("cells", {})) + len(baseline.get("relations", []))
+    print(f"robustness leaderboard OK: {checked} expectations hold "
+          f"({len(rows)} cells in {args.leaderboard})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,12 @@ no-raw-intrinsics    No raw SIMD intrinsics (<immintrin.h>, _mm*_ calls,
                      ISA flags behind the runtime cpuid gate; an intrinsic
                      anywhere else either fails to compile or, worse, sneaks
                      past the gate and SIGILLs on older hosts.
+sweep-roster         Every attack name produced by the AttackType → string
+                     table in src/attacks/attack.cpp and every strategy name
+                     from the StrategyKind table in src/core/experiment.cpp
+                     must appear in the sweep rosters in
+                     src/scenario/matrix.cpp — a new attack or defense cannot
+                     silently stay off the robustness leaderboard.
 
 Allowlist
 ---------
@@ -85,6 +91,7 @@ RULES = {
     "no-raw-stopwatch": "util::Stopwatch in round-path code (use obs::now_ns)",
     "span-category-docs": "trace span category missing from docs/OBSERVABILITY.md",
     "no-raw-intrinsics": "raw SIMD intrinsics outside src/tensor/kernels/",
+    "sweep-roster": "attack/strategy name missing from the scenario sweep roster",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -132,6 +139,18 @@ INTRINSICS_RE = re.compile(
     r"|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
 )
 INTRINSICS_SCOPE_DIR = "src/tensor/kernels/"
+
+# Enum → string tables whose names must all be reachable from the robustness
+# sweep rosters (the greppable kAttackRoster/kDefenseRoster string tables in
+# src/scenario/matrix.cpp). Patterns run over raw text: the names live inside
+# string literals, and a case split across lines must still match.
+SWEEP_CASE_SOURCES = (
+    ("src/attacks/attack.cpp",
+     re.compile(r'case\s+AttackType::\w+\s*:\s*\n?\s*return\s*"([a-z0-9_]+)"')),
+    ("src/core/experiment.cpp",
+     re.compile(r'case\s+StrategyKind::\w+\s*:\s*\n?\s*return\s*"([a-z0-9_]+)"')),
+)
+SWEEP_ROSTER_FILE = "src/scenario/matrix.cpp"
 
 
 class Violation:
@@ -418,6 +437,37 @@ def check_span_categories(root: Path) -> list[Violation]:
     return violations
 
 
+def check_sweep_roster(root: Path) -> list[Violation]:
+    """Every name the enum → string tables can produce must appear (as a
+    quoted literal) in the sweep roster tables — otherwise a new attack or
+    defense ships without ever being exercised by the robustness sweep."""
+    violations: list[Violation] = []
+    roster_path = root / SWEEP_ROSTER_FILE
+    if not roster_path.is_file():
+        return violations
+    roster_text = roster_path.read_text(encoding="utf-8", errors="replace")
+    for relpath, pattern in SWEEP_CASE_SOURCES:
+        path = root / relpath
+        if not path.is_file():
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        # Allow problems are already reported by check_source_file.
+        allows, _ = parse_allows(text.splitlines(), relpath)
+        for match in pattern.finditer(text):
+            name = match.group(1)
+            line_no = text.count("\n", 0, match.start()) + 1
+            if f'"{name}"' in roster_text:
+                continue
+            if allowed(allows, line_no, "sweep-roster"):
+                continue
+            violations.append(Violation(
+                relpath, line_no, "sweep-roster",
+                f"'{name}' has an enum → string mapping but no entry in the "
+                f"sweep rosters in {SWEEP_ROSTER_FILE}; add it so the "
+                "robustness leaderboard covers it (or allow() it with a reason)"))
+    return violations
+
+
 def iter_source_files(root: Path):
     for top in SOURCE_ROOTS:
         base = root / top
@@ -441,6 +491,7 @@ def run(root: Path, verbose: bool = False) -> list[Violation]:
     violations.extend(check_test_timeouts(root))
     violations.extend(check_config_docs(root))
     violations.extend(check_span_categories(root))
+    violations.extend(check_sweep_roster(root))
     if verbose:
         print(f"fedguard-lint: scanned {count} source files under {root}", file=sys.stderr)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Merge robustness leaderboard shards into one BENCH_robustness.json.
+
+Usage::
+
+    scripts/merge_robustness.py OUT.json SHARD.json [SHARD.json ...]
+    scripts/merge_robustness.py OUT.json SHARD_DIR
+
+Each shard is a ``fedguard-robustness-v1`` leaderboard (one
+``bench_robustness`` invocation — e.g. the matrix split across machines with
+``--config`` axis overrides, or a re-run of a handful of cells by id). Cells
+are deduplicated by cell id with later shards winning, so a targeted re-run
+can patch individual rows of an earlier full sweep. All shards must agree on
+the matrix seed — mixing seeds would produce a leaderboard no single seed can
+replay, which defeats the (seed, cell-id) replay contract.
+
+The merged file keeps the shard schema, sorts cells by id, and is emitted
+with sorted keys + indent 2 + trailing newline so diffs stay reviewable.
+"""
+import json
+import pathlib
+import sys
+
+SCHEMA = "fedguard-robustness-v1"
+
+
+def shard_paths(arguments):
+    paths = []
+    for argument in arguments:
+        path = pathlib.Path(argument)
+        if path.is_dir():
+            paths.extend(sorted(path.glob("*.json")))
+        else:
+            paths.append(path)
+    return paths
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} <output.json> <shard.json|shard-dir> ...",
+              file=sys.stderr)
+        return 2
+    output = sys.argv[1]
+    cells = {}
+    seed = None
+    matrix_names = set()
+    rounds = 0
+    shards = shard_paths(sys.argv[2:])
+    if not shards:
+        print("error: no shards found", file=sys.stderr)
+        return 2
+    for path in shards:
+        try:
+            with open(path) as f:
+                board = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        if board.get("schema") != SCHEMA:
+            print(f"error: {path}: expected schema {SCHEMA}, "
+                  f"got {board.get('schema')!r}", file=sys.stderr)
+            return 2
+        if seed is None:
+            seed = board.get("seed")
+        elif board.get("seed") != seed:
+            print(f"error: {path}: matrix seed {board.get('seed')} != {seed}; "
+                  "refusing to merge shards from different seeds", file=sys.stderr)
+            return 2
+        matrix_names.add(board.get("matrix", "custom"))
+        rounds = max(rounds, board.get("rounds", 0))
+        for row in board.get("cells", []):
+            cells[row["cell"]] = row  # later shards win
+
+    merged = {
+        "schema": SCHEMA,
+        "matrix": matrix_names.pop() if len(matrix_names) == 1 else "merged",
+        "seed": seed,
+        "rounds": rounds,
+        "cells": [cells[cell_id] for cell_id in sorted(cells)],
+    }
+    with open(output, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"{len(cells)} cells from {len(shards)} shard(s) -> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

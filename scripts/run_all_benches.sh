@@ -37,6 +37,12 @@ for b in "$BUILD_DIR"/bench/*; do
       "$b" --benchmark_out="$WIRE_JSON_DIR/$(basename "$b").json" \
            --benchmark_out_format=json
       ;;
+    *bench_robustness*)
+      # Smoke attack×defense leaderboard -> BENCH_robustness.json. Serial
+      # kernels pin the bit-identical reproducibility contract the committed
+      # baseline (scripts/robustness_baseline.json) is checked against below.
+      "$b" --quiet --matrix smoke --kernel-arch serial --out BENCH_robustness.json
+      ;;
     *micro*)
       # Keep the human-readable console output AND capture the JSON report.
       "$b" --benchmark_out="$KERNEL_JSON_DIR/$(basename "$b").json" \
@@ -57,6 +63,10 @@ if command -v python3 >/dev/null 2>&1; then
   [ -f BENCH_obs.json ] \
     && python3 "$SCRIPT_DIR/check_obs_overhead.py" BENCH_obs.json \
     && echo "observability overhead report written to BENCH_obs.json"
+  [ -f BENCH_robustness.json ] \
+    && python3 "$SCRIPT_DIR/check_robustness.py" BENCH_robustness.json \
+         --baseline "$SCRIPT_DIR/robustness_baseline.json" \
+    && echo "robustness leaderboard written to BENCH_robustness.json"
 else
   echo "python3 not found; skipping BENCH_kernels.json / BENCH_update_pipeline.json" >&2
 fi

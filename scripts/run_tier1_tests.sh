@@ -21,6 +21,11 @@
 #       After the suite, run bench/bench_obs and fail if the fully-traced
 #       m=50 d=100k round costs more than 3% over the untraced round
 #       (scripts/check_obs_overhead.py; report lands in BENCH_obs.json).
+#   --robustness
+#       After the suite, re-run the scenario-labeled tests standalone, then
+#       run the smoke robustness sweep (bench/bench_robustness, serial
+#       kernels, BENCH_robustness.json) and gate it against
+#       scripts/robustness_baseline.json via scripts/check_robustness.py.
 #   [build-dir]  override the build directory (default: build).
 set -eu
 
@@ -31,6 +36,7 @@ SANITIZE=""
 KERNEL_ARCH=""
 RUN_LINT=0
 RUN_OBS=0
+RUN_ROBUSTNESS=0
 BUILD_DIR=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -48,6 +54,8 @@ while [ $# -gt 0 ]; do
       RUN_LINT=1; shift ;;
     --obs)
       RUN_OBS=1; shift ;;
+    --robustness)
+      RUN_ROBUSTNESS=1; shift ;;
     -h|--help)
       sed -n '2,14p' "$0"; exit 0 ;;
     *)
@@ -106,4 +114,15 @@ if [ "$RUN_OBS" -eq 1 ]; then
   "$BUILD_DIR"/bench/bench_obs --benchmark_out=BENCH_obs.json \
                                --benchmark_out_format=json
   python3 "$SCRIPT_DIR/check_obs_overhead.py" BENCH_obs.json
+fi
+
+if [ "$RUN_ROBUSTNESS" -eq 1 ]; then
+  echo "== robustness smoke gate =="
+  # The scenario label is part of the main suite above; the standalone run
+  # keeps its timings visible when iterating on the sweep itself.
+  ctest --test-dir "$BUILD_DIR" -L scenario --output-on-failure
+  "$BUILD_DIR"/bench/bench_robustness --quiet --matrix smoke \
+      --kernel-arch serial --out BENCH_robustness.json
+  python3 "$SCRIPT_DIR/check_robustness.py" BENCH_robustness.json \
+      --baseline "$SCRIPT_DIR/robustness_baseline.json"
 fi

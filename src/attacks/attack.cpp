@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "attacks/covert.hpp"
+
 namespace fedguard::attacks {
 
 const char* to_string(AttackType type) noexcept {
@@ -15,25 +17,30 @@ const char* to_string(AttackType type) noexcept {
     case AttackType::LabelFlip: return "label_flip";
     case AttackType::Scaling: return "scaling";
     case AttackType::RandomUpdate: return "random_update";
+    case AttackType::Covert: return "covert";
+    case AttackType::KrumEvade: return "krum_evade";
   }
   return "unknown";
 }
 
 AttackType attack_type_from_string(const std::string& text) {
-  if (text == "none") return AttackType::None;
-  if (text == "same_value") return AttackType::SameValue;
-  if (text == "sign_flip") return AttackType::SignFlip;
-  if (text == "additive_noise") return AttackType::AdditiveNoise;
-  if (text == "label_flip") return AttackType::LabelFlip;
-  if (text == "scaling") return AttackType::Scaling;
-  if (text == "random_update") return AttackType::RandomUpdate;
-  throw std::invalid_argument{"unknown attack type: " + text};
+  for (const AttackType type : kAllAttackTypes) {
+    if (text == to_string(type)) return type;
+  }
+  std::string message = "unknown attack type: '" + text + "' (valid:";
+  for (const AttackType type : kAllAttackTypes) {
+    message += ' ';
+    message += to_string(type);
+  }
+  message += ')';
+  throw std::invalid_argument{message};
 }
 
 bool is_model_attack(AttackType type) noexcept {
   return type == AttackType::SameValue || type == AttackType::SignFlip ||
          type == AttackType::AdditiveNoise || type == AttackType::Scaling ||
-         type == AttackType::RandomUpdate;
+         type == AttackType::RandomUpdate || type == AttackType::Covert ||
+         type == AttackType::KrumEvade;
 }
 
 void SameValueAttack::apply(std::span<float> update, std::span<const float> /*global*/,
@@ -84,6 +91,11 @@ std::unique_ptr<ModelAttack> make_model_attack(AttackType type,
     case AttackType::RandomUpdate:
       return std::make_unique<RandomUpdateAttack>(options.noise_stddev,
                                                   options.collusion_seed);
+    case AttackType::Covert:
+      return std::make_unique<CovertPoisonAttack>(options.covert_stealth);
+    case AttackType::KrumEvade:
+      return std::make_unique<KrumEvadeAttack>(options.krum_evade_epsilon,
+                                               options.collusion_seed);
     default:
       return nullptr;
   }

@@ -10,6 +10,7 @@
 // The label-flipping data poisoning attack lives in label_flip.hpp as it
 // operates on the client's training data instead.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -28,6 +29,8 @@ namespace fedguard::attacks {
 ///    averaging; defeats plain FedAvg, caught by norm bounding.
 ///  - RandomUpdate: submit weights drawn from N(0, σ) — an unsophisticated
 ///    untargeted attack.
+///  - Covert / KrumEvade: adaptive attacks shaped to evade a known defense
+///    family (norm bounding / nearest-neighbour selection); see covert.hpp.
 enum class AttackType {
   None,
   SameValue,
@@ -36,11 +39,21 @@ enum class AttackType {
   LabelFlip,
   Scaling,
   RandomUpdate,
+  Covert,
+  KrumEvade,
+};
+
+/// Every AttackType, for exhaustive iteration (parse round-trip tests, the
+/// scenario sweep roster). Extend in lockstep with the enum.
+inline constexpr std::array<AttackType, 9> kAllAttackTypes{
+    AttackType::None,          AttackType::SameValue, AttackType::SignFlip,
+    AttackType::AdditiveNoise, AttackType::LabelFlip, AttackType::Scaling,
+    AttackType::RandomUpdate,  AttackType::Covert,    AttackType::KrumEvade,
 };
 
 [[nodiscard]] const char* to_string(AttackType type) noexcept;
-/// Parse "none" / "same_value" / "sign_flip" / "additive_noise" /
-/// "label_flip"; throws std::invalid_argument on unknown names.
+/// Parse the names produced by to_string ("none", "same_value", ...); throws
+/// std::invalid_argument enumerating every valid name on unknown input.
 [[nodiscard]] AttackType attack_type_from_string(const std::string& text);
 /// True for attacks applied to the uploaded parameter vector.
 [[nodiscard]] bool is_model_attack(AttackType type) noexcept;
@@ -123,6 +136,8 @@ struct ModelAttackOptions {
   float same_value_constant = 1.0f;  // paper: c = 1
   double noise_stddev = 1.0;         // additive noise / random update σ
   float scaling_boost = 10.0f;       // λ for the scaling attack
+  float covert_stealth = 1.0f;       // covert norm budget (× honest delta)
+  double krum_evade_epsilon = 0.05;  // colluding-cluster offset (× honest delta)
   std::uint64_t collusion_seed = 42;
 };
 

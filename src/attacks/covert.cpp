@@ -1,0 +1,54 @@
+#include "attacks/covert.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fedguard::attacks {
+
+namespace {
+
+double delta_norm(std::span<const float> update, std::span<const float> global) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    const double d = static_cast<double>(update[i]) - static_cast<double>(global[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+void CovertPoisonAttack::apply(std::span<float> update, std::span<const float> global,
+                               std::size_t /*round*/) const {
+  assert(update.size() == global.size());
+  // Reverse the honest descent direction, scaled to stealth × its own norm:
+  // ||ψ' - ψ0|| = stealth * ||ψ - ψ0||, so a norm gate tuned on benign
+  // uploads cannot separate the poisoned one.
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    update[i] = global[i] - stealth_ * (update[i] - global[i]);
+  }
+}
+
+void KrumEvadeAttack::apply(std::span<float> update, std::span<const float> global,
+                            std::size_t round) const {
+  assert(update.size() == global.size());
+  const double scale = epsilon_ * delta_norm(update, global);
+  // Same (collusion_seed, round) -> identical direction u across colluders;
+  // they differ only by their honest-delta norms along this one line, so the
+  // colluding cluster's diameter is ε·|Δnorm| — far below the benign SGD
+  // spread that Krum's nearest-neighbour sums are calibrated to.
+  util::Rng rng{collusion_seed_ ^ (0xbf58476d1ce4e5b9ULL * (round + 1))};
+  double direction_norm_sq = 0.0;
+  std::vector<float> direction(update.size());
+  for (auto& v : direction) {
+    v = static_cast<float>(rng.normal(0.0, 1.0));
+    direction_norm_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double direction_norm = std::sqrt(direction_norm_sq);
+  const double step = direction_norm > 0.0 ? scale / direction_norm : 0.0;
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    update[i] = global[i] + static_cast<float>(step * static_cast<double>(direction[i]));
+  }
+}
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,58 @@
+#pragma once
+// Adaptive / covert model-poisoning attacks (the adversary knows which
+// defense family is deployed and shapes its upload to slip past it).
+//
+//  - CovertPoisonAttack: norm-constrained covert model poisoning (Wei et al.
+//    2021, arXiv 2101.11799). The attacker ascends its own loss (negated
+//    honest delta) but projects the poisoned delta onto a ball of
+//    stealth * ||honest delta||, so magnitude-based defenses (norm
+//    thresholding, and the outlier side of trimmed statistics) see an
+//    inlier-sized update while the direction is maximally harmful.
+//  - KrumEvadeAttack: adaptive collusion against nearest-neighbour selectors
+//    (Fang et al. 2020 style). All colluders submit near-identical points a
+//    small shared offset away from the broadcast ψ0; the colluding cluster is
+//    tighter than the benign SGD spread, so Krum-family scores (sum of
+//    distances to nearest neighbours) crown a colluder and the global model
+//    stops learning.
+//
+// Both are registered AttackType values and appear on the scenario sweep
+// roster (src/scenario/matrix.cpp), giving the leaderboard its adaptive-
+// adversary columns.
+
+#include "attacks/attack.hpp"
+
+namespace fedguard::attacks {
+
+/// ψ = ψ0 - stealth * (ψ - ψ0): gradient ascent disguised inside the benign
+/// norm envelope. stealth in (0, 1] bounds ||ψ' - ψ0|| to stealth times the
+/// honest delta norm; 1 preserves it exactly (the strongest covert setting
+/// that still defeats norm thresholding).
+class CovertPoisonAttack final : public ModelAttack {
+ public:
+  explicit CovertPoisonAttack(float stealth = 1.0f) : stealth_{stealth} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "covert"; }
+
+ private:
+  float stealth_;
+};
+
+/// ψ = ψ0 + ε * ||ψ - ψ0|| * u, with u a shared unit direction per round
+/// (derived from the collusion seed, TM-5). Colluders differ only by their
+/// honest-delta norms along one line, so their pairwise distances are orders
+/// of magnitude below the benign spread.
+class KrumEvadeAttack final : public ModelAttack {
+ public:
+  KrumEvadeAttack(double epsilon, std::uint64_t collusion_seed)
+      : epsilon_{epsilon}, collusion_seed_{collusion_seed} {}
+  void apply(std::span<float> update, std::span<const float> global,
+             std::size_t round) const override;
+  [[nodiscard]] std::string name() const override { return "krum_evade"; }
+
+ private:
+  double epsilon_;
+  std::uint64_t collusion_seed_;
+};
+
+}  // namespace fedguard::attacks

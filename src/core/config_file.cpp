@@ -76,6 +76,10 @@ void apply_config_values(ExperimentConfig& config,
     else if (key == "auxiliary_samples") config.auxiliary_samples = to_size(value, key);
     else if (key == "image_size") config.image_size = to_size(value, key);
     else if (key == "dirichlet_alpha") config.dirichlet_alpha = to_double(value, key);
+    else if (key == "partition_scheme")
+      config.partition_scheme = data::partition_scheme_from_string(value);
+    else if (key == "partition_shards_per_client")
+      config.shards_per_client = to_size(value, key);
     else if (key == "num_clients") config.num_clients = to_size(value, key);
     else if (key == "clients_per_round") config.clients_per_round = to_size(value, key);
     else if (key == "rounds") config.rounds = to_size(value, key);
@@ -110,6 +114,10 @@ void apply_config_values(ExperimentConfig& config,
     else if (key == "noise_stddev") config.noise_stddev = to_double(value, key);
     else if (key == "scaling_boost")
       config.scaling_boost = static_cast<float>(to_double(value, key));
+    else if (key == "attack_covert_stealth")
+      config.covert_stealth = static_cast<float>(to_double(value, key));
+    else if (key == "attack_krum_evade_epsilon")
+      config.krum_evade_epsilon = to_double(value, key);
     else if (key == "strategy") config.strategy = strategy_kind_from_string(value);
     else if (key == "fedguard_total_samples")
       config.fedguard_total_samples = to_size(value, key);
@@ -135,6 +143,10 @@ void apply_config_values(ExperimentConfig& config,
       config.bulyan_byzantine_fraction = to_double(value, key);
     else if (key == "aux_audit_warmup_rounds")
       config.aux_audit_warmup_rounds = to_size(value, key);
+    else if (key == "fedcpa_top_fraction")
+      config.fedcpa_top_fraction = to_double(value, key);
+    else if (key == "fedcpa_keep_fraction")
+      config.fedcpa_keep_fraction = to_double(value, key);
     else if (key == "remote_accept_timeout_ms")
       config.remote_accept_timeout_ms = to_size(value, key);
     else if (key == "remote_round_timeout_ms")

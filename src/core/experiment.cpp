@@ -17,23 +17,22 @@ const char* to_string(StrategyKind kind) noexcept {
     case StrategyKind::AuxAudit: return "aux_audit";
     case StrategyKind::Spectral: return "spectral";
     case StrategyKind::FedGuard: return "fedguard";
+    case StrategyKind::FedCPA: return "fedcpa";
   }
   return "unknown";
 }
 
 StrategyKind strategy_kind_from_string(const std::string& text) {
-  if (text == "fedavg") return StrategyKind::FedAvg;
-  if (text == "geomed") return StrategyKind::GeoMed;
-  if (text == "krum") return StrategyKind::Krum;
-  if (text == "multi_krum") return StrategyKind::MultiKrum;
-  if (text == "median") return StrategyKind::Median;
-  if (text == "trimmed_mean") return StrategyKind::TrimmedMean;
-  if (text == "norm_threshold") return StrategyKind::NormThreshold;
-  if (text == "bulyan") return StrategyKind::Bulyan;
-  if (text == "aux_audit") return StrategyKind::AuxAudit;
-  if (text == "spectral") return StrategyKind::Spectral;
-  if (text == "fedguard") return StrategyKind::FedGuard;
-  throw std::invalid_argument{"unknown strategy: " + text};
+  for (const StrategyKind kind : kAllStrategyKinds) {
+    if (text == to_string(kind)) return kind;
+  }
+  std::string message = "unknown strategy: '" + text + "' (valid:";
+  for (const StrategyKind kind : kAllStrategyKinds) {
+    message += ' ';
+    message += to_string(kind);
+  }
+  message += ')';
+  throw std::invalid_argument{message};
 }
 
 ExperimentConfig ExperimentConfig::small_scale() {

@@ -9,11 +9,13 @@
 //                  R=50 rounds, Dirichlet(α=10), Table II classifier,
 //                  Table III CVAE, 5 local epochs, 30 CVAE epochs, t=100.
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "attacks/attack.hpp"
 #include "attacks/label_flip.hpp"
+#include "data/partition.hpp"
 #include "defenses/fedguard.hpp"
 #include "defenses/spectral.hpp"
 #include "fl/client.hpp"
@@ -39,6 +41,16 @@ enum class StrategyKind {
   AuxAudit,  // PDGAN-style auxiliary-dataset audit (idealized)
   Spectral,
   FedGuard,
+  FedCPA,  // critical parameter analysis (arXiv 2308.09318)
+};
+
+/// Every StrategyKind, for exhaustive iteration (parse round-trip tests, the
+/// scenario sweep roster). Extend in lockstep with the enum.
+inline constexpr std::array<StrategyKind, 12> kAllStrategyKinds{
+    StrategyKind::FedAvg,        StrategyKind::GeoMed,   StrategyKind::Krum,
+    StrategyKind::MultiKrum,     StrategyKind::Median,   StrategyKind::TrimmedMean,
+    StrategyKind::NormThreshold, StrategyKind::Bulyan,   StrategyKind::AuxAudit,
+    StrategyKind::Spectral,      StrategyKind::FedGuard, StrategyKind::FedCPA,
 };
 
 [[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
@@ -51,6 +63,10 @@ struct ExperimentConfig {
   std::size_t auxiliary_samples = 400;  // server-side public data (Spectral)
   std::size_t image_size = 28;
   double dirichlet_alpha = 10.0;  // paper: α = 10 (Hsu et al.)
+  // Heterogeneity regime for the client split (descriptor key
+  // partition_scheme); dirichlet_alpha doubles as the quantity-skew α.
+  data::PartitionScheme partition_scheme = data::PartitionScheme::Dirichlet;
+  std::size_t shards_per_client = 2;  // shard scheme only
 
   // ---- Federation ------------------------------------------------------------
   std::size_t num_clients = 24;        // paper: 100
@@ -73,6 +89,8 @@ struct ExperimentConfig {
   float same_value_constant = 1.0f;  // paper: c = 1
   double noise_stddev = 1.0;         // additive noise / random update scale
   float scaling_boost = 10.0f;       // λ for the scaling (model replacement) attack
+  float covert_stealth = 1.0f;       // covert attack norm budget (× honest delta)
+  double krum_evade_epsilon = 0.05;  // krum_evade collusion offset (× honest delta)
   std::vector<std::pair<int, int>> flip_pairs = attacks::default_flip_pairs();
 
   // ---- Defense strategy ----------------------------------------------------------
@@ -90,6 +108,8 @@ struct ExperimentConfig {
   double norm_threshold_multiplier = 1.0;
   double bulyan_byzantine_fraction = 0.2;
   std::size_t aux_audit_warmup_rounds = 0;  // PDGAN-style init phase length
+  double fedcpa_top_fraction = 0.05;   // FedCPA critical-coordinate fraction
+  double fedcpa_keep_fraction = 0.5;   // FedCPA kept-client fraction
   defenses::SpectralConfig spectral;
 
   // ---- Distributed federation (net::RemoteServer) ------------------------------

@@ -7,6 +7,7 @@
 #include "defenses/auxiliary_audit.hpp"
 #include "defenses/bulyan.hpp"
 #include "defenses/fedavg.hpp"
+#include "defenses/fedcpa.hpp"
 #include "defenses/geomed.hpp"
 #include "defenses/krum.hpp"
 #include "defenses/median.hpp"
@@ -46,6 +47,12 @@ std::unique_ptr<defenses::AggregationStrategy> make_strategy(const ExperimentCon
       return std::make_unique<defenses::SpectralAggregator>(
           config.spectral, config.arch, config.geometry(), auxiliary,
           config.seed ^ 0x5bec7ea1ULL);
+    case StrategyKind::FedCPA: {
+      defenses::FedCpaConfig cpa;
+      cpa.top_fraction = config.fedcpa_top_fraction;
+      cpa.keep_fraction = config.fedcpa_keep_fraction;
+      return std::make_unique<defenses::FedCpaAggregator>(cpa);
+    }
     case StrategyKind::FedGuard: {
       defenses::FedGuardConfig fg;
       fg.cvae_spec = config.cvae;
@@ -106,10 +113,15 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   fed.test_set = std::move(test_set);
   fed.auxiliary_set = std::move(auxiliary_set);
 
-  // Dirichlet(α) split of the training data across the population (Alg. 1
-  // line 10).
-  const data::Partition partition = data::dirichlet_partition(
-      fed.train_set, config.num_clients, config.dirichlet_alpha, config.seed ^ 0xd17ULL);
+  // Heterogeneity split of the training data across the population (Alg. 1
+  // line 10; Dirichlet(α) by default, descriptor key partition_scheme).
+  data::PartitionOptions partition_options;
+  partition_options.scheme = config.partition_scheme;
+  partition_options.num_clients = config.num_clients;
+  partition_options.alpha = config.dirichlet_alpha;
+  partition_options.shards_per_client = config.shards_per_client;
+  partition_options.seed = config.seed ^ 0xd17ULL;
+  const data::Partition partition = data::make_partition(fed.train_set, partition_options);
 
   // Corruption: a uniform subset of floor(fraction * N) clients.
   const std::vector<bool> malicious = attacks::make_malicious_mask(
@@ -120,6 +132,8 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   attack_options.same_value_constant = config.same_value_constant;
   attack_options.noise_stddev = config.noise_stddev;
   attack_options.scaling_boost = config.scaling_boost;
+  attack_options.covert_stealth = config.covert_stealth;
+  attack_options.krum_evade_epsilon = config.krum_evade_epsilon;
   attack_options.collusion_seed = config.seed ^ 0xc011ULL;
   fed.model_attack = attacks::make_model_attack(config.attack, attack_options);
 

@@ -6,6 +6,31 @@
 
 namespace fedguard::data {
 
+const char* to_string(PartitionScheme scheme) noexcept {
+  switch (scheme) {
+    case PartitionScheme::Iid: return "iid";
+    case PartitionScheme::Dirichlet: return "dirichlet";
+    case PartitionScheme::Shard: return "shard";
+    case PartitionScheme::QuantitySkew: return "quantity_skew";
+  }
+  return "unknown";
+}
+
+PartitionScheme partition_scheme_from_string(const std::string& text) {
+  constexpr PartitionScheme kAll[] = {PartitionScheme::Iid, PartitionScheme::Dirichlet,
+                                      PartitionScheme::Shard, PartitionScheme::QuantitySkew};
+  for (const PartitionScheme scheme : kAll) {
+    if (text == to_string(scheme)) return scheme;
+  }
+  std::string message = "unknown partition scheme: '" + text + "' (valid:";
+  for (const PartitionScheme scheme : kAll) {
+    message += ' ';
+    message += to_string(scheme);
+  }
+  message += ')';
+  throw std::invalid_argument{message};
+}
+
 Partition dirichlet_partition(const Dataset& dataset, std::size_t num_clients, double alpha,
                               std::uint64_t seed) {
   if (num_clients == 0) throw std::invalid_argument{"dirichlet_partition: no clients"};
@@ -112,6 +137,70 @@ Partition shard_partition(const Dataset& dataset, std::size_t num_clients,
   }
   for (auto& client : partition) rng.shuffle(client);
   return partition;
+}
+
+Partition quantity_skew_partition(std::size_t dataset_size, std::size_t num_clients,
+                                  double alpha, std::uint64_t seed) {
+  if (num_clients == 0) throw std::invalid_argument{"quantity_skew_partition: no clients"};
+  if (alpha <= 0.0) {
+    throw std::invalid_argument{"quantity_skew_partition: alpha must be > 0"};
+  }
+  if (dataset_size < num_clients) {
+    throw std::invalid_argument{"quantity_skew_partition: fewer samples than clients"};
+  }
+  util::Rng rng{seed};
+  std::vector<std::size_t> order(dataset_size);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  // Largest-remainder apportionment of dataset_size samples by Dir(α) shares.
+  const std::vector<double> proportions = rng.dirichlet(std::vector<double>(num_clients, alpha));
+  std::vector<std::size_t> counts(num_clients, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(num_clients);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    const double exact = proportions[c] * static_cast<double>(dataset_size);
+    counts[c] = static_cast<std::size_t>(exact);
+    remainders[c] = {exact - static_cast<double>(counts[c]), c};
+    assigned += counts[c];
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < dataset_size; ++k, ++assigned) {
+    ++counts[remainders[k % num_clients].second];
+  }
+  // Every client gets at least one sample: steal from the largest count.
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    if (counts[c] > 0) continue;
+    const auto largest = std::max_element(counts.begin(), counts.end());
+    --*largest;
+    ++counts[c];
+  }
+
+  Partition partition(num_clients);
+  std::size_t offset = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    partition[c].assign(order.begin() + static_cast<std::ptrdiff_t>(offset),
+                        order.begin() + static_cast<std::ptrdiff_t>(offset + counts[c]));
+    offset += counts[c];
+  }
+  return partition;
+}
+
+Partition make_partition(const Dataset& dataset, const PartitionOptions& options) {
+  switch (options.scheme) {
+    case PartitionScheme::Iid:
+      return iid_partition(dataset.size(), options.num_clients, options.seed);
+    case PartitionScheme::Dirichlet:
+      return dirichlet_partition(dataset, options.num_clients, options.alpha, options.seed);
+    case PartitionScheme::Shard:
+      return shard_partition(dataset, options.num_clients, options.shards_per_client,
+                             options.seed);
+    case PartitionScheme::QuantitySkew:
+      return quantity_skew_partition(dataset.size(), options.num_clients, options.alpha,
+                                     options.seed);
+  }
+  throw std::invalid_argument{"make_partition: unknown scheme"};
 }
 
 std::vector<std::vector<std::size_t>> partition_class_histogram(const Dataset& dataset,

@@ -4,6 +4,7 @@
 // simulate realistic non-IID federated data.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -13,6 +14,20 @@ namespace fedguard::data {
 
 /// One index list per client; indices refer into the source dataset.
 using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Named heterogeneity regimes selectable from experiment descriptors
+/// (partition_scheme) and the scenario sweep's data-regime axis.
+enum class PartitionScheme {
+  Iid,           // uniform shuffle-and-deal
+  Dirichlet,     // per-class Dir(α) label skew (the paper's default)
+  Shard,         // pathological few-classes-per-client shards
+  QuantitySkew,  // Dir(α) over per-client dataset SIZES, labels IID
+};
+
+[[nodiscard]] const char* to_string(PartitionScheme scheme) noexcept;
+/// Parse "iid" / "dirichlet" / "shard" / "quantity_skew"; throws
+/// std::invalid_argument enumerating the valid names on unknown input.
+[[nodiscard]] PartitionScheme partition_scheme_from_string(const std::string& text);
 
 /// Dirichlet partition (Hsu et al.): for each class, draw client proportions
 /// from Dir(alpha * 1_N) and split that class's samples accordingly. Larger
@@ -30,6 +45,29 @@ using Partition = std::vector<std::vector<std::size_t>>;
 /// client. Gives each client very few classes.
 [[nodiscard]] Partition shard_partition(const Dataset& dataset, std::size_t num_clients,
                                         std::size_t shards_per_client, std::uint64_t seed);
+
+/// Quantity skew (ByzFL's γ-similarity axis, Dirichlet flavor): client SIZES
+/// are drawn from Dir(alpha * 1_N) over a label-shuffled pool, so clients see
+/// an IID label mix but wildly unequal sample counts for small alpha. Every
+/// client gets at least one sample.
+[[nodiscard]] Partition quantity_skew_partition(std::size_t dataset_size,
+                                                std::size_t num_clients, double alpha,
+                                                std::uint64_t seed);
+
+/// Knobs for make_partition; each scheme reads the ones it needs.
+struct PartitionOptions {
+  PartitionScheme scheme = PartitionScheme::Dirichlet;
+  std::size_t num_clients = 1;
+  double alpha = 10.0;  // Dirichlet / quantity-skew concentration
+  std::size_t shards_per_client = 2;
+  std::uint64_t seed = 0;
+};
+
+/// Single dispatch point over the schemes above (the runner and the scenario
+/// sweep both go through here so a regime label means the same thing
+/// everywhere).
+[[nodiscard]] Partition make_partition(const Dataset& dataset,
+                                       const PartitionOptions& options);
 
 /// Per-client per-class sample counts (diagnostics / tests).
 [[nodiscard]] std::vector<std::vector<std::size_t>> partition_class_histogram(

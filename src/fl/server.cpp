@@ -32,6 +32,9 @@ Server::Server(ServerConfig config, std::vector<std::unique_ptr<Client>>& client
   download_bytes_total_ = registry.counter("fl_download_bytes_total");
   sampled_clients_total_ = registry.counter("fl_sampled_clients_total");
   stragglers_total_ = registry.counter("fl_stragglers_total");
+  sampled_malicious_total_ = registry.counter("fl_sampled_malicious_total");
+  rejected_malicious_total_ = registry.counter("fl_rejected_malicious_total");
+  rejected_benign_total_ = registry.counter("fl_rejected_benign_total");
   round_seconds_ = registry.histogram("fl_round_seconds");
   // Model initialization (Alg. 1 line 15): ψ0 from the eval classifier's init.
   global_parameters_ = eval_classifier_->parameters_flat();
@@ -130,6 +133,7 @@ RoundRecord Server::run_round(std::size_t round) {
   for (std::size_t k = 0; k < updates.count(); ++k) {
     if (updates.meta(k).truly_malicious) ++record.sampled_malicious;
   }
+  sampled_malicious_total_.add(record.sampled_malicious);
 
   // Traffic accounting (Table V). The ψ0 broadcast always travels fp32; the
   // ψ uploads are charged at their codec's wire size.
@@ -168,6 +172,8 @@ RoundRecord Server::run_round(std::size_t round) {
   record.rejected_clients = result_.rejected_clients.size();
   record.rejected_malicious = detection.true_positives;
   record.rejected_benign = detection.false_positives;
+  rejected_malicious_total_.add(detection.true_positives);
+  rejected_benign_total_.add(detection.false_positives);
 
   FEDGUARD_TRACE_SPAN("round", "eval");
   finalize();

@@ -101,6 +101,11 @@ class Server {
   obs::Counter download_bytes_total_;
   obs::Counter sampled_clients_total_;
   obs::Counter stragglers_total_;
+  // Detection tallies against ground truth: the scenario sweep derives
+  // attacker-ejection precision/recall from deltas of these three.
+  obs::Counter sampled_malicious_total_;
+  obs::Counter rejected_malicious_total_;
+  obs::Counter rejected_benign_total_;
   obs::Histogram round_seconds_;
 };
 

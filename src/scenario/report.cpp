@@ -1,0 +1,94 @@
+#include "scenario/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace fedguard::scenario {
+
+namespace {
+
+/// Fixed-precision float formatting — locale-independent and identical across
+/// runs, which std::ostream << double is not guaranteed to be.
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+void append_cell(std::string& out, const CellResult& cell) {
+  out += "    {\"cell\": \"" + cell.cell_id + "\",";
+  out += " \"attack\": \"" + cell.attack + "\",";
+  out += " \"malicious_pct\": " + std::to_string(cell.malicious_pct) + ",";
+  out += " \"defense\": \"" + cell.defense + "\",";
+  out += " \"regime\": \"" + cell.regime + "\",";
+  out += " \"seed\": " + std::to_string(cell.seed) + ",";
+  out += " \"rounds\": " + std::to_string(cell.rounds) + ",\n";
+  out += "     \"final_accuracy\": " + fmt(cell.final_accuracy) + ",";
+  out += " \"baseline_accuracy\": " + fmt(cell.baseline_accuracy) + ",";
+  out += " \"attack_success\": " + fmt(cell.attack_success) + ",\n";
+  out += "     \"sampled_malicious\": " + std::to_string(cell.sampled_malicious) + ",";
+  out += " \"rejected_malicious\": " + std::to_string(cell.rejected_malicious) + ",";
+  out += " \"rejected_benign\": " + std::to_string(cell.rejected_benign) + ",";
+  out += " \"ejection_precision\": " + fmt(cell.ejection_precision) + ",";
+  out += " \"ejection_recall\": " + fmt(cell.ejection_recall) + "}";
+}
+
+}  // namespace
+
+std::string to_json(const Leaderboard& board) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"fedguard-robustness-v1\",\n";
+  out += "  \"matrix\": \"" + board.matrix_name + "\",\n";
+  out += "  \"seed\": " + std::to_string(board.seed) + ",\n";
+  out += "  \"rounds\": " + std::to_string(board.rounds) + ",\n";
+  out += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < board.cells.size(); ++i) {
+    append_cell(out, board.cells[i]);
+    out += i + 1 < board.cells.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void write_json(const Leaderboard& board, const std::string& path) {
+  std::ofstream file{path, std::ios::binary | std::ios::trunc};
+  if (!file) throw std::runtime_error{"scenario: cannot open " + path};
+  file << to_json(board);
+  if (!file) throw std::runtime_error{"scenario: write failed for " + path};
+}
+
+void print_leaderboard(std::ostream& out, const Leaderboard& board) {
+  // Group by attack scenario; within each group rank defenses by accuracy.
+  std::map<std::string, std::vector<const CellResult*>> groups;
+  for (const CellResult& cell : board.cells) {
+    groups[cell.attack + "+" + std::to_string(cell.malicious_pct) + "/" + cell.regime]
+        .push_back(&cell);
+  }
+  out << "robustness leaderboard (matrix=" << board.matrix_name
+      << ", seed=" << board.seed << ")\n";
+  for (auto& [scenario_label, cells] : groups) {
+    std::sort(cells.begin(), cells.end(), [](const CellResult* a, const CellResult* b) {
+      if (a->final_accuracy != b->final_accuracy) {
+        return a->final_accuracy > b->final_accuracy;
+      }
+      return a->defense < b->defense;
+    });
+    out << "  " << scenario_label << "\n";
+    for (const CellResult* cell : cells) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "    %-14s acc %.4f  asr %.3f  eject P %.2f R %.2f",
+                    cell->defense.c_str(), cell->final_accuracy, cell->attack_success,
+                    cell->ejection_precision, cell->ejection_recall);
+      out << line << "\n";
+    }
+  }
+}
+
+}  // namespace fedguard::scenario

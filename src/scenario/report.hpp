@@ -1,0 +1,24 @@
+#pragma once
+// Deterministic leaderboard serialization. The JSON writer is the
+// reproducibility contract of the sweep: fixed field order, fixed "%.6f"
+// float formatting, cells pre-sorted by id — two runs of the same matrix
+// under serial kernels produce byte-identical files
+// (tests/test_scenario.cpp pins this).
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/runner.hpp"
+
+namespace fedguard::scenario {
+
+/// schema "fedguard-robustness-v1" (see docs/ROBUSTNESS_SWEEP.md).
+[[nodiscard]] std::string to_json(const Leaderboard& board);
+/// to_json + atomic-ish write (throws std::runtime_error on I/O failure).
+void write_json(const Leaderboard& board, const std::string& path);
+
+/// Human-readable summary: per attack × fraction × regime, the defenses
+/// ranked by final accuracy.
+void print_leaderboard(std::ostream& out, const Leaderboard& board);
+
+}  // namespace fedguard::scenario

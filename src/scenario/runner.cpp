@@ -1,0 +1,114 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace fedguard::scenario {
+
+namespace {
+
+struct DetectionSnapshot {
+  std::uint64_t sampled_malicious = 0;
+  std::uint64_t rejected_malicious = 0;
+  std::uint64_t rejected_benign = 0;
+};
+
+DetectionSnapshot snapshot_detection_counters() {
+  auto& registry = obs::Registry::global();
+  DetectionSnapshot snap;
+  snap.sampled_malicious = registry.counter_value("fl_sampled_malicious_total");
+  snap.rejected_malicious = registry.counter_value("fl_rejected_malicious_total");
+  snap.rejected_benign = registry.counter_value("fl_rejected_benign_total");
+  return snap;
+}
+
+}  // namespace
+
+const CellResult* Leaderboard::find(const std::string& cell_id) const {
+  for (const CellResult& cell : cells) {
+    if (cell.cell_id == cell_id) return &cell;
+  }
+  return nullptr;
+}
+
+CellResult run_cell(const SweepMatrix& matrix, const Cell& cell) {
+  const core::ExperimentConfig config = matrix.cell_config(cell);
+
+  const DetectionSnapshot before = snapshot_detection_counters();
+  const fl::RunHistory history = core::run_experiment(config);
+  const DetectionSnapshot after = snapshot_detection_counters();
+
+  CellResult result;
+  result.cell_id = cell.id();
+  result.attack = attacks::to_string(cell.attack);
+  result.malicious_pct =
+      static_cast<long long>(cell.malicious_fraction * 100.0 + 0.5);
+  result.defense = core::to_string(cell.defense);
+  result.regime = cell.regime.label();
+  result.seed = config.seed;
+  result.rounds = config.rounds;
+
+  const std::size_t window = std::max<std::size_t>(1, (config.rounds + 2) / 3);
+  result.final_accuracy = history.trailing_accuracy(window).mean;
+
+  result.sampled_malicious = after.sampled_malicious - before.sampled_malicious;
+  result.rejected_malicious = after.rejected_malicious - before.rejected_malicious;
+  result.rejected_benign = after.rejected_benign - before.rejected_benign;
+  const std::uint64_t rejected = result.rejected_malicious + result.rejected_benign;
+  result.ejection_precision =
+      rejected == 0 ? 1.0
+                    : static_cast<double>(result.rejected_malicious) /
+                          static_cast<double>(rejected);
+  result.ejection_recall =
+      result.sampled_malicious == 0
+          ? 1.0
+          : static_cast<double>(result.rejected_malicious) /
+                static_cast<double>(result.sampled_malicious);
+  return result;
+}
+
+Leaderboard run_sweep(const SweepMatrix& matrix, const std::string& matrix_name) {
+  Leaderboard board;
+  board.matrix_name = matrix_name;
+  board.seed = matrix.base.seed;
+  board.rounds = matrix.base.rounds;
+
+  const std::vector<Cell> cells = matrix.enumerate();
+  // Baseline accuracy per defense × regime comes from the None cells, which
+  // enumerate() guarantees are present.
+  std::map<std::string, double> baselines;
+  board.cells.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    CellResult result = run_cell(matrix, cell);
+    util::log_info("scenario: [%zu/%zu] %s acc %.4f (TP %llu FP %llu of %llu mal)",
+                   i + 1, cells.size(), result.cell_id.c_str(), result.final_accuracy,
+                   static_cast<unsigned long long>(result.rejected_malicious),
+                   static_cast<unsigned long long>(result.rejected_benign),
+                   static_cast<unsigned long long>(result.sampled_malicious));
+    if (cell.attack == attacks::AttackType::None) {
+      baselines[result.defense + "/" + result.regime] = result.final_accuracy;
+    }
+    board.cells.push_back(std::move(result));
+  }
+
+  for (CellResult& result : board.cells) {
+    const auto it = baselines.find(result.defense + "/" + result.regime);
+    if (it == baselines.end()) continue;
+    result.baseline_accuracy = it->second;
+    if (result.attack != "none" && it->second > 0.0) {
+      result.attack_success =
+          std::max(0.0, (it->second - result.final_accuracy) / it->second);
+    }
+  }
+
+  std::sort(board.cells.begin(), board.cells.end(),
+            [](const CellResult& a, const CellResult& b) { return a.cell_id < b.cell_id; });
+  return board;
+}
+
+}  // namespace fedguard::scenario

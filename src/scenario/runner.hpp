@@ -1,0 +1,60 @@
+#pragma once
+// Executes a SweepMatrix cell by cell: each cell is an independent seeded
+// short federation; accuracy comes from the run history and attacker-
+// ejection precision/recall from deltas of the fl_* detection counters in
+// the global obs registry (docs/OBSERVABILITY.md), so the leaderboard and
+// the metrics exposition can never disagree.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/matrix.hpp"
+
+namespace fedguard::scenario {
+
+/// One leaderboard row.
+struct CellResult {
+  std::string cell_id;
+  std::string attack;
+  long long malicious_pct = 0;
+  std::string defense;
+  std::string regime;
+  std::uint64_t seed = 0;  // the cell's derived experiment seed
+  std::size_t rounds = 0;
+
+  double final_accuracy = 0.0;     // trailing-window mean (last ⌈R/3⌉ rounds)
+  double baseline_accuracy = 0.0;  // the None cell of the same defense × regime
+  /// max(0, (baseline − final) / baseline): 0 = the defense fully held, 1 =
+  /// the attack drove accuracy to zero. 0 for baseline cells by construction.
+  double attack_success = 0.0;
+
+  // Detection tallies over the whole cell run (obs registry deltas).
+  std::uint64_t sampled_malicious = 0;
+  std::uint64_t rejected_malicious = 0;  // true positives
+  std::uint64_t rejected_benign = 0;     // false positives
+  /// TP / (TP + FP); vacuously 1 when nothing was rejected.
+  double ejection_precision = 1.0;
+  /// TP / sampled_malicious; vacuously 1 when no malicious client responded.
+  double ejection_recall = 1.0;
+};
+
+struct Leaderboard {
+  std::string matrix_name;  // "smoke" / "default" / "full" / "custom"
+  std::uint64_t seed = 0;   // the matrix seed every cell seed derives from
+  std::size_t rounds = 0;
+  std::vector<CellResult> cells;  // sorted by cell_id
+
+  /// Row lookup by cell id; nullptr when absent.
+  [[nodiscard]] const CellResult* find(const std::string& cell_id) const;
+};
+
+/// Run one cell (no baseline linkage: baseline_accuracy/attack_success stay 0).
+[[nodiscard]] CellResult run_cell(const SweepMatrix& matrix, const Cell& cell);
+
+/// Run every cell of the matrix and link attack success rates to the
+/// None-attack baselines. Logs one line per cell at info level.
+[[nodiscard]] Leaderboard run_sweep(const SweepMatrix& matrix,
+                                    const std::string& matrix_name);
+
+}  // namespace fedguard::scenario

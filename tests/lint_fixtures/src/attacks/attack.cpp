@@ -1,0 +1,17 @@
+// Fixture: AttackType -> string table feeding the sweep-roster rule.
+namespace fedguard::attacks {
+
+enum class AttackType { SigFlipOk, GhostAttack, BenchOnly };
+
+const char* to_string(AttackType type) {
+  switch (type) {
+    case AttackType::SigFlipOk: return "sig_flip_ok";  // in the roster: NOT flagged
+    case AttackType::GhostAttack: return "ghost_attack";
+    // ^ VIOLATION: mapped to a string but absent from the fixture rosters.
+    // fedguard-lint: allow(sweep-roster) bench-only fixture attack, deliberately unsweepable
+    case AttackType::BenchOnly: return "bench_only";
+  }
+  return "";
+}
+
+}  // namespace fedguard::attacks

@@ -1,0 +1,15 @@
+// Fixture: StrategyKind -> string table feeding the sweep-roster rule.
+namespace fedguard::core {
+
+enum class StrategyKind { FedavgOk, GhostDefense };
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::FedavgOk: return "fedavg_ok";  // in the roster: NOT flagged
+    case StrategyKind::GhostDefense: return "ghost_defense";
+    // ^ VIOLATION: mapped to a string but absent from the fixture rosters.
+  }
+  return "";
+}
+
+}  // namespace fedguard::core

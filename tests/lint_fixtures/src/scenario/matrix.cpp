@@ -1,0 +1,8 @@
+// Fixture: the sweep roster tables the sweep-roster rule resolves names
+// against. Only the *_ok names from the fixture enum tables appear here.
+namespace fedguard::scenario {
+
+constexpr const char* kAttackRoster[] = {"sig_flip_ok"};
+constexpr const char* kDefenseRoster[] = {"fedavg_ok"};
+
+}  // namespace fedguard::scenario

@@ -3,25 +3,43 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "attacks/covert.hpp"
 #include "attacks/label_flip.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace fedguard::attacks {
 namespace {
 
-TEST(AttackType, StringRoundTrip) {
-  for (const auto type : {AttackType::None, AttackType::SameValue, AttackType::SignFlip,
-                          AttackType::AdditiveNoise, AttackType::LabelFlip}) {
+TEST(AttackType, StringRoundTripCoversEveryType) {
+  for (const auto type : kAllAttackTypes) {
     EXPECT_EQ(attack_type_from_string(to_string(type)), type);
   }
   EXPECT_THROW((void)attack_type_from_string("nope"), std::invalid_argument);
+}
+
+TEST(AttackType, ParseErrorEnumeratesValidNames) {
+  try {
+    (void)attack_type_from_string("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("'nope'"), std::string::npos) << message;
+    // Every valid spelling must be listed, so the error is self-correcting.
+    for (const auto type : kAllAttackTypes) {
+      EXPECT_NE(message.find(to_string(type)), std::string::npos)
+          << "missing '" << to_string(type) << "' in: " << message;
+    }
+  }
 }
 
 TEST(AttackType, ModelVsDataClassification) {
   EXPECT_TRUE(is_model_attack(AttackType::SameValue));
   EXPECT_TRUE(is_model_attack(AttackType::SignFlip));
   EXPECT_TRUE(is_model_attack(AttackType::AdditiveNoise));
+  EXPECT_TRUE(is_model_attack(AttackType::Covert));
+  EXPECT_TRUE(is_model_attack(AttackType::KrumEvade));
   EXPECT_FALSE(is_model_attack(AttackType::LabelFlip));
   EXPECT_FALSE(is_model_attack(AttackType::None));
 }
@@ -96,6 +114,8 @@ TEST(MakeModelAttack, FactoryMapping) {
   EXPECT_NE(make_model_attack(AttackType::AdditiveNoise, options), nullptr);
   EXPECT_NE(make_model_attack(AttackType::Scaling, options), nullptr);
   EXPECT_NE(make_model_attack(AttackType::RandomUpdate, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::Covert, options), nullptr);
+  EXPECT_NE(make_model_attack(AttackType::KrumEvade, options), nullptr);
   EXPECT_EQ(make_model_attack(AttackType::None, options), nullptr);
   EXPECT_EQ(make_model_attack(AttackType::LabelFlip, options), nullptr);
 }
@@ -143,6 +163,87 @@ TEST(RandomUpdateAttack, NotCoordinatedAcrossSeeds) {
   attacker_a.apply(a, {}, 0);
   attacker_b.apply(b, {}, 0);
   EXPECT_NE(a, b);
+}
+
+TEST(CovertPoison, MirrorsDeltaThroughGlobal) {
+  const std::vector<float> global{1.0f, -2.0f, 0.5f};
+  std::vector<float> update{1.4f, -2.6f, 0.5f};  // deltas +0.4, -0.6, 0.0
+  CovertPoisonAttack attack{1.0f};
+  attack.apply(update, global, 0);
+  EXPECT_FLOAT_EQ(update[0], 0.6f);
+  EXPECT_FLOAT_EQ(update[1], -1.4f);
+  EXPECT_FLOAT_EQ(update[2], 0.5f);
+}
+
+TEST(CovertPoison, StealthOnePreservesDeltaNorm) {
+  // The evasion property: at stealth 1 the poisoned delta has exactly the
+  // honest delta's norm, so norm-threshold defenses see nothing.
+  util::Rng rng{8};
+  std::vector<float> global(128), update(128);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    global[i] = rng.uniform_float(-1.0f, 1.0f);
+    update[i] = global[i] + rng.uniform_float(-0.2f, 0.2f);
+  }
+  std::vector<float> delta_before(128);
+  for (std::size_t i = 0; i < global.size(); ++i) delta_before[i] = update[i] - global[i];
+  CovertPoisonAttack attack{1.0f};
+  attack.apply(update, global, 3);
+  std::vector<float> delta_after(128);
+  for (std::size_t i = 0; i < global.size(); ++i) delta_after[i] = update[i] - global[i];
+  EXPECT_NEAR(util::l2_norm(delta_after), util::l2_norm(delta_before), 1e-4);
+  // ...and points exactly the other way.
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    EXPECT_NEAR(delta_after[i], -delta_before[i], 1e-5);
+  }
+}
+
+TEST(CovertPoison, StealthScalesTheMirror) {
+  const std::vector<float> global{0.0f};
+  std::vector<float> update{1.0f};
+  CovertPoisonAttack attack{0.5f};
+  attack.apply(update, global, 0);
+  EXPECT_FLOAT_EQ(update[0], -0.5f);
+}
+
+TEST(KrumEvade, ColludersLandInTightClusterOnSharedRay) {
+  // Two colluders with very different honest updates end up on the same unit
+  // direction from the global model, separated only by epsilon times their
+  // delta-norm difference — far tighter than any benign pair.
+  util::Rng rng{21};
+  std::vector<float> global(256);
+  for (auto& v : global) v = rng.uniform_float(-1.0f, 1.0f);
+  std::vector<float> a(256), b(256);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    a[i] = global[i] + rng.uniform_float(-0.3f, 0.3f);
+    b[i] = global[i] + rng.uniform_float(-0.3f, 0.3f);
+  }
+  const double honest_gap = util::l2_distance(a, b);
+  const double epsilon = 0.05;
+  KrumEvadeAttack attacker_a{epsilon, /*collusion_seed=*/7};
+  KrumEvadeAttack attacker_b{epsilon, /*collusion_seed=*/7};
+  attacker_a.apply(a, global, 2);
+  attacker_b.apply(b, global, 2);
+  const double collusion_gap = util::l2_distance(a, b);
+  EXPECT_LT(collusion_gap, 0.05 * honest_gap);
+  // The cluster sits within epsilon-scaled reach of the global model.
+  double delta_norm = 0.0;
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(global[i]);
+    delta_norm += d * d;
+  }
+  EXPECT_LT(std::sqrt(delta_norm), 10.0 * epsilon);
+}
+
+TEST(KrumEvade, DirectionVariesAcrossRoundsAndSeeds) {
+  const std::vector<float> global(64, 0.0f);
+  std::vector<float> round2(64, 1.0f), round3(64, 1.0f), other_seed(64, 1.0f);
+  KrumEvadeAttack attack{0.1, 9};
+  attack.apply(round2, global, 2);
+  attack.apply(round3, global, 3);
+  KrumEvadeAttack rival{0.1, 10};
+  rival.apply(other_seed, global, 2);
+  EXPECT_NE(round2, round3);
+  EXPECT_NE(round2, other_seed);
 }
 
 TEST(MaliciousMask, ExactCount) {

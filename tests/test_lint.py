@@ -18,7 +18,9 @@ FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
 EXPECTED_FIXTURE_FINDINGS = {
     ("src/attacks/allowed.cpp", 16, "allow-justification"),
     ("src/attacks/allowed.cpp", 16, "rng"),  # a rejected allow suppresses nothing
+    ("src/attacks/attack.cpp", 9, "sweep-roster"),
     ("src/core/config_file.cpp", 10, "config-docs"),
+    ("src/core/experiment.cpp", 9, "sweep-roster"),
     ("src/defenses/bad_pointset_copy.cpp", 16, "no-pointset-copy"),
     ("src/defenses/bad_unordered.cpp", 12, "unordered-iteration"),
     ("src/defenses/bad_unordered.cpp", 15, "unordered-iteration"),
@@ -62,6 +64,9 @@ class FedguardLintGolden(unittest.TestCase):
         findings = parse_findings(result.stdout)
         self.assertNotIn(("src/attacks/allowed.cpp", 10, "stdout"), findings)
         self.assertNotIn(("src/attacks/allowed.cpp", 11, "rng"), findings)
+        # attack.cpp line 12 ("bench_only") sits under a justified
+        # allow(sweep-roster) on the line above it.
+        self.assertNotIn(("src/attacks/attack.cpp", 12, "sweep-roster"), findings)
 
     def test_repository_is_clean(self):
         result = run_lint("--root", str(REPO_ROOT))
@@ -74,7 +79,7 @@ class FedguardLintGolden(unittest.TestCase):
         for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
                      "test-timeout", "config-docs", "no-pointset-copy",
                      "no-raw-stopwatch", "span-category-docs",
-                     "no-raw-intrinsics"):
+                     "no-raw-intrinsics", "sweep-roster"):
             self.assertIn(rule, result.stdout)
 
 

@@ -9,6 +9,7 @@
 #include "data/synthetic_mnist.hpp"
 #include "defenses/auxiliary_audit.hpp"
 #include "defenses/bulyan.hpp"
+#include "defenses/fedcpa.hpp"
 #include "models/classifier.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -145,6 +146,78 @@ TEST(AuxAudit, EmptyAuxiliaryRejected) {
                                               models::ImageGeometry{}, data::Dataset{}, 0,
                                               1),
                std::invalid_argument);
+}
+
+TEST(FedCpaSimilarity, IdenticalCriticalSetsScoreOne) {
+  const std::vector<std::uint32_t> indices{1, 4, 7};
+  const std::vector<float> values{0.5f, -2.0f, 1.5f};
+  EXPECT_NEAR(FedCpaAggregator::critical_similarity(indices, values, indices, values),
+              1.0, 1e-9);
+}
+
+TEST(FedCpaSimilarity, DisjointSetsScoreZero) {
+  const std::vector<std::uint32_t> a{0, 1};
+  const std::vector<std::uint32_t> b{2, 3};
+  const std::vector<float> values{1.0f, 1.0f};
+  EXPECT_EQ(FedCpaAggregator::critical_similarity(a, values, b, values), 0.0);
+}
+
+TEST(FedCpaSimilarity, OppositeSignsClampToZero) {
+  // Same critical coordinates, mirrored values: raw cosine is -1, and the
+  // clamp keeps the score at 0 instead of rewarding anti-correlation.
+  const std::vector<std::uint32_t> indices{2, 5};
+  const std::vector<float> values{1.0f, 2.0f};
+  const std::vector<float> mirrored{-1.0f, -2.0f};
+  EXPECT_EQ(FedCpaAggregator::critical_similarity(indices, values, indices, mirrored),
+            0.0);
+}
+
+TEST(FedCpaSimilarity, PartialOverlapMatchesHandComputedCosine) {
+  // Intersection is index 1 only: dot = 4*4 = 16 over full-set norms 5 * 5.
+  const std::vector<std::uint32_t> a{0, 1};
+  const std::vector<float> values_a{3.0f, 4.0f};
+  const std::vector<std::uint32_t> b{1, 2};
+  const std::vector<float> values_b{4.0f, 3.0f};
+  EXPECT_NEAR(FedCpaAggregator::critical_similarity(a, values_a, b, values_b),
+              16.0 / 25.0, 1e-9);
+}
+
+TEST(FedCpaSimilarity, ZeroNormOrEmptySetScoresZero) {
+  const std::vector<std::uint32_t> indices{0, 1};
+  const std::vector<float> zeros{0.0f, 0.0f};
+  const std::vector<float> values{1.0f, 1.0f};
+  EXPECT_EQ(FedCpaAggregator::critical_similarity(indices, zeros, indices, values), 0.0);
+  EXPECT_EQ(FedCpaAggregator::critical_similarity({}, {}, indices, values), 0.0);
+}
+
+TEST(FedCpa, MedianGateRejectsAColludingMinorityClique) {
+  // 10 benign clients move ~+1 per coordinate with jitter; 4 colluders submit
+  // the *identical* poisoned vector. Their mutual pairwise similarity is 1 —
+  // a pure popularity score would crown them — but they cannot move the
+  // coordinate-wise median while a minority, so the consensus gate zeroes
+  // their score and keep_fraction=0.5 drops all four.
+  util::Rng rng{431};
+  std::vector<ClientUpdate> updates;
+  for (int k = 0; k < 10; ++k) {
+    std::vector<float> psi(16);
+    for (auto& v : psi) v = 1.0f + rng.uniform_float(-0.2f, 0.2f);
+    updates.push_back(make_update(k, std::move(psi)));
+  }
+  for (int k = 10; k < 14; ++k) {
+    updates.push_back(make_update(k, std::vector<float>(16, -2.0f), true));
+  }
+  FedCpaAggregator fedcpa{FedCpaConfig{0.5, 0.5}};
+  const std::vector<float> global(16, 0.0f);
+  const auto result = fedcpa.aggregate(zero_context(global), updates);
+  EXPECT_EQ(result.accepted_clients.size(), 7u);
+  for (const int rejected_required : {10, 11, 12, 13}) {
+    EXPECT_TRUE(std::find(result.rejected_clients.begin(),
+                          result.rejected_clients.end(),
+                          rejected_required) != result.rejected_clients.end())
+        << "colluder " << rejected_required << " was accepted";
+  }
+  // The aggregate tracks the benign direction, not the clique's.
+  for (const float v : result.parameters) EXPECT_GT(v, 0.5f);
 }
 
 }  // namespace

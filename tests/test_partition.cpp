@@ -113,6 +113,91 @@ TEST(ShardPartition, TooManyShardsThrows) {
   EXPECT_THROW((void)shard_partition(dataset, 10, 5, 20), std::invalid_argument);
 }
 
+TEST(QuantitySkewPartition, ExactCoverAndEveryoneFed) {
+  const Partition partition = quantity_skew_partition(500, 20, 0.1, 23);
+  EXPECT_EQ(partition.size(), 20u);
+  EXPECT_TRUE(is_exact_cover(partition, 500));
+  for (const auto& client : partition) EXPECT_GE(client.size(), 1u);
+}
+
+TEST(QuantitySkewPartition, LowAlphaSkewsSizesHighAlphaBalances) {
+  auto size_spread = [](double alpha) {
+    const Partition p = quantity_skew_partition(2000, 10, alpha, 24);
+    std::size_t largest = 0, smallest = 2000;
+    for (const auto& client : p) {
+      largest = std::max(largest, client.size());
+      smallest = std::min(smallest, client.size());
+    }
+    return static_cast<double>(largest) /
+           static_cast<double>(std::max<std::size_t>(1, smallest));
+  };
+  EXPECT_LT(size_spread(100.0), size_spread(0.1));
+}
+
+TEST(QuantitySkewPartition, LabelsStayIidUnderSkew) {
+  // Sizes skew but each client draws from a label-shuffled pool, so a large
+  // client's label mix tracks the dataset's (unlike the Dirichlet scheme,
+  // which skews the labels themselves).
+  const Dataset dataset = generate_synthetic_mnist(2000, 25);
+  const Partition partition =
+      quantity_skew_partition(dataset.size(), 10, 0.5, 26);
+  const auto global = dataset.class_histogram();
+  const auto histogram = partition_class_histogram(dataset, partition);
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    if (partition[c].size() < 400) continue;  // small clients are too noisy
+    for (std::size_t label = 0; label < 10; ++label) {
+      const double global_share =
+          static_cast<double>(global[label]) / static_cast<double>(dataset.size());
+      const double client_share = static_cast<double>(histogram[c][label]) /
+                                  static_cast<double>(partition[c].size());
+      EXPECT_NEAR(client_share, global_share, 0.08);
+    }
+  }
+}
+
+TEST(QuantitySkewPartition, DeterministicForSeedAndInvalidArgsThrow) {
+  EXPECT_EQ(quantity_skew_partition(300, 8, 1.0, 27),
+            quantity_skew_partition(300, 8, 1.0, 27));
+  EXPECT_NE(quantity_skew_partition(300, 8, 1.0, 27),
+            quantity_skew_partition(300, 8, 1.0, 28));
+  EXPECT_THROW((void)quantity_skew_partition(300, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)quantity_skew_partition(300, 8, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)quantity_skew_partition(5, 8, 1.0, 1), std::invalid_argument);
+}
+
+TEST(PartitionScheme_, NamesRoundTripAndParseErrorEnumerates) {
+  for (const PartitionScheme scheme :
+       {PartitionScheme::Iid, PartitionScheme::Dirichlet, PartitionScheme::Shard,
+        PartitionScheme::QuantitySkew}) {
+    EXPECT_EQ(partition_scheme_from_string(to_string(scheme)), scheme);
+  }
+  try {
+    (void)partition_scheme_from_string("orbital");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    for (const char* name : {"iid", "dirichlet", "shard", "quantity_skew"}) {
+      EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(MakePartition, DispatchesToTheNamedScheme) {
+  const Dataset dataset = generate_synthetic_mnist(400, 29);
+  PartitionOptions options;
+  options.num_clients = 8;
+  options.seed = 30;
+  options.scheme = PartitionScheme::QuantitySkew;
+  options.alpha = 0.5;
+  EXPECT_EQ(make_partition(dataset, options),
+            quantity_skew_partition(dataset.size(), 8, 0.5, 30));
+  options.scheme = PartitionScheme::Iid;
+  EXPECT_EQ(make_partition(dataset, options), iid_partition(dataset.size(), 8, 30));
+  options.scheme = PartitionScheme::Shard;
+  options.shards_per_client = 2;
+  EXPECT_EQ(make_partition(dataset, options), shard_partition(dataset, 8, 2, 30));
+}
+
 TEST(PartitionHistogram, CountsMatchLabels) {
   const Dataset dataset = generate_synthetic_mnist(100, 21);
   const Partition partition = iid_partition(dataset.size(), 4, 22);
