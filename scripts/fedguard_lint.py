@@ -51,6 +51,30 @@ sweep-roster         Every attack name produced by the AttackType → string
                      must appear in the sweep rosters in
                      src/scenario/matrix.cpp — a new attack or defense cannot
                      silently stay off the robustness leaderboard.
+layering             The #include graph over src/ must respect the
+                     architecture layer DAG (util -> parallel -> tensor ->
+                     data/nn -> models -> attacks/defenses -> fl -> net ->
+                     core -> scenario, with obs includable from every layer
+                     above util) and contain no file-level include cycles.
+                     A back-edge (e.g. tensor -> defenses) would silently
+                     erode the layering that keeps the serial-kernel
+                     determinism oracle auditable.
+no-unannotated-mutex Every mutex member in src/ must be a util::Mutex /
+                     util::SharedMutex (std::mutex carries no capability
+                     attributes, so clang's thread-safety analysis cannot see
+                     it) and must be named by at least one FEDGUARD_*
+                     annotation (GUARDED_BY / PT_GUARDED_BY / REQUIRES /
+                     ACQUIRE / EXCLUDES) in the same file — a lock nothing
+                     declares a contract against protects nothing.
+                     src/util/thread_annotations.hpp is the one exempt
+                     location (it implements the wrappers).
+no-const-cast-mutex  No const_cast on a mutex. A mutex locked from a const
+                     method is synchronization state, not logical state:
+                     declare it mutable.
+lock-discipline      No raw .lock()/.unlock() calls in src/ outside the RAII
+                     guards in src/util/thread_annotations.hpp. Manual
+                     lock/unlock pairs leak on early return and exceptions
+                     and are invisible to scoped-capability analysis.
 
 Allowlist
 ---------
@@ -92,6 +116,10 @@ RULES = {
     "span-category-docs": "trace span category missing from docs/OBSERVABILITY.md",
     "no-raw-intrinsics": "raw SIMD intrinsics outside src/tensor/kernels/",
     "sweep-roster": "attack/strategy name missing from the scenario sweep roster",
+    "layering": "include crosses the architecture layer DAG backwards (or cycles)",
+    "no-unannotated-mutex": "mutex member with no FEDGUARD_* annotation naming it",
+    "no-const-cast-mutex": "const_cast on a mutex (declare it mutable instead)",
+    "lock-discipline": "raw .lock()/.unlock() outside the RAII guards",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -151,6 +179,43 @@ SWEEP_CASE_SOURCES = (
      re.compile(r'case\s+StrategyKind::\w+\s*:\s*\n?\s*return\s*"([a-z0-9_]+)"')),
 )
 SWEEP_ROSTER_FILE = "src/scenario/matrix.cpp"
+
+# ---- Architecture layering (rule: layering) ---------------------------------
+# Rank order of the enforced layer DAG over src/. A file may include only its
+# own directory, strictly lower ranks, and `obs` (the observability layer is
+# includable from everywhere above util — it must stay reachable from any
+# layer without creating an edge the DAG doesn't already have). `obs` itself
+# may reach only util. Derived from the dependency structure the tree has
+# maintained since the seed; see docs/STATIC_ANALYSIS.md for the diagram.
+LAYER_RANK = {
+    "util": 0,
+    "parallel": 1,
+    "tensor": 2,
+    "data": 3,
+    "nn": 3,
+    "models": 4,
+    "attacks": 5,
+    "defenses": 5,
+    "fl": 6,
+    "net": 7,
+    "core": 8,
+    "scenario": 9,
+}
+OBS_LAYER = "obs"
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+# ---- Lock discipline (rules: no-unannotated-mutex, no-const-cast-mutex,
+#      lock-discipline) -------------------------------------------------------
+# The annotated wrappers (and their raw std::mutex internals) live here; the
+# mutex rules exempt this one file.
+THREAD_ANNOTATIONS_FILE = "src/util/thread_annotations.hpp"
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(std::mutex|std::shared_mutex|(?:util::)?(?:Mutex|SharedMutex))"
+    r"\s+(\w+)\s*;")
+CONST_CAST_MUTEX_RE = re.compile(r"const_cast\s*<[^<>;]*[Mm]utex[^<>;]*>")
+RAW_LOCK_RE = re.compile(r"(?:\.|->)\s*(lock|unlock)\s*\(")
 
 
 class Violation:
@@ -311,6 +376,23 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                     "src/tensor/kernels/; go through the tensor::kernels dispatch "
                     "table so the cpuid gate stays the single point of ISA selection"))
 
+        if relpath.startswith("src/") and relpath != THREAD_ANNOTATIONS_FILE:
+            match = CONST_CAST_MUTEX_RE.search(line)
+            if match and not allowed(allows, idx, "no-const-cast-mutex"):
+                violations.append(Violation(
+                    relpath, idx, "no-const-cast-mutex",
+                    f"'{match.group(0).strip()}' casts constness off a mutex; a "
+                    "lock taken from a const method is synchronization state — "
+                    "declare the mutex mutable"))
+
+            match = RAW_LOCK_RE.search(line)
+            if match and not allowed(allows, idx, "lock-discipline"):
+                violations.append(Violation(
+                    relpath, idx, "lock-discipline",
+                    f"raw .{match.group(1)}() call; manual lock/unlock leaks on "
+                    "early return and is invisible to scoped-capability "
+                    "analysis — use util::MutexLock (or another RAII guard)"))
+
         if any(relpath.startswith(d + "/") for d in STOPWATCH_SCOPE_DIRS):
             match = STOPWATCH_RE.search(line)
             if match and not allowed(allows, idx, "no-raw-stopwatch"):
@@ -338,6 +420,123 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                     hit + "; bucket order is implementation-defined — use std::map, "
                     "std::vector, or sort the keys first"))
 
+    # Mutex members must be analyzable: util::Mutex (std::mutex carries no
+    # capability attributes) and named by at least one FEDGUARD_* annotation
+    # in this file, so every lock has a declared contract.
+    if relpath.startswith("src/") and relpath != THREAD_ANNOTATIONS_FILE:
+        stripped_text = "\n".join(code_lines)
+        for idx, line in enumerate(code_lines, start=1):
+            decl = MUTEX_DECL_RE.match(line)
+            if decl is None or allowed(allows, idx, "no-unannotated-mutex"):
+                continue
+            mutex_type, name = decl.group(1), decl.group(2)
+            if mutex_type.startswith("std::"):
+                violations.append(Violation(
+                    relpath, idx, "no-unannotated-mutex",
+                    f"'{mutex_type} {name}' is invisible to clang thread-safety "
+                    "analysis; declare it util::Mutex / util::SharedMutex "
+                    "(src/util/thread_annotations.hpp) and annotate what it "
+                    "guards"))
+            elif not re.search(
+                    rf"FEDGUARD_[A-Z_]+\s*\([^)]*\b{re.escape(name)}\b",
+                    stripped_text):
+                violations.append(Violation(
+                    relpath, idx, "no-unannotated-mutex",
+                    f"no FEDGUARD_* annotation names '{name}' in this file; a "
+                    "lock nothing declares a contract against protects nothing "
+                    "(add FEDGUARD_GUARDED_BY/REQUIRES uses, or allow() with "
+                    "the reason the guarded resource cannot be named)"))
+
+    return violations
+
+
+def layer_of(relpath: str) -> str | None:
+    """src/<layer>/... -> <layer>; None for files outside a known layer."""
+    parts = relpath.split("/")
+    if len(parts) < 3 or parts[0] != "src":
+        return None
+    if parts[1] in LAYER_RANK or parts[1] == OBS_LAYER:
+        return parts[1]
+    return None
+
+
+def check_layering(root: Path) -> list[Violation]:
+    """Architecture DAG over the #include graph of src/ (rule: layering).
+
+    Two passes: (1) every quoted include must stay within the including
+    file's own layer, a strictly lower-ranked layer, or obs (obs itself may
+    reach only util); (2) the file-level include graph must be acyclic — a
+    cycle is a layering failure even when every edge individually points
+    down, and the offending chain is printed."""
+    violations: list[Violation] = []
+    sources: dict[str, list[str]] = {}  # relpath -> raw lines
+    for path, relpath in iter_source_files(root):
+        if layer_of(relpath) is not None:
+            sources[relpath] = path.read_text(
+                encoding="utf-8", errors="replace").splitlines()
+
+    # Pass 1: directory-level DAG.
+    edges: dict[str, list[tuple[int, str]]] = {}  # relpath -> [(line, include)]
+    for relpath in sorted(sources):
+        lines = sources[relpath]
+        allows, _ = parse_allows(lines, relpath)  # allow problems reported once
+        from_layer = layer_of(relpath)
+        edges[relpath] = []
+        for idx, line in enumerate(lines, start=1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            include = match.group(1)
+            edges[relpath].append((idx, include))
+            to_layer = include.split("/", 1)[0]
+            if to_layer not in LAYER_RANK and to_layer != OBS_LAYER:
+                continue  # relative or third-party include; not a layer edge
+            if to_layer == from_layer:
+                continue
+            if to_layer == OBS_LAYER:
+                if from_layer != "util":
+                    continue  # obs is includable from every layer above util
+            elif from_layer == OBS_LAYER:
+                if to_layer == "util":
+                    continue  # obs sits directly above util
+            elif LAYER_RANK[to_layer] < LAYER_RANK[from_layer]:
+                continue
+            if allowed(allows, idx, "layering"):
+                continue
+            violations.append(Violation(
+                relpath, idx, "layering",
+                f'#include "{include}" is a back-edge: layer \'{from_layer}\' '
+                f"must not depend on '{to_layer}' (enforced DAG: "
+                "util -> parallel -> tensor -> data/nn -> models -> "
+                "attacks/defenses -> fl -> net -> core -> scenario; obs "
+                "reachable from every layer above util)"))
+
+    # Pass 2: file-level cycles, over includes that resolve inside src/.
+    graph: dict[str, list[tuple[int, str]]] = {}
+    for relpath, incs in edges.items():
+        graph[relpath] = [(idx, "src/" + inc) for idx, inc in incs
+                          if "src/" + inc in sources]
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(graph, WHITE)
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        color[node] = GREY
+        stack.append(node)
+        for idx, target in graph[node]:
+            if color[target] == GREY:
+                chain = stack[stack.index(target):] + [target]
+                violations.append(Violation(
+                    node, idx, "layering",
+                    "include cycle: " + " -> ".join(chain)))
+            elif color[target] == WHITE:
+                visit(target)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            visit(node)
     return violations
 
 
@@ -492,6 +691,7 @@ def run(root: Path, verbose: bool = False) -> list[Violation]:
     violations.extend(check_config_docs(root))
     violations.extend(check_span_categories(root))
     violations.extend(check_sweep_roster(root))
+    violations.extend(check_layering(root))
     if verbose:
         print(f"fedguard-lint: scanned {count} source files under {root}", file=sys.stderr)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# The whole-repo static-analysis gate (docs/STATIC_ANALYSIS.md), three layers:
+# The whole-repo static-analysis gate (docs/STATIC_ANALYSIS.md), four layers:
 #
 #   1. clang-tidy over src/, tests/, bench/, examples/ using the curated
 #      .clang-tidy profile and build/compile_commands.json. Skipped with a
@@ -7,12 +7,20 @@
 #      gcc); the lint and sanitizer layers still gate the tree.
 #   2. scripts/fedguard_lint.py — repo-specific invariants (rng funnel, no
 #      unordered iteration in aggregation paths, logging discipline, no naked
-#      new/delete, mandatory test TIMEOUTs, documented config keys).
+#      new/delete, mandatory test TIMEOUTs, documented config keys, the
+#      architecture layer DAG, and the mutex-annotation rules).
 #   3. Sanitizer matrix: full ctest under -DFEDGUARD_SANITIZE=address,undefined
 #      (FEDGUARD_ASSERTS defaults ON there, arming FEDGUARD_CHECK /
 #      FEDGUARD_CHECK_FINITE at the aggregator and kernel boundaries).
+#   4. clang Thread Safety Analysis: src/ compiled with clang++ and
+#      -DFEDGUARD_THREAD_SAFETY=ON (-Wthread-safety as errors), checking the
+#      FEDGUARD_* lock annotations in src/util/thread_annotations.hpp.
+#      Skipped with a warning when clang++ is not installed.
 #
 # Usage: scripts/run_static_analysis.sh [--skip-sanitizers] [--tidy-jobs N]
+#                                       [--strict]
+#   --strict  a missing clang toolchain (layer 1 / layer 4) fails the gate
+#             instead of warn-skipping — for CI images that must have it.
 # Exits non-zero on any surviving finding.
 set -eu
 
@@ -21,12 +29,14 @@ REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 cd "$REPO_ROOT"
 
 SKIP_SANITIZERS=0
+STRICT=0
 TIDY_JOBS="$(nproc)"
 while [ $# -gt 0 ]; do
   case "$1" in
     --skip-sanitizers) SKIP_SANITIZERS=1; shift ;;
+    --strict) STRICT=1; shift ;;
     --tidy-jobs) TIDY_JOBS="$2"; shift 2 ;;
-    -h|--help) sed -n '2,17p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,25p' "$0"; exit 0 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -51,6 +61,9 @@ if command -v clang-tidy >/dev/null 2>&1; then
       clang-tidy -p build --quiet "$source" || FAILED=1
     done
   fi
+elif [ "$STRICT" -eq 1 ]; then
+  echo "ERROR: clang-tidy not found on PATH and --strict is set." >&2
+  FAILED=1
 else
   echo "WARNING: clang-tidy not found on PATH; skipping layer 1." >&2
   echo "         Install clang-tidy (or run in an image that has it) for full coverage." >&2
@@ -66,6 +79,33 @@ if [ "$SKIP_SANITIZERS" -eq 1 ]; then
 else
   echo "== layer 3: ASan+UBSan full suite (FEDGUARD_ASSERTS on) =="
   "$SCRIPT_DIR/run_tier1_tests.sh" --sanitize address,undefined || FAILED=1
+fi
+
+# ---- Layer 4: clang thread-safety analysis ----------------------------------
+echo "== layer 4: clang thread-safety analysis =="
+if command -v clang++ >/dev/null 2>&1; then
+  # Dedicated build dir: the tree is compiled with clang++ and every
+  # -Wthread-safety diagnostic promoted to an error. Library targets only —
+  # the annotations live in src/, and this keeps the layer independent of
+  # GTest/benchmark being visible to clang.
+  if cmake -B build-tsa -S "$REPO_ROOT" \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DFEDGUARD_THREAD_SAFETY=ON \
+        -DFEDGUARD_BUILD_TESTS=OFF \
+        -DFEDGUARD_BUILD_BENCH=OFF \
+        -DFEDGUARD_BUILD_EXAMPLES=OFF \
+     && cmake --build build-tsa -j "$(nproc)"; then
+    echo "thread-safety analysis: clean"
+  else
+    FAILED=1
+  fi
+elif [ "$STRICT" -eq 1 ]; then
+  echo "ERROR: clang++ not found on PATH and --strict is set." >&2
+  FAILED=1
+else
+  echo "WARNING: clang++ not found on PATH; skipping layer 4 (thread-safety)." >&2
+  echo "         The FEDGUARD_* annotations compile to no-ops under gcc; run" >&2
+  echo "         this layer on a clang-equipped machine (see docs/STATIC_ANALYSIS.md)." >&2
 fi
 
 if [ "$FAILED" -ne 0 ]; then

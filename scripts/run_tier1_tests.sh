@@ -11,6 +11,11 @@
 #   --lint
 #       Run scripts/fedguard_lint.py over the repo before building; any
 #       violation fails the run.
+#   --thread-safety
+#       Before the suite, compile src/ with clang++ under
+#       -DFEDGUARD_THREAD_SAFETY=ON (clang Thread Safety Analysis as errors;
+#       layer 4 of the static-analysis gate). Warn-skips when clang++ is not
+#       installed — use scripts/run_static_analysis.sh --strict in CI.
 #   --kernel-arch serial|avx2|avx512|auto
 #       Export FEDGUARD_KERNEL_ARCH for the ctest run so the whole suite
 #       executes under that SIMD kernel tier (the matrix leg of the dispatch
@@ -35,6 +40,7 @@ REPO_ROOT="$(dirname "$SCRIPT_DIR")"
 SANITIZE=""
 KERNEL_ARCH=""
 RUN_LINT=0
+RUN_THREAD_SAFETY=0
 RUN_OBS=0
 RUN_ROBUSTNESS=0
 BUILD_DIR=""
@@ -52,12 +58,14 @@ while [ $# -gt 0 ]; do
       KERNEL_ARCH="${1#--kernel-arch=}"; shift ;;
     --lint)
       RUN_LINT=1; shift ;;
+    --thread-safety)
+      RUN_THREAD_SAFETY=1; shift ;;
     --obs)
       RUN_OBS=1; shift ;;
     --robustness)
       RUN_ROBUSTNESS=1; shift ;;
     -h|--help)
-      sed -n '2,14p' "$0"; exit 0 ;;
+      sed -n '2,34p' "$0"; exit 0 ;;
     *)
       BUILD_DIR="$1"; shift ;;
   esac
@@ -90,6 +98,22 @@ if [ "$RUN_LINT" -eq 1 ]; then
   python3 "$SCRIPT_DIR/fedguard_lint.py" --root "$REPO_ROOT"
 fi
 
+if [ "$RUN_THREAD_SAFETY" -eq 1 ]; then
+  echo "== clang thread-safety analysis =="
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S "$REPO_ROOT" \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DFEDGUARD_THREAD_SAFETY=ON \
+      -DFEDGUARD_BUILD_TESTS=OFF \
+      -DFEDGUARD_BUILD_BENCH=OFF \
+      -DFEDGUARD_BUILD_EXAMPLES=OFF
+    cmake --build build-tsa -j
+  else
+    echo "WARNING: clang++ not found; skipping thread-safety analysis (the" >&2
+    echo "         FEDGUARD_* annotations compile to no-ops under gcc)." >&2
+  fi
+fi
+
 CMAKE_ARGS=()
 if [ -n "$SANITIZE" ]; then
   CMAKE_ARGS+=("-DFEDGUARD_SANITIZE=$SANITIZE")
@@ -108,6 +132,20 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # Belt and braces: confirm the net label resolves to its three suites even if
 # someone filters the main run.
 ctest --test-dir "$BUILD_DIR" -L net -N
+
+if [ "$SANITIZE" = "thread" ]; then
+  # The TSan leg is only worth its cost if it covers the genuinely concurrent
+  # paths: the end-to-end scenario sweep and the obs tracing/metrics suite.
+  # `ctest -N` exits 0 even when a filter matches nothing, so assert a
+  # non-zero match count explicitly. (tests/CMakeLists.txt scales every
+  # TIMEOUT 4x under this preset — TSan's happens-before bookkeeping is the
+  # costliest instrumentation in the matrix.)
+  echo "== tsan leg coverage check: scenario label + test_obs =="
+  ctest --test-dir "$BUILD_DIR" -L scenario -N | grep -q 'Total Tests: [1-9]' || {
+    echo "ERROR: TSan leg resolves no scenario-labeled tests" >&2; exit 1; }
+  ctest --test-dir "$BUILD_DIR" -R '^test_obs$' -N | grep -q 'Total Tests: [1-9]' || {
+    echo "ERROR: TSan leg does not include test_obs" >&2; exit 1; }
+fi
 
 if [ "$RUN_OBS" -eq 1 ]; then
   echo "== observability overhead gate =="

@@ -90,7 +90,10 @@ class FaultInjector {
   [[nodiscard]] util::Rng stream(std::uint64_t tag, std::uint64_t a,
                                  std::uint64_t b) const noexcept;
 
-  FaultPlan plan_;
+  FaultPlan plan_;  // immutable after construction; decide() is pure
+  // Deliberately lock-free (layer 4 of the static-analysis gate audits every
+  // lock): clients bump these from their own threads, relaxed order is enough
+  // because tests only read them after the federation has joined.
   std::array<std::atomic<std::size_t>, kFaultKindCount> counts_{};
 };
 

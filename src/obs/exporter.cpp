@@ -72,6 +72,7 @@ RoundExporter::~RoundExporter() {
 }
 
 void RoundExporter::on_round_end(std::size_t round_index) {
+  const util::MutexLock lock{io_mutex_};
   if (!options_.metrics_path.empty()) {
     std::ofstream log{options_.metrics_path + ".jsonl", std::ios::app};
     if (log) {
@@ -81,11 +82,16 @@ void RoundExporter::on_round_end(std::size_t round_index) {
   }
   if (options_.flush_every_rounds != 0 &&
       (round_index + 1) % options_.flush_every_rounds == 0) {
-    flush();
+    flush_locked();
   }
 }
 
 void RoundExporter::flush() {
+  const util::MutexLock lock{io_mutex_};
+  flush_locked();
+}
+
+void RoundExporter::flush_locked() {
   if (!options_.metrics_path.empty()) {
     Registry::global().write_prometheus(options_.metrics_path);
   }

@@ -21,6 +21,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::obs {
 
@@ -58,17 +59,24 @@ class RoundExporter {
   RoundExporter& operator=(const RoundExporter&) = delete;
 
   /// Called (via round_tick) after each completed round. Appends the JSON
-  /// snapshot line and honours the flush cadence.
-  void on_round_end(std::size_t round_index);
+  /// snapshot line and honours the flush cadence. Safe from concurrent
+  /// reporting threads (sharded aggregators): io_mutex_ serializes the file
+  /// writes.
+  void on_round_end(std::size_t round_index) FEDGUARD_EXCLUDES(io_mutex_);
 
   /// Force a metrics rewrite + trace flush now (teardown path).
-  void flush();
+  void flush() FEDGUARD_EXCLUDES(io_mutex_);
 
   [[nodiscard]] const ObsOptions& options() const noexcept { return options_; }
 
  private:
-  ObsOptions options_;
-  std::unique_ptr<TraceSession> trace_;
+  void flush_locked() FEDGUARD_REQUIRES(io_mutex_);
+
+  ObsOptions options_;  // immutable after construction
+  // Serializes every file write (metrics text, JSONL snapshots, trace flush)
+  // so round_tick can be called from concurrent shard threads.
+  util::Mutex io_mutex_;
+  std::unique_ptr<TraceSession> trace_ FEDGUARD_PT_GUARDED_BY(io_mutex_);
   bool installed_ = false;
 };
 

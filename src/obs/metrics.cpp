@@ -77,14 +77,14 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 Counter Registry::counter(const std::string& name) {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   auto& cell = counters_[name];
   if (!cell) cell = std::make_unique<detail::CounterCell>();
   return Counter{cell.get()};
 }
 
 Gauge Registry::gauge(const std::string& name) {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   auto& cell = gauges_[name];
   if (!cell) cell = std::make_unique<detail::GaugeCell>();
   return Gauge{cell.get()};
@@ -92,7 +92,7 @@ Gauge Registry::gauge(const std::string& name) {
 
 Histogram Registry::histogram(const std::string& name,
                               std::span<const double> upper_bounds) {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   auto& cell = histograms_[name];
   if (!cell) {
     cell = std::make_unique<detail::HistogramCell>();
@@ -114,7 +114,7 @@ Histogram Registry::histogram(const std::string& name,
 }
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0
                                : it->second->value.load(std::memory_order_relaxed);
@@ -124,7 +124,7 @@ void Registry::set_default_buckets(std::vector<double> upper_bounds) {
   if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end())) {
     throw std::invalid_argument{"obs: default histogram buckets must be ascending"};
   }
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   default_buckets_ = std::move(upper_bounds);
 }
 
@@ -137,7 +137,7 @@ const std::vector<double>& Registry::default_buckets() {
 }
 
 std::string Registry::prometheus_text() const {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::ostringstream out;
   for (const auto& [name, cell] : counters_) {
     const auto [base, labels] = split_labels(name);
@@ -173,7 +173,7 @@ std::string Registry::prometheus_text() const {
 }
 
 std::string Registry::json_snapshot() const {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -222,7 +222,7 @@ void Registry::write_prometheus(const std::string& path) const {
 }
 
 void Registry::zero_all() {
-  const std::lock_guard lock{mutex_};
+  const util::MutexLock lock{mutex_};
   for (const auto& [name, cell] : counters_) cell->value.store(0);
   for (const auto& [name, cell] : gauges_) cell->value.store(0);
   for (const auto& [name, cell] : histograms_) {

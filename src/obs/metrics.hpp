@@ -20,10 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::obs {
 
@@ -171,13 +172,18 @@ class Registry {
   [[nodiscard]] static Registry& global();
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // std::map: exposition iterates in sorted-name order (deterministic output;
-  // fedguard-lint forbids unordered iteration for exactly this reason).
-  std::map<std::string, std::unique_ptr<detail::CounterCell>> counters_;
-  std::map<std::string, std::unique_ptr<detail::GaugeCell>> gauges_;
-  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_;
-  std::vector<double> default_buckets_;
+  // fedguard-lint forbids unordered iteration for exactly this reason). The
+  // maps only ever grow, and the atomic cells they own are updated lock-free
+  // by issued handles — mutex_ guards the map structure, not the cell values.
+  std::map<std::string, std::unique_ptr<detail::CounterCell>> counters_
+      FEDGUARD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<detail::GaugeCell>> gauges_
+      FEDGUARD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_
+      FEDGUARD_GUARDED_BY(mutex_);
+  std::vector<double> default_buckets_ FEDGUARD_GUARDED_BY(mutex_);
 };
 
 }  // namespace fedguard::obs

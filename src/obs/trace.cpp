@@ -72,10 +72,13 @@ bool TraceSession::active() noexcept {
 TraceSession::ThreadBuffer* TraceSession::buffer_for_current_thread() {
   if (t_buffer_epoch == epoch_ && t_buffer != nullptr) return t_buffer;
   auto buffer = std::make_unique<ThreadBuffer>();
-  buffer->events.reserve(events_per_thread_);
   ThreadBuffer* raw = buffer.get();
   {
-    const std::lock_guard lock{buffers_mutex_};
+    const util::MutexLock lock{buffers_mutex_};
+    // The buffer is not yet published, but tid/events are guarded by its own
+    // mutex; taking it here is uncontended and keeps the annotations exact.
+    const util::MutexLock buffer_lock{raw->mutex};
+    raw->events.reserve(events_per_thread_);
     raw->tid = static_cast<int>(buffers_.size());
     buffers_.push_back(std::move(buffer));
   }
@@ -86,19 +89,23 @@ TraceSession::ThreadBuffer* TraceSession::buffer_for_current_thread() {
 
 std::uint64_t TraceSession::dropped_spans() const noexcept {
   std::uint64_t dropped = 0;
-  const std::lock_guard lock{const_cast<std::mutex&>(buffers_mutex_)};
+  const util::MutexLock lock{buffers_mutex_};
   for (const auto& buffer : buffers_) {
-    const std::lock_guard buffer_lock{const_cast<std::mutex&>(buffer->mutex)};
+    const util::MutexLock buffer_lock{buffer->mutex};
     dropped += buffer->dropped;
   }
   return dropped;
 }
 
 void TraceSession::flush() {
+  // flush_mutex_ serializes whole flushes (concurrent callers would otherwise
+  // interleave on flushed_ and the output file) and is released only after
+  // the file is rewritten. Lock order: flush -> buffers -> per-thread buffer.
+  const util::MutexLock flush_lock{flush_mutex_};
   {
-    const std::lock_guard lock{buffers_mutex_};
+    const util::MutexLock lock{buffers_mutex_};
     for (const auto& buffer : buffers_) {
-      const std::lock_guard buffer_lock{buffer->mutex};
+      const util::MutexLock buffer_lock{buffer->mutex};
       for (Event& event : buffer->events) {
         event.tid = buffer->tid;
         flushed_.push_back(std::move(event));
@@ -148,7 +155,7 @@ Span::Span(std::string category, std::string name) {
   TraceSession* session = g_session.load(std::memory_order_acquire);
   if (session == nullptr) return;
   TraceSession::ThreadBuffer* buffer = session->buffer_for_current_thread();
-  const std::lock_guard lock{buffer->mutex};
+  const util::MutexLock lock{buffer->mutex};
   // Reserve this span's E slot up front: a B is only recorded when both its
   // own slot and the eventual E slot fit, so the trace can never hold an
   // unmatched B from overflow.
@@ -166,7 +173,7 @@ Span::Span(std::string category, std::string name) {
 
 Span::~Span() {
   if (buffer_ == nullptr) return;
-  const std::lock_guard lock{buffer_->mutex};
+  const util::MutexLock lock{buffer_->mutex};
   buffer_->events.push_back({std::move(name_), std::move(category_), now_ns(), 'E'});
   --buffer_->open_spans;
 }

@@ -23,9 +23,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::obs {
 
@@ -51,8 +52,9 @@ class TraceSession {
   TraceSession& operator=(const TraceSession&) = delete;
 
   /// Drain every thread buffer and rewrite the trace file with all events
-  /// recorded so far. Safe to call while spans are being recorded.
-  void flush();
+  /// recorded so far. Safe to call while spans are being recorded, and safe
+  /// to call from concurrent threads (flush_mutex_ serializes whole flushes).
+  void flush() FEDGUARD_EXCLUDES(flush_mutex_);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   /// Spans dropped to buffer overflow since construction (0 in healthy runs;
@@ -72,15 +74,19 @@ class TraceSession {
     int tid = 0;  // stamped from the owning buffer when drained
   };
   struct ThreadBuffer {
-    std::mutex mutex;
-    std::vector<Event> events;
-    std::size_t open_spans = 0;  // E slots reserved by not-yet-closed spans
-    std::uint64_t dropped = 0;
-    int tid = 0;
+    // mutable: dropped_spans() aggregates over const sessions; the mutex is
+    // synchronization state, not logical state.
+    mutable util::Mutex mutex;
+    std::vector<Event> events FEDGUARD_GUARDED_BY(mutex);
+    // E slots reserved by not-yet-closed spans.
+    std::size_t open_spans FEDGUARD_GUARDED_BY(mutex) = 0;
+    std::uint64_t dropped FEDGUARD_GUARDED_BY(mutex) = 0;
+    int tid FEDGUARD_GUARDED_BY(mutex) = 0;
   };
 
-  [[nodiscard]] ThreadBuffer* buffer_for_current_thread();
-  void write_file();
+  [[nodiscard]] ThreadBuffer* buffer_for_current_thread()
+      FEDGUARD_EXCLUDES(buffers_mutex_);
+  void write_file() FEDGUARD_REQUIRES(flush_mutex_);
 
   // Per-thread buffer cache, keyed by session epoch so a pointer from a
   // previous (destroyed) session can never be reused.
@@ -92,9 +98,14 @@ class TraceSession {
   std::uint64_t epoch_ = 0;     // unique per session; keys thread-local caches
   std::uint64_t start_ns_ = 0;  // trace timestamps are relative to this
   bool installed_ = false;
-  std::mutex buffers_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::vector<Event> flushed_;  // drained events, in flush order
+  // Lock order: flush_mutex_ -> buffers_mutex_ -> ThreadBuffer::mutex.
+  // mutable: dropped_spans() is a const observer that must still lock.
+  mutable util::Mutex buffers_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      FEDGUARD_GUARDED_BY(buffers_mutex_);
+  util::Mutex flush_mutex_;
+  // Drained events, in flush order.
+  std::vector<Event> flushed_ FEDGUARD_GUARDED_BY(flush_mutex_);
 };
 
 /// RAII span: records a B event at construction and the matching E event at

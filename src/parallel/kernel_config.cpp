@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "parallel/thread_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::parallel {
 
@@ -41,9 +41,9 @@ std::size_t hardware_threads() {
 }
 
 struct PoolState {
-  std::mutex mutex;
-  std::unique_ptr<ThreadPool> pool;
-  std::size_t pool_threads = 0;
+  util::Mutex mutex;
+  std::unique_ptr<ThreadPool> pool FEDGUARD_GUARDED_BY(mutex);
+  std::size_t pool_threads FEDGUARD_GUARDED_BY(mutex) = 0;
 };
 
 PoolState& pool_state() {
@@ -90,7 +90,7 @@ std::size_t kernel_threads() noexcept {
 ThreadPool& kernel_pool() {
   const std::size_t want = kernel_threads();
   PoolState& s = pool_state();
-  const std::lock_guard lock{s.mutex};
+  const util::MutexLock lock{s.mutex};
   if (!s.pool || s.pool_threads != want) {
     s.pool.reset();  // join the old workers before replacing them
     s.pool = std::make_unique<ThreadPool>(want, "kernel");

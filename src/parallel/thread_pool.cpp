@@ -38,7 +38,7 @@ ThreadPool::ThreadPool(std::size_t threads, const char* name) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock{mutex_};
+    const util::MutexLock lock{mutex_};
     stopping_ = true;
   }
   condition_.notify_all();
@@ -52,8 +52,8 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock{mutex_};
-      condition_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const util::MutexLock lock{mutex_};
+      while (!stopping_ && tasks_.empty()) condition_.wait(mutex_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -8,16 +8,15 @@
 //    client training back to the simulation loop.
 //  - The pool is also usable as a plain bulk executor via run_batch().
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::parallel {
 
@@ -42,7 +41,7 @@ class ThreadPool {
     auto packaged = std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> result = packaged->get_future();
     {
-      const std::lock_guard lock{mutex_};
+      const util::MutexLock lock{mutex_};
       if (stopping_) throw std::runtime_error{"ThreadPool: submit after shutdown"};
       tasks_.emplace([packaged] { (*packaged)(); });
     }
@@ -60,10 +59,10 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable condition_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ FEDGUARD_GUARDED_BY(mutex_);
+  util::CondVar condition_;
+  bool stopping_ FEDGUARD_GUARDED_BY(mutex_) = false;
   // Registry handles, resolved once at construction — the per-task cost is
   // relaxed atomic adds only.
   obs::Gauge queue_depth_;

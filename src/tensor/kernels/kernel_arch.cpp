@@ -9,6 +9,11 @@ namespace fedguard::tensor::kernels {
 
 namespace {
 
+// Dispatch state is deliberately lock-free (layer 4 of the static-analysis
+// gate audits every lock): one relaxed atomic for the runtime override plus
+// function-local statics (thread-safe one-time init per [stmt.dcl]) for the
+// env/cpuid probes — a kernel launch never takes a mutex to pick its tier.
+
 // Explicit override from the descriptor / set_kernel_arch(). Auto == unset.
 std::atomic<KernelArch> g_override{KernelArch::Auto};
 

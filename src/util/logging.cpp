@@ -4,14 +4,17 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.hpp"
 
 namespace fedguard::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_emit_mutex;
+// Guards the stderr stream: emission is one fprintf per message, serialized
+// so concurrent log lines never interleave mid-line.
+Mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -21,6 +24,15 @@ const char* level_name(LogLevel level) noexcept {
     case LogLevel::Error: return "ERROR";
     default: return "?????";
   }
+}
+
+// The REQUIRES contract makes the serialization point explicit: only
+// log_message's critical section may write the stream.
+void emit_line(LogLevel level, long long ms, std::string_view message)
+    FEDGUARD_REQUIRES(g_emit_mutex) {
+  std::fprintf(stderr, "[%lld.%03lld] [%s] %.*s\n", ms / 1000, ms % 1000,
+               level_name(level), static_cast<int>(message.size()),
+               message.data());
 }
 
 void vlog(LogLevel level, const char* fmt, va_list args) {
@@ -40,10 +52,8 @@ void log_message(LogLevel level, std::string_view message) {
   const auto now = std::chrono::system_clock::now();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count();
-  const std::lock_guard lock{g_emit_mutex};
-  std::fprintf(stderr, "[%lld.%03lld] [%s] %.*s\n", static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), level_name(level),
-               static_cast<int>(message.size()), message.data());
+  const MutexLock lock{g_emit_mutex};
+  emit_line(level, static_cast<long long>(ms), message);
 }
 
 #define FEDGUARD_DEFINE_LOG_FN(fn_name, level)   \

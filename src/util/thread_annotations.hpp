@@ -1,0 +1,162 @@
+#pragma once
+// Clang Thread Safety Analysis capability macros and the annotated lock
+// vocabulary the whole tree uses (layer 4 of the static-analysis gate, see
+// docs/STATIC_ANALYSIS.md). Under clang the FEDGUARD_* macros expand to the
+// thread-safety attributes, so `-DFEDGUARD_THREAD_SAFETY=ON` builds with
+// `-Wthread-safety -Werror=thread-safety-analysis` prove at compile time that
+// every guarded field is only touched with its lock held and every locking
+// helper honours its declared contract. Under gcc (this container) they
+// expand to nothing and the wrappers cost exactly a std::mutex.
+//
+// libstdc++'s std::mutex carries no capability attributes, so raw std::mutex
+// members are invisible to the analysis. Lock state therefore lives in the
+// annotated wrappers below (util::Mutex / util::SharedMutex) and is always
+// taken through the RAII guards (util::MutexLock / util::SharedMutexLock) —
+// fedguard-lint rules no-unannotated-mutex and lock-discipline keep both
+// invariants; this header is their one sanctioned implementation site.
+//
+// Annotation how-to (details + suppression policy in docs/STATIC_ANALYSIS.md):
+//
+//   util::Mutex mutex_;
+//   std::vector<Task> queue_ FEDGUARD_GUARDED_BY(mutex_);
+//   void drain_locked() FEDGUARD_REQUIRES(mutex_);   // caller holds mutex_
+//   void drain() FEDGUARD_EXCLUDES(mutex_);          // caller must NOT hold
+//
+//   { const util::MutexLock lock{mutex_}; queue_.push_back(t); }
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define FEDGUARD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FEDGUARD_THREAD_ANNOTATION(x)  // no-op: gcc has no -Wthread-safety
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define FEDGUARD_CAPABILITY(name) FEDGUARD_THREAD_ANNOTATION(capability(name))
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define FEDGUARD_SCOPED_CAPABILITY FEDGUARD_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the named lock.
+#define FEDGUARD_GUARDED_BY(x) FEDGUARD_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by the named lock.
+#define FEDGUARD_PT_GUARDED_BY(x) FEDGUARD_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held by the caller.
+#define FEDGUARD_REQUIRES(...) \
+  FEDGUARD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FEDGUARD_REQUIRES_SHARED(...) \
+  FEDGUARD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (and does not release them).
+#define FEDGUARD_ACQUIRE(...) \
+  FEDGUARD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FEDGUARD_ACQUIRE_SHARED(...) \
+  FEDGUARD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define FEDGUARD_RELEASE(...) \
+  FEDGUARD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FEDGUARD_RELEASE_SHARED(...) \
+  FEDGUARD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define FEDGUARD_TRY_ACQUIRE(result, ...) \
+  FEDGUARD_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock fence: the function
+/// acquires them itself).
+#define FEDGUARD_EXCLUDES(...) \
+  FEDGUARD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for functions the analysis cannot model; pair every use with
+/// a justification comment (same policy as fedguard-lint allow()).
+#define FEDGUARD_NO_THREAD_SAFETY_ANALYSIS \
+  FEDGUARD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fedguard::util {
+
+/// Annotated exclusive mutex. Drop-in for std::mutex wherever the lock guards
+/// shared state; always lock through MutexLock (fedguard-lint:
+/// lock-discipline) so the analysis sees every critical section.
+class FEDGUARD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FEDGUARD_ACQUIRE() { mutex_.lock(); }
+  void unlock() FEDGUARD_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() FEDGUARD_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated reader/writer mutex (reactor shards will take shared read locks
+/// on routing state; exclusive writes stay rare).
+class FEDGUARD_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() FEDGUARD_ACQUIRE() { mutex_.lock(); }
+  void unlock() FEDGUARD_RELEASE() { mutex_.unlock(); }
+  void lock_shared() FEDGUARD_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() FEDGUARD_RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock over util::Mutex (std::lock_guard equivalent).
+class FEDGUARD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FEDGUARD_ACQUIRE(mutex) : mutex_{mutex} {
+    mutex_.lock();
+  }
+  ~MutexLock() FEDGUARD_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII shared (reader) lock over util::SharedMutex.
+class FEDGUARD_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mutex) FEDGUARD_ACQUIRE_SHARED(mutex)
+      : mutex_{mutex} {
+    mutex_.lock_shared();
+  }
+  ~SharedMutexLock() FEDGUARD_RELEASE() { mutex_.unlock_shared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable usable with util::Mutex. Waits release and reacquire
+/// the mutex internally, so from the analysis' point of view the capability
+/// is held across the wait — exactly the guarantee the caller observes.
+/// Callers re-check their predicate in a loop (spurious wakeups), which keeps
+/// every guarded access inside an analyzable critical section without
+/// attribute-annotated lambdas.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) FEDGUARD_REQUIRES(mutex) { cv_.wait(mutex); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fedguard::util

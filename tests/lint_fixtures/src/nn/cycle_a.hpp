@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: first half of a deliberate include cycle (see cycle_b.hpp). Both
+// edges stay inside the nn layer, so only the cycle detector can catch it;
+// the finding is reported at the back-edge, i.e. cycle_b's include line.
+
+#include "nn/cycle_b.hpp"

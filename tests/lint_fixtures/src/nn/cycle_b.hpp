@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: second half of the include cycle rooted at cycle_a.hpp.
+
+#include "nn/cycle_a.hpp"  // VIOLATION: closes the cycle a -> b -> a

@@ -1,0 +1,21 @@
+// Fixture: const_cast used to strip constness off a mutex in a const
+// accessor. The fix is a mutable member; the mutex here is otherwise fully
+// annotated so no-const-cast-mutex is the only rule that may fire.
+
+#include "util/thread_annotations.hpp"
+
+namespace fedguard::obs {
+
+class ConstCaster {
+ public:
+  int value() const {
+    const util::MutexLock lock{const_cast<util::Mutex&>(mutex_)};  // VIOLATION
+    return value_;
+  }
+
+ private:
+  util::Mutex mutex_;
+  int value_ FEDGUARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fedguard::obs

@@ -1,0 +1,22 @@
+// Fixture: mutex declarations the thread-safety layer cannot analyze.
+// no-unannotated-mutex must fire on the std::mutex member (libstdc++'s type
+// carries no capability attributes, so clang TSA never sees it) and on the
+// util::Mutex that no FEDGUARD_* annotation in this file names.
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace fedguard::obs {
+
+class BadMutexes {
+ private:
+  std::mutex raw_mutex_;      // VIOLATION: invisible to thread-safety analysis
+  util::Mutex orphan_mutex_;  // VIOLATION: nothing declares a contract on it
+  util::Mutex good_mutex_;    // fine: guarded_value_ names it below
+  int guarded_value_ FEDGUARD_GUARDED_BY(good_mutex_) = 0;
+  // fedguard-lint: allow(no-unannotated-mutex) guards a C callback table whose entries TSA cannot name
+  util::Mutex external_mutex_;
+};
+
+}  // namespace fedguard::obs

@@ -1,0 +1,22 @@
+// Fixture: manual lock()/unlock() around guarded state. An early return or
+// exception between the two calls leaks the lock, and scoped-capability
+// analysis cannot track the pairing — lock-discipline demands an RAII guard.
+
+#include "util/thread_annotations.hpp"
+
+namespace fedguard::parallel {
+
+class ManualLocker {
+ public:
+  void bump() {
+    mutex_.lock();  // VIOLATION: use util::MutexLock
+    ++count_;
+    mutex_.unlock();  // VIOLATION
+  }
+
+ private:
+  util::Mutex mutex_;
+  int count_ FEDGUARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fedguard::parallel

@@ -1,0 +1,12 @@
+// Fixture: a tensor-layer file reaching up into the defenses layer. The
+// architecture DAG only permits includes that point at the same or a lower
+// layer (util -> parallel -> tensor -> data/nn -> models -> attacks/defenses
+// -> fl -> net -> core -> scenario), so this is a back-edge.
+
+#include "defenses/krum.hpp"  // VIOLATION: tensor must not depend on defenses
+
+namespace fedguard::tensor {
+
+inline int backedge_marker() { return 1; }
+
+}  // namespace fedguard::tensor

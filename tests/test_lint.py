@@ -33,6 +33,15 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/nn/bad_intrinsics.cpp", 12, "no-raw-intrinsics"),
     ("src/nn/bad_new.cpp", 9, "naked-new"),
     ("src/nn/bad_new.cpp", 11, "naked-new"),
+    # Cycles are reported once, at the include line that closes them (the DFS
+    # roots at the lexicographically first file of the cycle).
+    ("src/nn/cycle_b.hpp", 4, "layering"),
+    ("src/obs/bad_const_cast.cpp", 12, "no-const-cast-mutex"),
+    ("src/obs/bad_mutex.cpp", 14, "no-unannotated-mutex"),  # std::mutex
+    ("src/obs/bad_mutex.cpp", 15, "no-unannotated-mutex"),  # no annotation
+    ("src/parallel/bad_lock.cpp", 12, "lock-discipline"),
+    ("src/parallel/bad_lock.cpp", 14, "lock-discipline"),
+    ("src/tensor/bad_backedge.cpp", 6, "layering"),
     ("tests/CMakeLists.txt", 7, "test-timeout"),
 }
 
@@ -67,6 +76,10 @@ class FedguardLintGolden(unittest.TestCase):
         # attack.cpp line 12 ("bench_only") sits under a justified
         # allow(sweep-roster) on the line above it.
         self.assertNotIn(("src/attacks/attack.cpp", 12, "sweep-roster"), findings)
+        # bad_mutex.cpp line 19 (external_mutex_) sits under a justified
+        # allow(no-unannotated-mutex) annotation.
+        self.assertNotIn(("src/obs/bad_mutex.cpp", 19, "no-unannotated-mutex"),
+                         findings)
 
     def test_repository_is_clean(self):
         result = run_lint("--root", str(REPO_ROOT))
@@ -79,7 +92,9 @@ class FedguardLintGolden(unittest.TestCase):
         for rule in ("rng", "unordered-iteration", "stdout", "naked-new",
                      "test-timeout", "config-docs", "no-pointset-copy",
                      "no-raw-stopwatch", "span-category-docs",
-                     "no-raw-intrinsics", "sweep-roster"):
+                     "no-raw-intrinsics", "sweep-roster", "layering",
+                     "no-unannotated-mutex", "no-const-cast-mutex",
+                     "lock-discipline"):
             self.assertIn(rule, result.stdout)
 
 
