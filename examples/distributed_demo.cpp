@@ -16,6 +16,12 @@
 // --disconnect, --never-connect; each takes a per-round probability. The same
 // --fault-seed replays the identical fault schedule.
 //
+// Two-tier topology (docs/SHARDING.md): --shards N runs N epoll-reactor edge
+// aggregators under one root merger, with --clients-per-shard M TCP clients
+// each. Shard-failure chaos kills a shard mid-run and demonstrates graceful
+// degradation (the federation finishes on the surviving shards):
+//   ./distributed_demo --shards 4 --clients-per-shard 3 --kill-shard 1 --kill-round 2
+//
 // Observability (server/demo roles; see docs/OBSERVABILITY.md):
 //   --trace trace.json      Chrome trace_event output (open at ui.perfetto.dev)
 //   --metrics metrics.prom  Prometheus text + per-round snapshots (.jsonl)
@@ -30,7 +36,9 @@
 #include "data/partition.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "defenses/fedguard.hpp"
+#include "defenses/fedavg.hpp"
 #include "net/remote.hpp"
+#include "net/shard.hpp"
 #include "obs/exporter.hpp"
 #include "util/logging.hpp"
 
@@ -221,6 +229,97 @@ int run_threaded_demo(const core::CliOptions& options) {
   return 0;
 }
 
+/// Two-tier federation in one process: N reactor shards + root merger, with
+/// M TCP clients per shard connecting to their owner shard's port. With
+/// --kill-shard/--kill-round the run doubles as a shard-failure chaos drill:
+/// it asserts the federation degrades gracefully (all rounds complete, the
+/// killed shard is the only casualty) instead of just hoping.
+int run_sharded_demo(const core::CliOptions& options) {
+  const auto shards = static_cast<std::size_t>(options.get_int("shards", 2));
+  const auto per_shard =
+      static_cast<std::size_t>(options.get_int("clients-per-shard", 2));
+  const auto rounds = static_cast<std::size_t>(options.get_int("rounds", 4));
+  const long long kill_shard = options.get_int("kill-shard", -1);
+  const auto kill_round = static_cast<std::size_t>(options.get_int("kill-round", 1));
+  const std::size_t num_clients = shards * per_shard;
+  std::printf("two-tier demo: %zu shards x %zu clients, FedAvg root merge, %zu rounds\n",
+              shards, per_shard, rounds);
+  if (kill_shard >= 0) {
+    std::printf("chaos: shard %lld dies at the start of round %zu\n", kill_shard,
+                kill_round);
+  }
+
+  const data::Dataset test = data::generate_synthetic_mnist(200, kDataSeed ^ 0x7e57ULL);
+  net::HierarchicalServerConfig config;
+  config.shards = shards;
+  config.expected_clients = num_clients;
+  config.clients_per_round = std::max<std::size_t>(1, num_clients / 2 + 1);
+  config.rounds = rounds;
+  config.seed = kDataSeed;
+  config.accept_timeout_ms = static_cast<std::size_t>(options.get_int("accept-ms", 30000));
+  config.round_timeout_ms = static_cast<std::size_t>(options.get_int("round-ms", 30000));
+  if (kill_shard >= 0) {
+    config.shard_kill_predicate = [kill_shard, kill_round](std::size_t shard,
+                                                           std::size_t round) {
+      return shard == static_cast<std::size_t>(kill_shard) && round == kill_round;
+    };
+  }
+  net::HierarchicalServer server{
+      config, [] { return std::make_unique<defenses::FedAvgAggregator>(); }, test,
+      models::ClassifierArch::Mlp, models::ImageGeometry{}};
+
+  const attacks::SignFlipAttack sign_flip;
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  std::vector<std::thread> threads;
+  for (std::size_t id = 0; id < num_clients; ++id) {
+    clients.push_back(make_client(static_cast<int>(id), num_clients));
+    if (id + 1 == num_clients) clients.back()->corrupt_with_model_attack(&sign_flip);
+  }
+  for (std::size_t id = 0; id < num_clients; ++id) {
+    const std::uint16_t port = server.shard_port(server.shard_of(id));
+    threads.emplace_back([&clients, id, port] {
+      (void)net::run_remote_client("127.0.0.1", port, *clients[id], {});
+    });
+  }
+  const auto exporter = exporter_from_options(options);
+  const fl::RunHistory history = server.run();
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& round : history.rounds) {
+    std::printf("round %zu: accuracy %5.1f%% | sampled %zu | stragglers %zu\n",
+                round.round, round.test_accuracy * 100.0, round.sampled_clients,
+                round.stragglers);
+  }
+  if (kill_shard >= 0) {
+    // Graceful-degradation assertions: the run must survive a dead shard.
+    const std::size_t expected_live = shards - 1;
+    if (history.rounds.size() != rounds) {
+      std::printf("FAIL: only %zu of %zu rounds completed after shard kill\n",
+                  history.rounds.size(), rounds);
+      return 1;
+    }
+    if (server.live_shards() > expected_live) {
+      std::printf("FAIL: killed shard still reports alive\n");
+      return 1;
+    }
+    const fl::RoundRecord& last = history.rounds.back();
+    if (last.sampled_clients == 0) {
+      std::printf("FAIL: final round sampled nobody\n");
+      return 1;
+    }
+    // (run() has already shut the surviving shards down gracefully, so
+    // live_shards() is 0 here by design; the assertions above checked the
+    // degradation itself.)
+    std::printf("\ngraceful degradation held: shard %lld died, %zu rounds "
+                "completed on the survivors, final accuracy %.1f%%\n",
+                kill_shard, history.rounds.size(), last.test_accuracy * 100.0);
+  } else {
+    std::printf("\nfinal accuracy: %.2f%% over %zu shards\n",
+                history.rounds.back().test_accuracy * 100.0, shards);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,5 +328,6 @@ int main(int argc, char** argv) {
   const std::string role = options.get("role", "demo");
   if (role == "server") return run_server(options);
   if (role == "client") return run_client(options);
+  if (options.get_int("shards", 0) > 0) return run_sharded_demo(options);
   return run_threaded_demo(options);
 }

@@ -75,6 +75,13 @@ lock-discipline      No raw .lock()/.unlock() calls in src/ outside the RAII
                      guards in src/util/thread_annotations.hpp. Manual
                      lock/unlock pairs leak on early return and exceptions
                      and are invisible to scoped-capability analysis.
+no-blocking-socket   No blocking socket calls (::poll, send_all, recv_all,
+                     receive_message, accept_within, SO_RCVTIMEO/SO_SNDTIMEO
+                     deadlines) in src/net/reactor*/shard* files. The reactor
+                     tier holds thousands of connections on one thread; a
+                     single blocking call stalls every one of them. Use the
+                     edge-triggered read_some/write_some state machines and
+                     epoll timeouts instead.
 
 Allowlist
 ---------
@@ -120,6 +127,7 @@ RULES = {
     "no-unannotated-mutex": "mutex member with no FEDGUARD_* annotation naming it",
     "no-const-cast-mutex": "const_cast on a mutex (declare it mutable instead)",
     "lock-discipline": "raw .lock()/.unlock() outside the RAII guards",
+    "no-blocking-socket": "blocking socket call in a reactor-tier file",
     "allow-justification": "fedguard-lint allow() without a justification",
 }
 
@@ -216,6 +224,21 @@ MUTEX_DECL_RE = re.compile(
     r"\s+(\w+)\s*;")
 CONST_CAST_MUTEX_RE = re.compile(r"const_cast\s*<[^<>;]*[Mm]utex[^<>;]*>")
 RAW_LOCK_RE = re.compile(r"(?:\.|->)\s*(lock|unlock)\s*\(")
+
+# -- no-blocking-socket (reactor-tier files must never block) -----------------
+# Scope: src/net/ files whose basename starts with "reactor" or "shard" — the
+# single-threaded event-loop tier. Any of these calls stalls every connection
+# the loop holds.
+BLOCKING_SOCKET_RE = re.compile(
+    r"::poll\s*\(|\b(?:recv_all|send_all|receive_message|accept_within|"
+    r"set_receive_timeout|set_send_timeout)\s*\(")
+
+
+def in_reactor_scope(relpath: str) -> bool:
+    if not relpath.startswith("src/net/"):
+        return False
+    basename = relpath.rsplit("/", 1)[-1]
+    return basename.startswith("reactor") or basename.startswith("shard")
 
 
 class Violation:
@@ -392,6 +415,16 @@ def check_source_file(path: Path, relpath: str) -> list[Violation]:
                     f"raw .{match.group(1)}() call; manual lock/unlock leaks on "
                     "early return and is invisible to scoped-capability "
                     "analysis — use util::MutexLock (or another RAII guard)"))
+
+        if in_reactor_scope(relpath):
+            match = BLOCKING_SOCKET_RE.search(line)
+            if match and not allowed(allows, idx, "no-blocking-socket"):
+                violations.append(Violation(
+                    relpath, idx, "no-blocking-socket",
+                    f"'{match.group(0).strip()}' blocks the reactor thread — one "
+                    "stalled call freezes every connection this loop holds; use "
+                    "the non-blocking read_some/write_some state machines and "
+                    "epoll timeouts instead"))
 
         if any(relpath.startswith(d + "/") for d in STOPWATCH_SCOPE_DIRS):
             match = STOPWATCH_RE.search(line)

@@ -43,6 +43,11 @@ for b in "$BUILD_DIR"/bench/*; do
       # baseline (scripts/robustness_baseline.json) is checked against below.
       "$b" --quiet --matrix smoke --kernel-arch serial --out BENCH_robustness.json
       ;;
+    *bench_reactor*)
+      # Connection-scaling numbers (single-tier vs 4-shard two-tier fan-in
+      # at >=2k simulated clients) -> BENCH_reactor.json.
+      "$b" --quiet --out BENCH_reactor.json
+      ;;
     *micro*)
       # Keep the human-readable console output AND capture the JSON report.
       "$b" --benchmark_out="$KERNEL_JSON_DIR/$(basename "$b").json" \

@@ -147,6 +147,18 @@ void apply_config_values(ExperimentConfig& config,
       config.fedcpa_top_fraction = to_double(value, key);
     else if (key == "fedcpa_keep_fraction")
       config.fedcpa_keep_fraction = to_double(value, key);
+    else if (key == "shards") {
+      config.shards = to_size(value, key);
+      if (config.shards == 0) {
+        throw std::invalid_argument{"config: shards must be positive"};
+      }
+    }
+    else if (key == "shard_round_timeout_ms")
+      config.shard_round_timeout_ms = to_size(value, key);
+    else if (key == "reactor_poll_timeout_ms")
+      config.reactor_poll_timeout_ms = to_size(value, key);
+    else if (key == "reactor_idle_timeout_ms")
+      config.reactor_idle_timeout_ms = to_size(value, key);
     else if (key == "remote_accept_timeout_ms")
       config.remote_accept_timeout_ms = to_size(value, key);
     else if (key == "remote_round_timeout_ms")

@@ -112,6 +112,21 @@ struct ExperimentConfig {
   double fedcpa_keep_fraction = 0.5;   // FedCPA kept-client fraction
   defenses::SpectralConfig spectral;
 
+  // ---- Two-tier topology (ROADMAP item 2) --------------------------------------
+  // Number of edge shard aggregators (descriptor key shards; 1 = single-tier).
+  // The in-process server partitions sampled updates into per-shard cohorts
+  // and runs the mergeable-accumulator seam; net::HierarchicalServer runs one
+  // reactor thread per shard over real sockets with the same partition. See
+  // docs/SHARDING.md. (Distinct from shards_per_client, the data-partition
+  // scheme knob above.)
+  std::size_t shards = 1;
+  // Shard round deadline (socket topology; descriptor key shard_round_timeout_ms).
+  std::size_t shard_round_timeout_ms = 30000;
+  // Reactor cycle length / idle-connection sweep (descriptor keys
+  // reactor_poll_timeout_ms / reactor_idle_timeout_ms; 0 idle = never sweep).
+  std::size_t reactor_poll_timeout_ms = 20;
+  std::size_t reactor_idle_timeout_ms = 0;
+
   // ---- Distributed federation (net::RemoteServer) ------------------------------
   // Deadlines/policy for the TCP deployment shape; ignored by the in-process
   // runner. See docs/ROBUSTNESS.md for the fault model these feed.

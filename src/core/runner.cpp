@@ -173,6 +173,7 @@ Federation build_federation_with_data(ExperimentConfig config, data::Dataset tra
   server_config.track_per_class_accuracy = config.track_per_class_accuracy;
   server_config.psi_codec = config.wire_codec;
   server_config.psi_chunk = config.wire_chunk_size;
+  server_config.shards = config.shards;
   fed.server = std::make_unique<fl::Server>(server_config, fed.clients, *fed.strategy,
                                             fed.test_set, config.arch, config.geometry());
   fed.config = std::move(config);
@@ -200,6 +201,23 @@ net::RemoteServerConfig remote_server_config(const ExperimentConfig& config,
   remote.psi_codec = config.wire_codec;
   remote.psi_chunk = config.wire_chunk_size;
   return remote;
+}
+
+net::HierarchicalServerConfig hierarchical_server_config(const ExperimentConfig& config) {
+  net::HierarchicalServerConfig hier;
+  hier.shards = config.shards;
+  hier.expected_clients = config.num_clients;
+  hier.clients_per_round = config.clients_per_round;
+  hier.rounds = config.rounds;
+  hier.server_learning_rate = config.server_learning_rate;
+  hier.seed = config.seed ^ 0x5e12e5ULL;  // must match build_federation
+  hier.accept_timeout_ms = config.remote_accept_timeout_ms;
+  hier.round_timeout_ms = config.shard_round_timeout_ms;
+  hier.reactor_poll_timeout_ms = config.reactor_poll_timeout_ms;
+  hier.reactor_idle_timeout_ms = config.reactor_idle_timeout_ms;
+  hier.psi_codec = config.wire_codec;
+  hier.psi_chunk = config.wire_chunk_size;
+  return hier;
 }
 
 }  // namespace fedguard::core

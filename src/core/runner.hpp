@@ -10,6 +10,7 @@
 #include "fl/metrics.hpp"
 #include "fl/server.hpp"
 #include "net/remote.hpp"
+#include "net/shard.hpp"
 
 namespace fedguard::core {
 
@@ -53,5 +54,12 @@ struct Federation {
 /// client subsets). `port` 0 picks an ephemeral port.
 [[nodiscard]] net::RemoteServerConfig remote_server_config(const ExperimentConfig& config,
                                                            std::uint16_t port = 0);
+
+/// Map an ExperimentConfig onto the two-tier topology's knob panel (seed
+/// derivation matches the in-process server, so a HierarchicalServer run and
+/// an fl::Server run with the same shards draw identical samples). Shard
+/// listeners always bind ephemeral ports.
+[[nodiscard]] net::HierarchicalServerConfig hierarchical_server_config(
+    const ExperimentConfig& config);
 
 }  // namespace fedguard::core

@@ -79,6 +79,155 @@ AggregationResult AggregationStrategy::aggregate(const AggregationContext& conte
   return out;
 }
 
+void fold_exact_update(ShardPartial& partial, std::span<const float> psi,
+                       const UpdateMeta& meta) {
+  const std::size_t dim = psi.size();
+  if (partial.psi_weighted_sum.size() != dim) {
+    partial.psi_weighted_sum.assign(dim, 0.0);
+    partial.psi_plain_sum.assign(dim, 0.0);
+  }
+  // Exactly weighted_mean_into's two accumulation branches, applied to one
+  // row: w·ψ products are exact in double (24-bit float significand times an
+  // integer weight), so the only inexactness anywhere is the running
+  // addition — which happens in the same slot order as the single-tier loop.
+  const double w = static_cast<double>(meta.num_samples);
+  for (std::size_t i = 0; i < dim; ++i) {
+    partial.psi_weighted_sum[i] += w * static_cast<double>(psi[i]);
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    partial.psi_plain_sum[i] += static_cast<double>(psi[i]);
+  }
+  partial.weight_sum += w;
+  partial.client_count += 1;
+  if (meta.truly_malicious) partial.malicious_count += 1;
+  partial.accepted_clients.push_back(meta.client_id);
+  partial.exact = true;
+}
+
+void AggregationStrategy::partial_aggregate_into(const AggregationContext& context,
+                                                 const UpdateView& updates,
+                                                 std::size_t shard_id, ShardPartial& out) {
+  FEDGUARD_TRACE_SPAN(std::string{"agg."} + name(), "partial");
+  (void)validate_view(updates);
+  out.clear();
+  out.shard_id = shard_id;
+  do_partial_aggregate(context, updates, out);
+}
+
+void AggregationStrategy::merge_partials_into(const AggregationContext& context,
+                                              std::span<const ShardPartial> partials,
+                                              AggregationResult& out) {
+  FEDGUARD_TRACE_SPAN(std::string{"agg."} + name(), "merge");
+  out.clear();
+  do_merge_partials(context, partials, out);
+}
+
+void AggregationStrategy::do_partial_aggregate(const AggregationContext& context,
+                                               const UpdateView& updates, ShardPartial& out) {
+  partial_scratch_.clear();
+  do_aggregate(context, updates, partial_scratch_);
+  out.client_count = updates.count();
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    out.weight_sum += static_cast<double>(updates.meta(k).num_samples);
+    if (updates.meta(k).truly_malicious) out.malicious_count += 1;
+  }
+  out.parameters = std::move(partial_scratch_.parameters);
+  out.accepted_clients = std::move(partial_scratch_.accepted_clients);
+  out.rejected_clients = std::move(partial_scratch_.rejected_clients);
+}
+
+void AggregationStrategy::do_merge_partials(const AggregationContext& /*context*/,
+                                            std::span<const ShardPartial> partials,
+                                            AggregationResult& out) {
+  // Split the live partials by path. A single round never mixes paths (all
+  // partials come from one strategy), but a degraded shard may contribute an
+  // empty partial on either — those are skipped.
+  std::size_t dim = 0;
+  bool any_exact = false;
+  bool any_metadata = false;
+  for (const ShardPartial& partial : partials) {
+    if (partial.client_count == 0) continue;
+    if (partial.exact) {
+      any_exact = true;
+      dim = partial.psi_weighted_sum.size();
+    } else {
+      any_metadata = true;
+      dim = partial.parameters.size();
+    }
+  }
+  if ((!any_exact && !any_metadata) || dim == 0) {
+    throw std::invalid_argument{"merge_partials: no mergeable shard partials"};
+  }
+  if (any_exact && any_metadata) {
+    throw std::invalid_argument{"merge_partials: mixed exact/metadata partials"};
+  }
+
+  merge_accumulator_.assign(dim, 0.0);
+  if (any_exact) {
+    // Sum the shard accumulators then divide once: with one live shard this
+    // is bit-identical to weighted_mean_into (adding a sum to 0.0 reproduces
+    // it); with several, the divisor (an exact integer in double) matches
+    // and only the numerator bracketing differs.
+    double total_weight = 0.0;
+    std::size_t total_count = 0;
+    for (const ShardPartial& partial : partials) {
+      if (partial.client_count == 0) continue;
+      total_weight += partial.weight_sum;
+      total_count += partial.client_count;
+    }
+    if (total_weight == 0.0) {
+      for (const ShardPartial& partial : partials) {
+        if (partial.client_count == 0) continue;
+        for (std::size_t i = 0; i < dim; ++i) {
+          merge_accumulator_[i] += partial.psi_plain_sum[i];
+        }
+      }
+      total_weight = static_cast<double>(total_count);
+    } else {
+      for (const ShardPartial& partial : partials) {
+        if (partial.client_count == 0) continue;
+        for (std::size_t i = 0; i < dim; ++i) {
+          merge_accumulator_[i] += partial.psi_weighted_sum[i];
+        }
+      }
+    }
+    out.parameters.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      out.parameters[i] = static_cast<float>(merge_accumulator_[i] / total_weight);
+    }
+  } else {
+    // Metadata routing: each shard already selected locally; the root trusts
+    // the shard-local aggregates and combines them weighted by how many
+    // clients each one accepted (a shard that rejected its whole cohort
+    // still weighs 1 so its aggregate — by contract a usable fallback — is
+    // not silently discarded).
+    double total_weight = 0.0;
+    for (const ShardPartial& partial : partials) {
+      if (partial.client_count == 0) continue;
+      if (partial.parameters.size() != dim) {
+        throw std::invalid_argument{"merge_partials: shard parameter dimension mismatch"};
+      }
+      const double w = static_cast<double>(
+          partial.accepted_clients.empty() ? 1 : partial.accepted_clients.size());
+      total_weight += w;
+      for (std::size_t i = 0; i < dim; ++i) {
+        merge_accumulator_[i] += w * static_cast<double>(partial.parameters[i]);
+      }
+    }
+    out.parameters.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      out.parameters[i] = static_cast<float>(merge_accumulator_[i] / total_weight);
+    }
+  }
+  for (const ShardPartial& partial : partials) {
+    if (partial.client_count == 0) continue;
+    out.accepted_clients.insert(out.accepted_clients.end(), partial.accepted_clients.begin(),
+                                partial.accepted_clients.end());
+    out.rejected_clients.insert(out.rejected_clients.end(), partial.rejected_clients.begin(),
+                                partial.rejected_clients.end());
+  }
+}
+
 AggregationResult AggregationStrategy::aggregate(const AggregationContext& context,
                                                  std::span<const ClientUpdate> updates) {
   (void)validate_updates(updates);  // ragged dims must throw before the copy below

@@ -11,4 +11,14 @@ void FedAvgAggregator::do_aggregate(const AggregationContext& /*context*/,
   }
 }
 
+void FedAvgAggregator::do_partial_aggregate(const AggregationContext& /*context*/,
+                                            const UpdateView& updates, ShardPartial& out) {
+  // Exact path: fold every cohort row in slot order. The shard tier uses the
+  // same fold_exact_update primitive incrementally as replies arrive, so the
+  // batch and streaming forms produce bit-identical accumulators.
+  for (std::size_t k = 0; k < updates.count(); ++k) {
+    fold_exact_update(out, updates.psi(k), updates.meta(k));
+  }
+}
+
 }  // namespace fedguard::defenses

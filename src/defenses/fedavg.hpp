@@ -9,6 +9,13 @@ namespace fedguard::defenses {
 class FedAvgAggregator final : public AggregationStrategy {
  public:
   [[nodiscard]] std::string name() const override { return "fedavg"; }
+  /// A weighted mean merges exactly across shards (up to summation
+  /// bracketing): shards fold running ψ sums, the root divides once.
+  [[nodiscard]] bool supports_exact_merge() const override { return true; }
+
+ protected:
+  void do_partial_aggregate(const AggregationContext& context, const UpdateView& updates,
+                            ShardPartial& out) override;
 
  private:
   void do_aggregate(const AggregationContext& context, const UpdateView& updates,

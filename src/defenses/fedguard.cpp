@@ -183,4 +183,11 @@ void FedGuardAggregator::do_aggregate(const AggregationContext& /*context*/,
   }
 }
 
+void FedGuardAggregator::do_partial_aggregate(const AggregationContext& context,
+                                              const UpdateView& updates, ShardPartial& out) {
+  AggregationStrategy::do_partial_aggregate(context, updates, out);
+  out.selection_scores = last_scores_;
+  out.selection_threshold = last_threshold_;
+}
+
 }  // namespace fedguard::defenses

@@ -145,4 +145,10 @@ void KrumAggregator::do_aggregate(const AggregationContext& /*context*/,
   }
 }
 
+void KrumAggregator::do_partial_aggregate(const AggregationContext& context,
+                                          const UpdateView& updates, ShardPartial& out) {
+  AggregationStrategy::do_partial_aggregate(context, updates, out);
+  out.selection_scores = scores_;  // do_aggregate just filled the scratch
+}
+
 }  // namespace fedguard::defenses

@@ -20,6 +20,14 @@ class KrumAggregator final : public AggregationStrategy {
     return multi_k_ > 1 ? "multi_krum" : "krum";
   }
 
+ protected:
+  /// Metadata routing with scores attached: the shard runs Krum on its own
+  /// cohort (so its f budget applies per shard, not globally — the
+  /// robustness cost docs/SHARDING.md quantifies) and ships the per-slot
+  /// Krum scores upward alongside the accept set.
+  void do_partial_aggregate(const AggregationContext& context, const UpdateView& updates,
+                            ShardPartial& out) override;
+
  private:
   void do_aggregate(const AggregationContext& context, const UpdateView& updates,
                     AggregationResult& out) override;

@@ -156,7 +156,30 @@ RoundRecord Server::run_round(std::size_t round) {
     defenses::AggregationContext context;
     context.round = round;
     context.global_parameters = global_parameters_;
-    strategy_.aggregate_into(context, updates, result_);
+    if (config_.shards <= 1) {
+      strategy_.aggregate_into(context, updates, result_);
+    } else {
+      // Two-tier simulation: partition arena rows by the owner shard of the
+      // client that produced them (floor(c*S/N) — net::HierarchicalServer's
+      // partition), keeping sample order within each cohort, then partial-
+      // aggregate per shard and merge at the root.
+      const std::size_t population = clients_.size();
+      cohort_slots_.resize(config_.shards);
+      for (auto& cohort : cohort_slots_) cohort.clear();
+      for (std::size_t k = 0; k < sampled_.size(); ++k) {
+        cohort_slots_[sampled_[k] * config_.shards / population].push_back(k);
+      }
+      partials_.resize(config_.shards);
+      for (std::size_t shard = 0; shard < config_.shards; ++shard) {
+        if (cohort_slots_[shard].empty()) {
+          partials_[shard].clear();  // merged as a skipped (empty) shard
+          continue;
+        }
+        const defenses::UpdateView cohort{arena_, cohort_slots_[shard]};
+        strategy_.partial_aggregate_into(context, cohort, shard, partials_[shard]);
+      }
+      strategy_.merge_partials_into(context, partials_, result_);
+    }
     if (result_.parameters.size() != global_parameters_.size()) {
       throw std::runtime_error{"Server: strategy returned wrong parameter dimension"};
     }

@@ -45,6 +45,14 @@ struct ServerConfig {
   util::WireCodec psi_codec = util::WireCodec::Fp32;
   /// Elements per q8 quantization chunk (ignored by other codecs).
   std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
+  /// Two-tier topology simulated in-process: the sampled updates are
+  /// partitioned into per-shard cohorts by client ownership (client c of N
+  /// belongs to shard floor(c*S/N), exactly net::HierarchicalServer's
+  /// partition), each cohort runs AggregationStrategy::partial_aggregate_into,
+  /// and the partials merge at the root. 1 = classic single-tier aggregation.
+  /// FedAvg merges exactly; selectors (Krum/FedCPA/FedGuard) select per shard
+  /// — docs/SHARDING.md quantifies the robustness cost.
+  std::size_t shards = 1;
 };
 
 class Server {
@@ -90,6 +98,8 @@ class Server {
   // allocation in this loop (strategies own their own scratch likewise).
   defenses::UpdateMatrix arena_;
   defenses::AggregationResult result_;
+  std::vector<defenses::ShardPartial> partials_;           // shards > 1
+  std::vector<std::vector<std::size_t>> cohort_slots_;     // arena rows per shard
   std::vector<std::size_t> sampled_;
   std::vector<std::size_t> responders_;
   std::vector<std::size_t> eval_indices_;

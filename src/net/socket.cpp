@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -12,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/logging.hpp"
 #include "util/serialize.hpp"
 
 namespace fedguard::net {
@@ -27,6 +29,15 @@ timeval to_timeval(std::chrono::milliseconds timeout) noexcept {
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
   tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
   return tv;
+}
+
+void set_fd_nonblocking(int fd, bool enabled, const char* what) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno(std::string{what} + ": fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    throw_errno(std::string{what} + ": fcntl(F_SETFL)");
+  }
 }
 
 }  // namespace
@@ -97,6 +108,43 @@ bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
   }
 }
 
+void TcpStream::set_nonblocking(bool enabled) {
+  set_fd_nonblocking(fd_, enabled, "TcpStream::set_nonblocking");
+}
+
+IoStatus TcpStream::read_some(std::span<std::byte> data, std::size_t& transferred) {
+  transferred = 0;
+  if (data.empty()) return IoStatus::Ready;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data.data(), data.size(), 0);
+    if (n > 0) {
+      transferred = static_cast<std::size_t>(n);
+      return IoStatus::Ready;
+    }
+    if (n == 0) return IoStatus::Closed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::WouldBlock;
+    if (errno == ECONNRESET) return IoStatus::Closed;
+    throw_errno("read_some");
+  }
+}
+
+IoStatus TcpStream::write_some(std::span<const std::byte> data, std::size_t& transferred) {
+  transferred = 0;
+  if (data.empty()) return IoStatus::Ready;
+  for (;;) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      transferred = static_cast<std::size_t>(n);
+      return IoStatus::Ready;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return IoStatus::WouldBlock;
+    if (n == 0 || errno == EPIPE || errno == ECONNRESET) return IoStatus::Closed;
+    throw_errno("write_some");
+  }
+}
+
 void TcpStream::send_all(std::span<const std::byte> data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -157,7 +205,7 @@ Message TcpStream::receive_message() {
   return message;
 }
 
-TcpListener::TcpListener(std::uint16_t port) {
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("socket");
   const int one = 1;
@@ -170,7 +218,7 @@ TcpListener::TcpListener(std::uint16_t port) {
     ::close(fd_);
     throw_errno("bind");
   }
-  if (::listen(fd_, 128) != 0) {
+  if (::listen(fd_, backlog) != 0) {
     ::close(fd_);
     throw_errno("listen");
   }
@@ -192,11 +240,43 @@ void TcpListener::close() noexcept {
 }
 
 TcpStream TcpListener::accept() {
-  const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) throw_errno("accept");
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return TcpStream{fd};
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // A signal or a peer that aborted while queued is not a listener
+      // failure; keep waiting for the next connection.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream{fd};
+  }
+}
+
+void TcpListener::set_nonblocking(bool enabled) {
+  set_fd_nonblocking(fd_, enabled, "TcpListener::set_nonblocking");
+}
+
+std::optional<TcpStream> TcpListener::accept_nonblocking() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion: survivable back-pressure, not a listener
+        // fault. The pending peer stays in the kernel queue (level-triggered
+        // registration retries it once fds free up).
+        util::log_warn("accept: out of file descriptors (EMFILE/ENFILE)");
+        return std::nullopt;
+      }
+      throw_errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream{fd};
+  }
 }
 
 std::optional<TcpStream> TcpListener::accept_within(std::chrono::milliseconds timeout) {

@@ -30,6 +30,14 @@ class ConnectionClosed : public std::runtime_error {
   explicit ConnectionClosed(const std::string& what) : std::runtime_error{what} {}
 };
 
+/// Outcome of a non-blocking partial read/write (reactor fast path). The
+/// helpers retry EINTR internally, so the caller only ever sees these three.
+enum class IoStatus {
+  Ready,       // made progress (>= 1 byte moved)
+  WouldBlock,  // the socket buffer is empty/full right now (EAGAIN)
+  Closed,      // the peer closed or reset the connection
+};
+
 /// Connected byte stream. Movable, closes on destruction.
 class TcpStream {
  public:
@@ -56,6 +64,21 @@ class TcpStream {
   /// Block until the stream is readable or `timeout` elapses (poll).
   [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout) const;
 
+  /// Switch the descriptor between blocking and O_NONBLOCK mode. Reactor
+  /// connections run non-blocking; the request/reply helpers below
+  /// (send_all/recv_all/receive_message) assume blocking mode.
+  void set_nonblocking(bool enabled);
+
+  /// Edge-triggered-safe partial read: one recv() into `data`, retrying
+  /// EINTR. Ready sets `transferred` (>= 1); WouldBlock/Closed leave it 0.
+  /// Callers drain in a loop until WouldBlock so an EPOLLET wakeup is never
+  /// lost. Throws std::runtime_error only for unexpected errno values.
+  [[nodiscard]] IoStatus read_some(std::span<std::byte> data, std::size_t& transferred);
+  /// Edge-triggered-safe partial write (MSG_NOSIGNAL); same contract as
+  /// read_some with EAGAIN reported as WouldBlock instead of a timeout.
+  [[nodiscard]] IoStatus write_some(std::span<const std::byte> data,
+                                    std::size_t& transferred);
+
   /// Full-buffer send; throws ConnectionClosed / SocketTimeout /
   /// std::runtime_error.
   void send_all(std::span<const std::byte> data);
@@ -80,17 +103,28 @@ class TcpStream {
 /// Listening socket. Binding port 0 selects an ephemeral port (see port()).
 class TcpListener {
  public:
-  explicit TcpListener(std::uint16_t port);
+  /// `backlog` sizes the kernel pending-connection queue; shard listeners
+  /// that expect hundreds of near-simultaneous joins pass more than the
+  /// request/reply default.
+  explicit TcpListener(std::uint16_t port, int backlog = 128);
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  /// Block until a client connects.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Block until a client connects (retries EINTR / ECONNABORTED).
   [[nodiscard]] TcpStream accept();
   /// Accept with a deadline: nullopt when `timeout` elapses with no pending
   /// connection (poll-based; never blocks past the deadline).
   [[nodiscard]] std::optional<TcpStream> accept_within(std::chrono::milliseconds timeout);
+  /// Non-blocking mode for the listening descriptor itself (reactor use).
+  void set_nonblocking(bool enabled);
+  /// Reactor accept path: nullopt when no connection is pending (EAGAIN) or
+  /// when the process is out of descriptors (EMFILE/ENFILE — logged and
+  /// survivable: the pending peer stays queued and is retried on the next
+  /// readiness event). Retries EINTR and already-aborted connections.
+  [[nodiscard]] std::optional<TcpStream> accept_nonblocking();
   /// Stop listening: subsequent connection attempts are refused (late
   /// reconnecting clients fail fast instead of queueing forever).
   void close() noexcept;

@@ -120,8 +120,12 @@ DataRegime parse_regime(const std::string& text) {
 
 std::string Cell::id() const {
   const auto pct = static_cast<long long>(std::llround(malicious_fraction * 100.0));
-  return std::string{attacks::to_string(attack)} + "+" + std::to_string(pct) + "/" +
-         core::to_string(defense) + "/" + regime.label();
+  std::string id = std::string{attacks::to_string(attack)} + "+" + std::to_string(pct) +
+                   "/" + core::to_string(defense) + "/" + regime.label();
+  // Single-tier ids stay exactly as before the shards axis existed, so the
+  // committed leaderboard baseline keys remain valid.
+  if (shards > 1) id += "/s" + std::to_string(shards);
+  return id;
 }
 
 std::uint64_t Cell::cell_seed(std::uint64_t matrix_seed) const {
@@ -139,23 +143,29 @@ std::uint64_t Cell::cell_seed(std::uint64_t matrix_seed) const {
 
 std::vector<Cell> SweepMatrix::enumerate() const {
   std::vector<Cell> cells;
+  const std::vector<std::size_t> shard_counts =
+      shards_axis.empty() ? std::vector<std::size_t>{1} : shards_axis;
   for (const core::StrategyKind defense : defense_axis) {
     for (const DataRegime& regime : regime_axis) {
-      Cell baseline;
-      baseline.attack = attacks::AttackType::None;
-      baseline.defense = defense;
-      baseline.regime = regime;
-      baseline.malicious_fraction = 0.0;
-      cells.push_back(baseline);
-      for (const attacks::AttackType attack : attack_axis) {
-        if (attack == attacks::AttackType::None) continue;
-        for (const double fraction : fraction_axis) {
-          Cell cell;
-          cell.attack = attack;
-          cell.defense = defense;
-          cell.regime = regime;
-          cell.malicious_fraction = fraction;
-          cells.push_back(cell);
+      for (const std::size_t shards : shard_counts) {
+        Cell baseline;
+        baseline.attack = attacks::AttackType::None;
+        baseline.defense = defense;
+        baseline.regime = regime;
+        baseline.malicious_fraction = 0.0;
+        baseline.shards = shards;
+        cells.push_back(baseline);
+        for (const attacks::AttackType attack : attack_axis) {
+          if (attack == attacks::AttackType::None) continue;
+          for (const double fraction : fraction_axis) {
+            Cell cell;
+            cell.attack = attack;
+            cell.defense = defense;
+            cell.regime = regime;
+            cell.malicious_fraction = fraction;
+            cell.shards = shards;
+            cells.push_back(cell);
+          }
         }
       }
     }
@@ -172,6 +182,7 @@ core::ExperimentConfig SweepMatrix::cell_config(const Cell& cell) const {
   config.strategy = cell.defense;
   config.partition_scheme = cell.regime.scheme;
   config.dirichlet_alpha = cell.regime.alpha;
+  config.shards = cell.shards;
   config.seed = cell.cell_seed(base.seed);
   return config;
 }
@@ -184,6 +195,9 @@ SweepMatrix smoke_matrix(std::uint64_t seed) {
                          core::StrategyKind::FedCPA, core::StrategyKind::FedGuard};
   matrix.regime_axis = {DataRegime{data::PartitionScheme::Iid, 10.0}};
   matrix.fraction_axis = {0.4};
+  // Pin the two-tier robustness cost alongside the single-tier rows: /s2
+  // cells run the same federations through the sharded selection path.
+  matrix.shards_axis = {1, 2};
   return matrix;
 }
 
@@ -266,6 +280,20 @@ void apply_scenario_values(SweepMatrix& matrix,
                                       "' outside [0, 1)"};
         }
         matrix.fraction_axis.push_back(fraction);
+      }
+    } else if (key == "scenario_shards") {
+      matrix.shards_axis.clear();
+      for (const std::string& item : split_list(value)) {
+        std::size_t shards = 0;
+        try {
+          shards = static_cast<std::size_t>(std::stoull(item));
+        } catch (const std::exception&) {
+          throw std::invalid_argument{"scenario_shards: bad number '" + item + "'"};
+        }
+        if (shards == 0) {
+          throw std::invalid_argument{"scenario_shards: shard counts must be positive"};
+        }
+        matrix.shards_axis.push_back(shards);
       }
     } else if (key == "scenario_rounds") {
       matrix.base.rounds = static_cast<std::size_t>(std::stoll(value));

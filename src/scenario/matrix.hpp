@@ -40,8 +40,14 @@ struct Cell {
   core::StrategyKind defense = core::StrategyKind::FedAvg;
   DataRegime regime;
   double malicious_fraction = 0.0;  // 0 for the None baseline cells
+  /// Two-tier topology width (ExperimentConfig::shards). 1 = single-tier;
+  /// >1 exercises the sharded selection path, whose robustness cost the
+  /// leaderboard pins (docs/SHARDING.md).
+  std::size_t shards = 1;
 
-  /// "<attack>+<pct>/<defense>/<regime>", e.g. "covert+40/krum/iid".
+  /// "<attack>+<pct>/<defense>/<regime>", e.g. "covert+40/krum/iid"; sharded
+  /// cells append "/s<shards>" ("covert+40/krum/iid/s2") so every
+  /// single-tier id — and the committed baseline pinned to them — is stable.
   [[nodiscard]] std::string id() const;
   /// Experiment seed for this cell: a splitmix64 hash of the matrix seed and
   /// the cell id — nothing else. Replaying (seed, id) reproduces the cell.
@@ -56,6 +62,9 @@ struct SweepMatrix {
   std::vector<core::StrategyKind> defense_axis;
   std::vector<DataRegime> regime_axis;
   std::vector<double> fraction_axis;
+  /// Topology axis: every listed shard count gets its own cell (and its own
+  /// None baseline per defense × regime). Empty is treated as {1}.
+  std::vector<std::size_t> shards_axis{1};
 
   /// Cross product of the axes plus one None baseline per defense × regime,
   /// sorted by cell id. AttackType::None on the attack axis is ignored (the

@@ -25,6 +25,7 @@ void append_cell(std::string& out, const CellResult& cell) {
   out += " \"malicious_pct\": " + std::to_string(cell.malicious_pct) + ",";
   out += " \"defense\": \"" + cell.defense + "\",";
   out += " \"regime\": \"" + cell.regime + "\",";
+  out += " \"shards\": " + std::to_string(cell.shards) + ",";
   out += " \"seed\": " + std::to_string(cell.seed) + ",";
   out += " \"rounds\": " + std::to_string(cell.rounds) + ",\n";
   out += "     \"final_accuracy\": " + fmt(cell.final_accuracy) + ",";
@@ -67,8 +68,10 @@ void print_leaderboard(std::ostream& out, const Leaderboard& board) {
   // Group by attack scenario; within each group rank defenses by accuracy.
   std::map<std::string, std::vector<const CellResult*>> groups;
   for (const CellResult& cell : board.cells) {
-    groups[cell.attack + "+" + std::to_string(cell.malicious_pct) + "/" + cell.regime]
-        .push_back(&cell);
+    std::string label =
+        cell.attack + "+" + std::to_string(cell.malicious_pct) + "/" + cell.regime;
+    if (cell.shards > 1) label += "/s" + std::to_string(cell.shards);
+    groups[std::move(label)].push_back(&cell);
   }
   out << "robustness leaderboard (matrix=" << board.matrix_name
       << ", seed=" << board.seed << ")\n";

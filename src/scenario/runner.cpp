@@ -49,6 +49,7 @@ CellResult run_cell(const SweepMatrix& matrix, const Cell& cell) {
       static_cast<long long>(cell.malicious_fraction * 100.0 + 0.5);
   result.defense = core::to_string(cell.defense);
   result.regime = cell.regime.label();
+  result.shards = cell.shards;
   result.seed = config.seed;
   result.rounds = config.rounds;
 
@@ -91,13 +92,15 @@ Leaderboard run_sweep(const SweepMatrix& matrix, const std::string& matrix_name)
                    static_cast<unsigned long long>(result.rejected_benign),
                    static_cast<unsigned long long>(result.sampled_malicious));
     if (cell.attack == attacks::AttackType::None) {
-      baselines[result.defense + "/" + result.regime] = result.final_accuracy;
+      baselines[result.defense + "/" + result.regime + "/s" +
+                std::to_string(result.shards)] = result.final_accuracy;
     }
     board.cells.push_back(std::move(result));
   }
 
   for (CellResult& result : board.cells) {
-    const auto it = baselines.find(result.defense + "/" + result.regime);
+    const auto it = baselines.find(result.defense + "/" + result.regime + "/s" +
+                                   std::to_string(result.shards));
     if (it == baselines.end()) continue;
     result.baseline_accuracy = it->second;
     if (result.attack != "none" && it->second > 0.0) {

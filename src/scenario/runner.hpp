@@ -20,11 +20,13 @@ struct CellResult {
   long long malicious_pct = 0;
   std::string defense;
   std::string regime;
+  std::size_t shards = 1;  // two-tier topology width (1 = single-tier)
   std::uint64_t seed = 0;  // the cell's derived experiment seed
   std::size_t rounds = 0;
 
   double final_accuracy = 0.0;     // trailing-window mean (last ⌈R/3⌉ rounds)
-  double baseline_accuracy = 0.0;  // the None cell of the same defense × regime
+  /// The None cell of the same defense × regime × shards.
+  double baseline_accuracy = 0.0;
   /// max(0, (baseline − final) / baseline): 0 = the defense fully held, 1 =
   /// the attack drove accuracy to zero. 0 for baseline cells by construction.
   double attack_success = 0.0;

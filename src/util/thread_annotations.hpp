@@ -24,6 +24,7 @@
 //
 //   { const util::MutexLock lock{mutex_}; queue_.push_back(t); }
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -152,6 +153,13 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(Mutex& mutex) FEDGUARD_REQUIRES(mutex) { cv_.wait(mutex); }
+  /// Bounded wait for deadline-driven collectors (the hierarchical root
+  /// waiting on shard partials): returns timeout/no_timeout like the
+  /// underlying std wait, with the same held-across-the-wait guarantee.
+  std::cv_status wait_for(Mutex& mutex, std::chrono::milliseconds duration)
+      FEDGUARD_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, duration);
+  }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

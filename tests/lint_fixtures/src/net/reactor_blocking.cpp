@@ -1,0 +1,13 @@
+// Fixture: no-blocking-socket rule. Files under src/net/ named reactor* or
+// shard* run the single-threaded event loop and must never issue a blocking
+// socket call — one stalled call freezes every connection the loop holds.
+
+namespace fedguard::net {
+
+void fixture_reactor_loop(int fd) {
+  ::poll(&fd, 1, 1000);             // VIOLATION: blocking poll in the reactor
+  stream.read_some(buffer, moved);  // NOT flagged: edge-triggered fast path
+  stream.recv_all(buffer);          // VIOLATION: blocking full-buffer receive
+}
+
+}  // namespace fedguard::net

@@ -28,6 +28,8 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/fl/bad_stopwatch.cpp", 8, "no-raw-stopwatch"),
     ("src/models/bad_random.cpp", 9, "rng"),
     ("src/net/bad_span.cpp", 10, "span-category-docs"),
+    ("src/net/reactor_blocking.cpp", 8, "no-blocking-socket"),
+    ("src/net/reactor_blocking.cpp", 10, "no-blocking-socket"),
     ("src/nn/bad_intrinsics.cpp", 7, "no-raw-intrinsics"),
     ("src/nn/bad_intrinsics.cpp", 10, "no-raw-intrinsics"),
     ("src/nn/bad_intrinsics.cpp", 12, "no-raw-intrinsics"),
@@ -94,7 +96,7 @@ class FedguardLintGolden(unittest.TestCase):
                      "no-raw-stopwatch", "span-category-docs",
                      "no-raw-intrinsics", "sweep-roster", "layering",
                      "no-unannotated-mutex", "no-const-cast-mutex",
-                     "lock-discipline"):
+                     "lock-discipline", "no-blocking-socket"):
             self.assertIn(rule, result.stdout)
 
 

@@ -33,6 +33,7 @@ SweepMatrix micro_matrix(std::uint64_t seed) {
   matrix.defense_axis = {core::StrategyKind::FedAvg};
   matrix.regime_axis = {DataRegime{data::PartitionScheme::Iid, 10.0}};
   matrix.fraction_axis = {0.4};
+  matrix.shards_axis = {1};
   return matrix;
 }
 
@@ -94,6 +95,20 @@ TEST(SweepMatrixEnumerate, BaselinePerDefenseRegimeAndSorted) {
   std::set<std::string> ids;
   for (const Cell& cell : cells) ids.insert(cell.id());
   EXPECT_EQ(ids.size(), cells.size()) << "cell ids must be unique";
+
+  // A shards axis multiplies the matrix; only the k > 1 cells carry the
+  // /s<k> id suffix, so every single-tier id survives verbatim.
+  matrix.shards_axis = {1, 2};
+  const auto sharded = matrix.enumerate();
+  ASSERT_EQ(sharded.size(), 8u);
+  std::set<std::string> sharded_ids;
+  for (const Cell& cell : sharded) {
+    sharded_ids.insert(cell.id());
+    EXPECT_EQ(cell.id().find("/s") != std::string::npos, cell.shards > 1)
+        << cell.id();
+  }
+  EXPECT_EQ(sharded_ids.size(), sharded.size());
+  for (const std::string& id : ids) EXPECT_TRUE(sharded_ids.count(id)) << id;
 }
 
 TEST(SweepMatrixEnumerate, CellConfigAppliesCoordinates) {
