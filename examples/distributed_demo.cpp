@@ -25,10 +25,21 @@
 // Observability (server/demo roles; see docs/OBSERVABILITY.md):
 //   --trace trace.json      Chrome trace_event output (open at ui.perfetto.dev)
 //   --metrics metrics.prom  Prometheus text + per-round snapshots (.jsonl)
+//   --metrics-port 9464     Live /metrics, /metrics.json and /healthz over
+//                           HTTP: the root serves PORT, shard i serves
+//                           PORT+1+i (every shard data port also answers
+//                           scrapes). The sharded demo self-checks the
+//                           endpoints mid-federation and prints a FAIL: line
+//                           when a scrape does not come back healthy.
 
+#include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <span>
+#include <string>
 #include <thread>
 
 #include "core/cli.hpp"
@@ -39,6 +50,7 @@
 #include "defenses/fedavg.hpp"
 #include "net/remote.hpp"
 #include "net/shard.hpp"
+#include "net/socket.hpp"
 #include "obs/exporter.hpp"
 #include "util/logging.hpp"
 
@@ -58,6 +70,41 @@ std::unique_ptr<obs::RoundExporter> exporter_from_options(
 
 constexpr std::size_t kTrainSamples = 800;
 constexpr std::uint64_t kDataSeed = 77;
+
+/// One-shot HTTP/1.0 scrape of 127.0.0.1:`port`; returns the raw response
+/// ("" on connect/send/receive failure).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  try {
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port);
+    stream.set_receive_timeout(std::chrono::milliseconds{2000});
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    stream.send_all(std::as_bytes(std::span{request.data(), request.size()}));
+    std::string response;
+    std::byte chunk[512];
+    std::size_t transferred = 0;
+    while (stream.read_some(chunk, transferred) == net::IoStatus::Ready) {
+      response.append(reinterpret_cast<const char*>(chunk), transferred);
+    }
+    return response;
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+/// Retry `path` on `port` until the predicate holds (the scrape races
+/// federation startup) or ~4s elapse.
+bool probe_until(std::uint16_t port, const std::string& path,
+                 const std::string& needle) {
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const std::string response = http_get(port, path);
+    if (response.find("200") != std::string::npos &&
+        response.find(needle) != std::string::npos) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  }
+  return false;
+}
 
 models::CvaeSpec demo_cvae() {
   models::CvaeSpec spec;
@@ -124,6 +171,7 @@ int run_server(const core::CliOptions& options) {
   config.accept_timeout_ms = static_cast<std::size_t>(options.get_int("accept-ms", 30000));
   config.round_timeout_ms = static_cast<std::size_t>(options.get_int("round-ms", 30000));
   config.min_clients = static_cast<std::size_t>(options.get_int("min-clients", 0));
+  config.http_port = static_cast<std::uint16_t>(options.get_int("metrics-port", 0));
   net::RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp,
                            models::ImageGeometry{}};
   std::printf("server listening on port %u, waiting for %zu clients...\n",
@@ -155,6 +203,9 @@ int run_client(const core::CliOptions& options) {
   net::FaultInjector injector{plan};
   net::RemoteClientOptions remote_options;
   if (plan.any()) remote_options.faults = &injector;
+  // Separate-process clients ship their spans and counter deltas upstream so
+  // the server's trace holds the whole federation (docs/OBSERVABILITY.md).
+  remote_options.relay_telemetry = true;
   const std::size_t served = net::run_remote_client(host, port, *client, remote_options);
   std::printf("client %d served %zu rounds (%zu faults injected)\n", id, served,
               injector.total_injected());
@@ -191,6 +242,7 @@ int run_threaded_demo(const core::CliOptions& options) {
     config.accept_timeout_ms = 5000;
     config.min_clients = 1;
   }
+  config.http_port = static_cast<std::uint16_t>(options.get_int("metrics-port", 0));
   net::RemoteServer server{config, strategy, test, models::ClassifierArch::Mlp,
                            models::ImageGeometry{}};
   const std::uint16_t port = server.port();
@@ -258,6 +310,9 @@ int run_sharded_demo(const core::CliOptions& options) {
   config.seed = kDataSeed;
   config.accept_timeout_ms = static_cast<std::size_t>(options.get_int("accept-ms", 30000));
   config.round_timeout_ms = static_cast<std::size_t>(options.get_int("round-ms", 30000));
+  const auto metrics_port =
+      static_cast<std::uint16_t>(options.get_int("metrics-port", 0));
+  config.http_port = metrics_port;
   if (kill_shard >= 0) {
     config.shard_kill_predicate = [kill_shard, kill_round](std::size_t shard,
                                                            std::size_t round) {
@@ -282,8 +337,34 @@ int run_sharded_demo(const core::CliOptions& options) {
     });
   }
   const auto exporter = exporter_from_options(options);
+  // Mid-federation scrape smoke check: while the rounds run, hit the root's
+  // /healthz (standalone listener) and shard 0's data port /metrics (reactor
+  // auto-detection) and record whether both answered healthy.
+  std::atomic<bool> root_healthy{false};
+  std::atomic<bool> shard_healthy{false};
+  std::thread probe;
+  if (metrics_port != 0) {
+    const std::uint16_t shard0_port = server.shard_port(0);
+    probe = std::thread{[&, shard0_port] {
+      root_healthy = probe_until(metrics_port, "/healthz", "\"status\":\"ok\"");
+      shard_healthy = probe_until(shard0_port, "/metrics", "net_shard_rounds_total");
+    }};
+  }
   const fl::RunHistory history = server.run();
   for (auto& thread : threads) thread.join();
+  if (probe.joinable()) probe.join();
+  if (metrics_port != 0) {
+    if (!root_healthy) {
+      std::printf("FAIL: root /healthz on port %u never answered healthy\n",
+                  static_cast<unsigned>(metrics_port));
+      return 1;
+    }
+    if (!shard_healthy) {
+      std::printf("FAIL: shard 0 data-port /metrics scrape never answered\n");
+      return 1;
+    }
+    std::printf("live telemetry verified mid-run (root /healthz + shard /metrics)\n");
+  }
 
   for (const auto& round : history.rounds) {
     std::printf("round %zu: accuracy %5.1f%% | sampled %zu | stragglers %zu\n",

@@ -3,8 +3,12 @@
 //
 //   $ ./run_config configs/signflip50_fedguard.conf [--csv out.csv]
 //                  [--trace trace.json] [--metrics metrics.prom]
+//                  [--metrics-port 9464]
 
+#include <cstdint>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "core/cli.hpp"
 #include "core/config_file.hpp"
@@ -15,7 +19,7 @@ int main(int argc, char** argv) {
   if (argc < 2 || std::string{argv[1]}.rfind("--", 0) == 0) {
     std::printf(
         "usage: run_config <descriptor.conf> [--csv PATH] [--trace PATH] "
-        "[--metrics PATH]\n");
+        "[--metrics PATH] [--metrics-port PORT]\n");
     return 1;
   }
   const core::CliOptions options = core::CliOptions::parse(argc, argv);
@@ -32,6 +36,17 @@ int main(int argc, char** argv) {
   if (!trace.empty()) config.obs.trace_path = trace;
   const std::string metrics = options.get("metrics", "");
   if (!metrics.empty()) config.obs.metrics_path = metrics;
+  const std::string metrics_port = options.get("metrics-port", "");
+  if (!metrics_port.empty()) {
+    try {
+      const unsigned long port = std::stoul(metrics_port);
+      if (port > 65535) throw std::out_of_range{"port"};
+      config.obs.http_port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "error: bad --metrics-port '%s'\n", metrics_port.c_str());
+      return 1;
+    }
+  }
 
   std::printf("descriptor: %s\n  strategy=%s attack=%s malicious=%.0f%% N=%zu m=%zu R=%zu\n\n",
               argv[1], core::to_string(config.strategy), attacks::to_string(config.attack),

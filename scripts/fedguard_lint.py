@@ -39,6 +39,11 @@ span-category-docs   Every string-literal category passed to
                      the span taxonomy is a documented contract, not folklore.
                      Dynamic categories (e.g. std::string{"agg."} + name())
                      are covered by the documented agg.<strategy> pattern.
+                     Likewise every metric name (or static name prefix, when
+                     the registration concatenates a label) passed to
+                     Registry::counter/gauge/histogram in src/ must appear in
+                     docs/OBSERVABILITY.md: a scrape endpoint exporting
+                     undocumented series is folklore too.
 no-raw-intrinsics    No raw SIMD intrinsics (<immintrin.h>, _mm*_ calls,
                      __m128/__m256/__m512 types) outside src/tensor/kernels/.
                      The kernel TUs are the only code compiled with widened
@@ -120,7 +125,7 @@ RULES = {
     "config-docs": "config key referenced in code but not documented in docs/",
     "no-pointset-copy": "psi re-concatenation in a defense (use an UpdateView selection)",
     "no-raw-stopwatch": "util::Stopwatch in round-path code (use obs::now_ns)",
-    "span-category-docs": "trace span category missing from docs/OBSERVABILITY.md",
+    "span-category-docs": "span category or metric name missing from docs/OBSERVABILITY.md",
     "no-raw-intrinsics": "raw SIMD intrinsics outside src/tensor/kernels/",
     "sweep-roster": "attack/strategy name missing from the scenario sweep roster",
     "layering": "include crosses the architecture layer DAG backwards (or cycles)",
@@ -167,6 +172,14 @@ STOPWATCH_SCOPE_DIRS = ("src/fl", "src/net", "src/defenses")
 # String-literal span categories; dynamic first arguments (no leading quote)
 # are exempt and covered by the documented agg.<strategy> pattern.
 SPAN_CATEGORY_RE = re.compile(r'FEDGUARD_TRACE_SPAN\s*\(\s*"([^"]+)"')
+
+# String-literal metric registrations (registry.counter("...") etc.) in src/;
+# the captured leading literal is the name (or its static prefix when the call
+# concatenates a label). Fully dynamic names (with_origin_label(...)) carry no
+# leading quote and are exempt — they share a documented literal prefix.
+METRIC_NAME_RE = re.compile(
+    r'\.\s*(?:counter|gauge|histogram)\s*\(\s*"([A-Za-z_][A-Za-z0-9_]*)')
+METRIC_DOCS_SCOPE_DIR = "src/"
 
 # Raw SIMD intrinsics are confined to the runtime-dispatched kernel TUs: the
 # intrinsic headers, _mm*_ calls, and vector register types.
@@ -642,15 +655,17 @@ def check_config_docs(root: Path) -> list[Violation]:
 
 
 def check_span_categories(root: Path) -> list[Violation]:
-    """Every string-literal FEDGUARD_TRACE_SPAN category must be listed in
-    docs/OBSERVABILITY.md. Scans RAW lines — the categories live inside string
+    """Every string-literal FEDGUARD_TRACE_SPAN category — and every metric
+    name (or static name prefix) registered on a Registry in src/ — must be
+    listed in docs/OBSERVABILITY.md. Scans RAW lines — both live inside string
     literals, which the token scans deliberately blank out."""
     violations: list[Violation] = []
     doc = root / "docs" / "OBSERVABILITY.md"
     doc_text = doc.read_text(encoding="utf-8", errors="replace") if doc.is_file() else ""
     for path, relpath in iter_source_files(root):
         text = path.read_text(encoding="utf-8", errors="replace")
-        if "FEDGUARD_TRACE_SPAN" not in text:
+        scan_metrics = relpath.startswith(METRIC_DOCS_SCOPE_DIR)
+        if "FEDGUARD_TRACE_SPAN" not in text and not scan_metrics:
             continue
         raw_lines = text.splitlines()
         # Allow problems are already reported by check_source_file.
@@ -666,6 +681,18 @@ def check_span_categories(root: Path) -> list[Violation]:
                     relpath, idx, "span-category-docs",
                     f"span category '{category}' is not part of the documented "
                     "taxonomy in docs/OBSERVABILITY.md"))
+            if not scan_metrics:
+                continue
+            for match in METRIC_NAME_RE.finditer(line):
+                name = match.group(1)
+                if name in doc_text:
+                    continue
+                if allowed(allows, idx, "span-category-docs"):
+                    continue
+                violations.append(Violation(
+                    relpath, idx, "span-category-docs",
+                    f"metric '{name}' is registered here but missing from the "
+                    "documented metric reference in docs/OBSERVABILITY.md"))
     return violations
 
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Stitch per-process FedGuard trace files into one Perfetto-loadable timeline.
+
+Each federation process (root, shard aggregators, remote clients) can write
+its own Chrome trace_event file via obs_trace_path / --trace. The live
+TelemetryReport relay already merges client spans into the server's file at
+round boundaries, but when processes instead trace locally (e.g. a client
+started without telemetry relay, or traces collected from separate hosts),
+this script merges them offline:
+
+  $ scripts/merge_traces.py root.json shard0.json client0.json -o merged.json
+
+Alignment: wall-clock offsets between hosts are unknowable from the traces
+alone, so events are aligned per trace_id — for every (file, trace_id) pair
+the earliest event is shifted onto the earliest event of that trace_id in the
+first file that contains it. Files without shared trace ids are appended
+unshifted. Each input keeps its own pid lane; colliding pids are renumbered
+and recorded in process_name metadata so Perfetto labels the lanes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_events(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a trace_event file")
+    return [e for e in events if isinstance(e, dict)]
+
+
+def trace_id_of(event: dict) -> str | None:
+    args = event.get("args")
+    if isinstance(args, dict):
+        tid = args.get("trace_id")
+        if isinstance(tid, str):
+            return tid
+    return None
+
+
+def earliest_by_trace_id(events: list[dict]) -> dict[str, float]:
+    earliest: dict[str, float] = {}
+    for event in events:
+        tid = trace_id_of(event)
+        if tid is None or "ts" not in event:
+            continue
+        ts = float(event["ts"])
+        if tid not in earliest or ts < earliest[tid]:
+            earliest[tid] = ts
+    return earliest
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="trace_event JSON files to merge")
+    parser.add_argument("-o", "--output", default="merged_trace.json")
+    args = parser.parse_args()
+
+    merged: list[dict] = []
+    # trace_id -> anchor ts (from the first file that contains it).
+    anchors: dict[str, float] = {}
+    used_pids: set[int] = set()
+    next_pid = 1
+
+    for path in args.traces:
+        try:
+            events = load_events(path)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 1
+
+        earliest = earliest_by_trace_id(events)
+        # One offset per file: the median per-trace-id shift is overkill for
+        # steady clocks, so use the first shared trace id's shift.
+        offset = 0.0
+        for tid, ts in sorted(earliest.items()):
+            if tid in anchors:
+                offset = anchors[tid] - ts
+                break
+        for tid, ts in earliest.items():
+            anchors.setdefault(tid, ts + offset)
+
+        # Renumber colliding pid lanes so each file stays visually separate.
+        file_pids = sorted({int(e.get("pid", 0)) for e in events})
+        pid_map: dict[int, int] = {}
+        for pid in file_pids:
+            if pid not in used_pids:
+                pid_map[pid] = pid
+            else:
+                while next_pid in used_pids:
+                    next_pid += 1
+                pid_map[pid] = next_pid
+            used_pids.add(pid_map[pid])
+
+        label = os.path.basename(path)
+        for original, renumbered in pid_map.items():
+            merged.append({
+                "name": "process_name", "ph": "M", "pid": renumbered, "tid": 0,
+                "args": {"name": f"{label} (pid {original})"},
+            })
+        for event in events:
+            out = dict(event)
+            if "ts" in out:
+                out["ts"] = float(out["ts"]) + offset
+            out["pid"] = pid_map[int(event.get("pid", 0))]
+            merged.append(out)
+        print(f"{path}: {len(events)} events, offset {offset:+.3f} us, "
+              f"pids {sorted(pid_map.values())}")
+
+    merged.sort(key=lambda e: (float(e.get("ts", -1.0)), e.get("ph") != "M"))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": merged}, handle)
+        handle.write("\n")
+    print(f"wrote {len(merged)} events to {args.output} (open at ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -216,6 +216,13 @@ void apply_config_values(ExperimentConfig& config,
       config.obs.flush_every_rounds = to_size(value, key);
     else if (key == "obs_histogram_buckets")
       config.obs.histogram_buckets = obs::parse_histogram_buckets(value);
+    else if (key == "obs_http_port") {
+      const std::size_t port = to_size(value, key);
+      if (port > 65535) {
+        throw std::invalid_argument{"config: obs_http_port out of range"};
+      }
+      config.obs.http_port = static_cast<std::uint16_t>(port);
+    }
     else if (key == "seed") config.seed = static_cast<std::uint64_t>(to_size(value, key));
     else throw std::invalid_argument{"config: unknown key '" + key + "'"};
   }

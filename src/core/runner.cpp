@@ -13,6 +13,7 @@
 #include "defenses/median.hpp"
 #include "defenses/norm_threshold.hpp"
 #include "defenses/trimmed_mean.hpp"
+#include "net/telemetry_http.hpp"
 #include "tensor/kernels/kernel_arch.hpp"
 #include "util/logging.hpp"
 
@@ -75,6 +76,16 @@ fl::RunHistory Federation::run() {
   std::unique_ptr<obs::RoundExporter> exporter;
   if (config.obs.enabled()) {
     exporter = std::make_unique<obs::RoundExporter>(config.obs);
+  }
+  // Live exposition (descriptor key obs_http_port / --metrics-port): the
+  // in-process simulator has no reactor of its own, so scrapes get a
+  // dedicated listener thread for the duration of the run.
+  std::unique_ptr<net::TelemetryHttpServer> http_server;
+  if (config.obs.http_port != 0) {
+    http_server = std::make_unique<net::TelemetryHttpServer>(
+        config.obs.http_port, net::make_registry_responder("fl_rounds_total", ""));
+    util::log_info("telemetry: /metrics and /healthz live on port %u",
+                   static_cast<unsigned>(http_server->port()));
   }
   fl::RunHistory history = server->run();
   history.attack = attacks::to_string(config.attack);

@@ -75,6 +75,16 @@ class UpdateMatrix {
     return {psi_storage_.data(), count_ * psi_dim_};
   }
 
+  /// Bytes reserved by the backing planes. Grow-only, so in steady state
+  /// (same count/dims per round) this must plateau — the servers snapshot it
+  /// into the obs_arena_capacity_bytes gauge, which the soak harness watches
+  /// as a leak invariant.
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return psi_storage_.capacity() * sizeof(float) +
+           theta_storage_.capacity() * sizeof(float) +
+           meta_.capacity() * sizeof(UpdateMeta);
+  }
+
  private:
   std::size_t count_ = 0;
   std::size_t psi_dim_ = 0;

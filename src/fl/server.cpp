@@ -36,6 +36,7 @@ Server::Server(ServerConfig config, std::vector<std::unique_ptr<Client>>& client
   rejected_malicious_total_ = registry.counter("fl_rejected_malicious_total");
   rejected_benign_total_ = registry.counter("fl_rejected_benign_total");
   round_seconds_ = registry.histogram("fl_round_seconds");
+  arena_capacity_bytes_ = registry.gauge("obs_arena_capacity_bytes");
   // Model initialization (Alg. 1 line 15): ψ0 from the eval classifier's init.
   global_parameters_ = eval_classifier_->parameters_flat();
 }
@@ -62,6 +63,10 @@ RoundRecord Server::run_round(std::size_t round) {
   // Round timing and span durations share obs::now_ns() (one steady clock),
   // so Table V and the trace can never disagree by clock domain.
   const std::uint64_t round_start_ns = obs::now_ns();
+  // Federation-wide correlation id for this round's spans (same derivation as
+  // the socket servers, so simulator and deployment traces line up by round).
+  obs::set_trace_context(
+      {obs::make_trace_id(config_.seed, round), 0, round});
   FEDGUARD_TRACE_SPAN("round", "round:" + std::to_string(round));
   RoundRecord record;
   record.round = round;
@@ -120,6 +125,7 @@ RoundRecord Server::run_round(std::size_t round) {
     FEDGUARD_TRACE_SPAN("round", "collect");
     arena_.reset(sampled_.size(), global_parameters_.size(),
                  strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
+    arena_capacity_bytes_.set(static_cast<std::int64_t>(arena_.capacity_bytes()));
     parallel::parallel_for(parallel::global_pool(), 0, sampled_.size(), [&](std::size_t k) {
       const defenses::UpdateRow row = arena_.row(k);
       clients_[sampled_[k]]->run_round_into(global_parameters_, round, row);

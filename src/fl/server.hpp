@@ -117,6 +117,7 @@ class Server {
   obs::Counter rejected_malicious_total_;
   obs::Counter rejected_benign_total_;
   obs::Histogram round_seconds_;
+  obs::Gauge arena_capacity_bytes_;
 };
 
 }  // namespace fedguard::fl

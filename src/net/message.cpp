@@ -87,7 +87,7 @@ FrameHeader decode_frame_header(std::span<const std::byte> header) {
   }
   const std::uint32_t type = reader.read_u32();
   if (type < static_cast<std::uint32_t>(MessageType::Hello) ||
-      type > static_cast<std::uint32_t>(MessageType::Shutdown)) {
+      type > static_cast<std::uint32_t>(MessageType::TelemetryReport)) {
     throw DecodeError{DecodeErrorCode::BadType,
                       "frame: unknown message type " + std::to_string(type)};
   }
@@ -157,6 +157,8 @@ std::vector<std::byte> encode_round_request(const RoundRequest& request) {
   writer.write_u32(request.want_decoder ? 1 : 0);
   writer.write_u32(static_cast<std::uint32_t>(request.psi_codec));
   writer.write_u32(static_cast<std::uint32_t>(request.psi_chunk));
+  writer.write_u64(request.trace_id);
+  writer.write_u64(request.parent_span);
   writer.write_f32_span(request.global_parameters);
   return writer.bytes();
 }
@@ -170,6 +172,8 @@ RoundRequest decode_round_request(std::span<const std::byte> payload) {
     request.want_decoder = reader.read_u32() != 0;
     request.psi_codec = read_codec_tag(reader);
     request.psi_chunk = static_cast<std::size_t>(reader.read_u32());
+    request.trace_id = reader.read_u64();
+    request.parent_span = reader.read_u64();
     const auto count = static_cast<std::size_t>(reader.read_u64());
     request.global_parameters = reader.read_f32_vector(count);
   } catch (const std::out_of_range&) {
@@ -183,6 +187,7 @@ std::vector<std::byte> encode_round_reply(const RoundReply& reply) {
   FEDGUARD_TRACE_SPAN("serialize", "encode_round_reply");
   util::ByteWriter writer;
   writer.write_u64(reply.round);
+  writer.write_u64(reply.trace_id);
   writer.write_u32(static_cast<std::uint32_t>(reply.update.client_id));
   writer.write_u64(reply.update.num_samples);
   writer.write_u32(reply.update.truly_malicious ? 1 : 0);
@@ -197,6 +202,7 @@ RoundReply decode_round_reply(std::span<const std::byte> payload) {
   RoundReply reply;
   try {
     reply.round = static_cast<std::size_t>(reader.read_u64());
+    reply.trace_id = reader.read_u64();
     reply.update.client_id = static_cast<int>(reader.read_u32());
     reply.update.num_samples = static_cast<std::size_t>(reader.read_u64());
     reply.update.truly_malicious = reader.read_u32() != 0;
@@ -219,6 +225,7 @@ std::size_t decode_round_reply_into(std::span<const std::byte> payload,
   util::ByteReader reader{payload};
   try {
     const auto round = static_cast<std::size_t>(reader.read_u64());
+    static_cast<void>(reader.read_u64());  // trace_id echo: not needed here
     row.meta->client_id = static_cast<int>(reader.read_u32());
     row.meta->num_samples = static_cast<std::size_t>(reader.read_u64());
     row.meta->truly_malicious = reader.read_u32() != 0;
@@ -245,6 +252,77 @@ std::size_t decode_round_reply_into(std::span<const std::byte> payload,
   }
 }
 
+std::vector<std::byte> encode_telemetry_report(const TelemetryFrame& report) {
+  FEDGUARD_TRACE_SPAN("serialize", "encode_telemetry_report");
+  util::ByteWriter writer;
+  writer.write_u32(report.sender_pid);
+  writer.write_u32(report.sender_id);
+  writer.write_u64(report.round);
+  writer.write_u64(report.trace_id);
+  writer.write_u64(report.events.size());
+  for (const TelemetrySpanEvent& event : report.events) {
+    writer.write_u64(event.rel_ts_ns);
+    writer.write_u64(event.trace_id);
+    writer.write_u64(event.round);
+    writer.write_u32(static_cast<std::uint32_t>(event.tid));
+    writer.write_u32(static_cast<std::uint32_t>(event.phase));
+    writer.write_string(event.name);
+    writer.write_string(event.category);
+  }
+  writer.write_u64(report.counter_deltas.size());
+  for (const auto& [name, delta] : report.counter_deltas) {
+    writer.write_string(name);
+    writer.write_u64(delta);
+  }
+  return writer.bytes();
+}
+
+TelemetryFrame decode_telemetry_report(std::span<const std::byte> payload) {
+  FEDGUARD_TRACE_SPAN("serialize", "decode_telemetry_report");
+  util::ByteReader reader{payload};
+  TelemetryFrame report;
+  try {
+    report.sender_pid = reader.read_u32();
+    report.sender_id = reader.read_u32();
+    report.round = reader.read_u64();
+    report.trace_id = reader.read_u64();
+    const auto event_count = static_cast<std::size_t>(reader.read_u64());
+    // A declared count must at least fit in the payload (each event is ≥ 44
+    // bytes on the wire) — rejects allocation bombs before the reserve.
+    if (event_count > payload.size()) {
+      throw DecodeError{DecodeErrorCode::Truncated,
+                        "decode_telemetry_report: event count exceeds payload"};
+    }
+    report.events.reserve(event_count);
+    for (std::size_t i = 0; i < event_count; ++i) {
+      TelemetrySpanEvent event;
+      event.rel_ts_ns = reader.read_u64();
+      event.trace_id = reader.read_u64();
+      event.round = reader.read_u64();
+      event.tid = static_cast<std::int32_t>(reader.read_u32());
+      event.phase = static_cast<char>(reader.read_u32());
+      event.name = reader.read_string();
+      event.category = reader.read_string();
+      report.events.push_back(std::move(event));
+    }
+    const auto delta_count = static_cast<std::size_t>(reader.read_u64());
+    if (delta_count > payload.size()) {
+      throw DecodeError{DecodeErrorCode::Truncated,
+                        "decode_telemetry_report: delta count exceeds payload"};
+    }
+    report.counter_deltas.reserve(delta_count);
+    for (std::size_t i = 0; i < delta_count; ++i) {
+      std::string name = reader.read_string();
+      const std::uint64_t delta = reader.read_u64();
+      report.counter_deltas.emplace_back(std::move(name), delta);
+    }
+  } catch (const std::out_of_range&) {
+    throw DecodeError{DecodeErrorCode::Truncated,
+                      "decode_telemetry_report: truncated payload"};
+  }
+  return report;
+}
+
 std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count) {
   return client_update_frame_bytes(psi_count, theta_count, util::WireCodec::Fp32,
                                    util::kDefaultQ8ChunkSize);
@@ -253,6 +331,7 @@ std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_c
 std::size_t client_update_frame_bytes(std::size_t psi_count, std::size_t theta_count,
                                       util::WireCodec psi_codec, std::size_t psi_chunk) {
   return kFrameHeaderBytes + sizeof(std::uint64_t) /*round*/ +
+         sizeof(std::uint64_t) /*trace_id*/ +
          sizeof(std::uint32_t) /*id*/ + sizeof(std::uint64_t) /*n*/ +
          sizeof(std::uint32_t) /*malicious*/ + sizeof(std::uint32_t) /*psi codec tag*/ +
          util::codec_span_wire_size(psi_codec, psi_count, psi_chunk) +

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "defenses/aggregation.hpp"
@@ -35,6 +37,11 @@ enum class MessageType : std::uint32_t {
   RoundRequest = 2,  // server -> client: global parameters for this round
   RoundReply = 3,    // client -> server: trained (possibly poisoned) update
   Shutdown = 4,      // server -> client: terminate
+  // client -> aggregator (and any lower tier -> upper tier): trace-buffer
+  // flush + metric deltas for the round just answered. Purely observational:
+  // a lost or corrupt TelemetryReport never affects the federation (bad-CRC
+  // frames keep the link, same DecodeError policy as replies).
+  TelemetryReport = 5,
 };
 
 struct Message {
@@ -104,6 +111,12 @@ struct RoundRequest {
   // codec, so mixed fleets interoperate without a capability handshake.
   util::WireCodec psi_codec = util::WireCodec::Fp32;
   std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
+  // Cross-process trace context (obs::TraceContext): the root derives
+  // trace_id from (run seed, round) and every receiving process installs it
+  // around its round work, so spans recorded on any host correlate under one
+  // id. 0 = tracing off; purely observational either way.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
   std::vector<float> global_parameters;
 };
 [[nodiscard]] std::vector<std::byte> encode_round_request(const RoundRequest& request);
@@ -112,6 +125,10 @@ struct RoundRequest {
 /// A client's answer to one RoundRequest, tagged with the round it answers.
 struct RoundReply {
   std::size_t round = 0;
+  // Trace context echo: the trace_id of the RoundRequest this reply answers
+  // (0 when the request carried none), so a reply is correlatable even when
+  // it arrives after the server moved on to another round.
+  std::uint64_t trace_id = 0;
   // Encoding of the ψ span in this reply (self-describing; normally echoes
   // the request's offer). θ always travels fp32 — it is FedGuard-only, tiny
   // relative to ψ, and feeds the defense's decoder reconstruction directly.
@@ -131,6 +148,37 @@ struct RoundReply {
 /// reply answers (the caller decides whether it is stale).
 [[nodiscard]] std::size_t decode_round_reply_into(std::span<const std::byte> payload,
                                                   defenses::UpdateRow row);
+
+/// One span event inside a TelemetryReport. Timestamps are relative to the
+/// report's own epoch (the smallest ts in the report) because peer processes
+/// do not share a steady_clock origin; the ingesting side rebases them into
+/// its clock domain against the frame's arrival time.
+struct TelemetrySpanEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t rel_ts_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t round = 0;
+  std::int32_t tid = 0;
+  char phase = 'B';
+};
+
+/// Round-boundary telemetry shipped up the aggregation tree: the reporter's
+/// trace-buffer flush plus its counter deltas since the previous report.
+/// Observational-only by contract — receivers count and ingest it but never
+/// let it influence round logic.
+struct TelemetryFrame {
+  std::uint32_t sender_pid = 0;  // Perfetto lane for the reporter's spans
+  std::uint32_t sender_id = 0;   // client id (or shard id) of the reporter
+  std::uint64_t round = 0;
+  std::uint64_t trace_id = 0;
+  std::vector<TelemetrySpanEvent> events;
+  // (counter name, delta) pairs; the receiver re-registers them under an
+  // origin label so reporters never collide with local instruments.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+};
+[[nodiscard]] std::vector<std::byte> encode_telemetry_report(const TelemetryFrame& report);
+[[nodiscard]] TelemetryFrame decode_telemetry_report(std::span<const std::byte> payload);
 
 /// Exact on-wire frame size for a RoundReply (traffic accounting parity
 /// between the simulator and the socket deployment). The two-argument form

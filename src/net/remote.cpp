@@ -1,12 +1,14 @@
 #include "net/remote.hpp"
 
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "net/telemetry_relay.hpp"
 #include "obs/exporter.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -69,6 +71,11 @@ RemoteServer::RemoteServer(RemoteServerConfig config,
   corrupt_frames_total_ = registry.counter("net_corrupt_frames_total");
   ejected_clients_total_ = registry.counter("net_ejected_clients_total");
   round_seconds_ = registry.histogram("net_round_seconds");
+  arena_capacity_bytes_ = registry.gauge("obs_arena_capacity_bytes");
+  if (config_.http_port != 0) {
+    http_server_ = std::make_unique<TelemetryHttpServer>(
+        config_.http_port, make_registry_responder("net_rounds_total", ""));
+  }
 }
 
 void RemoteServer::accept_clients(std::vector<Session>& sessions) {
@@ -181,6 +188,8 @@ void RemoteServer::evaluate_round(fl::RoundRecord& record) {
 fl::RoundRecord RemoteServer::run_round(std::size_t round,
                                         std::vector<Session>& sessions) {
   const std::uint64_t round_start_ns = obs::now_ns();
+  const std::uint64_t trace_id = obs::make_trace_id(config_.seed, round);
+  obs::set_trace_context({trace_id, 0, round});
   FEDGUARD_TRACE_SPAN("round", "round:" + std::to_string(round));
   fl::RoundRecord record;
   record.round = round;
@@ -260,6 +269,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   // deserializes straight into its slot's row.
   arena_.reset(sampled.size(), global_parameters_.size(),
                strategy_.wants_decoders() ? strategy_.decoder_parameter_count() : 0);
+  arena_capacity_bytes_.set(static_cast<std::int64_t>(arena_.capacity_bytes()));
   row_filled_.assign(sampled.size(), false);
 
   // Broadcast the round request to the sampled clients...
@@ -268,6 +278,7 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
   request.want_decoder = strategy_.wants_decoders();
   request.psi_codec = config_.psi_codec;
   request.psi_chunk = config_.psi_chunk;
+  request.trace_id = trace_id;
   request.global_parameters = global_parameters_;
   const std::vector<std::byte> request_payload = encode_round_request(request);
   struct Pending {
@@ -336,6 +347,14 @@ fl::RoundRecord RemoteServer::run_round(std::size_t round,
         session.stream.set_receive_timeout(std::max(remaining_until(deadline),
                                                     milliseconds{1}));
         const Message reply = session.stream.receive_message();
+        if (reply.type == MessageType::TelemetryReport) {
+          // Round-boundary telemetry from a relaying client: ingest it and
+          // keep waiting for the actual reply on the same link.
+          (void)ingest_telemetry_report(decode_telemetry_report(reply.payload),
+                                        obs::now_ns());
+          still_pending.push_back(pending[i]);
+          continue;
+        }
         if (reply.type != MessageType::RoundReply) {
           throw DecodeError{DecodeErrorCode::BadType,
                             "RemoteServer: expected RoundReply"};
@@ -486,6 +505,32 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
       connect_with_backoff(host, port, options.connect_attempts, options.backoff_ms);
   stream.send_message({MessageType::Hello, encode_hello(client.id())});
 
+  // Telemetry relay: own a relay-only (no file) TraceSession so round spans
+  // can be drained into TelemetryReport frames — unless the process already
+  // has a session (in-process harness sharing the server's), whose events we
+  // must not steal.
+  std::unique_ptr<obs::TraceSession> relay_session;
+  obs::CounterDeltaTracker delta_tracker;
+  if (options.relay_telemetry && !obs::TraceSession::active()) {
+    relay_session = std::make_unique<obs::TraceSession>(std::string{});
+    relay_session->set_pid(static_cast<int>(::getpid()));
+  }
+  auto send_telemetry = [&](std::uint64_t round, std::uint64_t trace_id) {
+    if (!relay_session) return;
+    const TelemetryFrame report = build_telemetry_report(
+        *relay_session, static_cast<std::uint32_t>(::getpid()),
+        static_cast<std::uint32_t>(client.id()), round, trace_id,
+        delta_tracker.take(obs::Registry::global()));
+    if (report.events.empty() && report.counter_deltas.empty()) return;
+    try {
+      stream.send_all(
+          encode_frame({MessageType::TelemetryReport, encode_telemetry_report(report)}));
+    } catch (const std::exception&) {
+      // Best-effort by contract: a lost report never affects the federation;
+      // a genuinely dead link surfaces at the next receive.
+    }
+  };
+
   std::size_t reconnects_left = options.reconnect_attempts;
   // Rejoin after a lost link: reconnect + re-Hello with doubling backoff.
   // Gives up (returns false) once the retry budget is spent — e.g. when the
@@ -520,6 +565,10 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
       throw std::runtime_error{"run_remote_client: unexpected message"};
     }
     const RoundRequest request = decode_round_request(message.payload);
+    // Adopt the server's trace context for the round's work: every span below
+    // (per-layer training included) gets stamped with the federation-wide id.
+    obs::set_trace_context(
+        {request.trace_id, request.parent_span, request.round});
     const FaultKind fault =
         faults ? faults->decide(client.id(), request.round) : FaultKind::None;
     if (fault == FaultKind::Drop) {
@@ -535,6 +584,7 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
     if (!request.want_decoder) update.theta.clear();  // don't ship unused θ
     RoundReply reply;
     reply.round = request.round;
+    reply.trace_id = request.trace_id;
     // Honor the server's ψ codec offer unless this client is configured as a
     // legacy fp32 uploader; a nonsense chunk offer falls back to the default
     // rather than failing the encode.
@@ -547,6 +597,10 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
 
     switch (fault) {
       case FaultKind::None:
+        // Telemetry travels first so the aggregator can fold this round's
+        // client spans while merging this round (reply order is irrelevant
+        // to correctness — both frames share the link FIFO).
+        send_telemetry(request.round, request.trace_id);
         stream.send_all(frame);
         ++rounds_served;
         break;
@@ -554,6 +608,7 @@ std::size_t run_remote_client(const std::string& host, std::uint16_t port,
         faults->record(FaultKind::Delay);
         std::this_thread::sleep_for(
             milliseconds{static_cast<std::int64_t>(faults->plan().delay_ms)});
+        send_telemetry(request.round, request.trace_id);
         stream.send_all(frame);
         ++rounds_served;
         break;

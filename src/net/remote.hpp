@@ -33,6 +33,7 @@
 #include "fl/metrics.hpp"
 #include "net/fault_injector.hpp"
 #include "net/socket.hpp"
+#include "net/telemetry_http.hpp"
 #include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 
@@ -67,6 +68,10 @@ struct RemoteServerConfig {
   util::WireCodec psi_codec = util::WireCodec::Fp32;
   /// Elements per q8 quantization chunk (ignored by other codecs).
   std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
+  // ---- Live exposition ------------------------------------------------------
+  /// Port for the server's scrape endpoints (/metrics, /metrics.json,
+  /// /healthz), served by a standalone TelemetryHttpServer thread; 0 = off.
+  std::uint16_t http_port = 0;
 };
 
 /// Server endpoint of the distributed federation.
@@ -107,6 +112,7 @@ class RemoteServer {
   const data::Dataset& test_set_;
   models::ImageGeometry geometry_;
   TcpListener listener_;
+  std::unique_ptr<TelemetryHttpServer> http_server_;  // config.http_port != 0
   std::unique_ptr<models::Classifier> eval_classifier_;
   std::vector<float> global_parameters_;
   util::Rng rng_;
@@ -128,6 +134,7 @@ class RemoteServer {
   obs::Counter corrupt_frames_total_;
   obs::Counter ejected_clients_total_;
   obs::Histogram round_seconds_;
+  obs::Gauge arena_capacity_bytes_;
 };
 
 /// Client-side retry/backoff policy and optional chaos injection.
@@ -142,6 +149,11 @@ struct RemoteClientOptions {
   /// Behave like a legacy fp32-only client: ignore the server's ψ codec
   /// offer and upload fp32 (exercises the negotiation fallback path).
   bool force_fp32 = false;
+  /// Ship a TelemetryReport frame (trace-buffer flush + counter deltas) after
+  /// each answered round. The client installs its own relay-only TraceSession
+  /// unless one is already active in the process — in-process harnesses that
+  /// share the server's session keep sole ownership of it.
+  bool relay_telemetry = false;
   /// Deterministic chaos injection; not owned, may be null (no faults).
   FaultInjector* faults = nullptr;
 };

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "net/telemetry_relay.hpp"
 #include "obs/exporter.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -55,6 +56,17 @@ ShardAggregator::ShardAggregator(ShardConfig config,
   corrupt_frames_total_ = registry.counter("net_shard_corrupt_frames_total" + label);
   rounds_total_ = registry.counter("net_shard_rounds_total" + label);
   timeouts_total_ = registry.counter("net_shard_timeouts_total" + label);
+  telemetry_reports_total_ = registry.counter("net_shard_telemetry_reports_total" + label);
+  telemetry_events_total_ = registry.counter("net_shard_telemetry_events_total" + label);
+  arena_capacity_bytes_ = registry.gauge("obs_arena_capacity_bytes" + label);
+  // Live exposition: the data port always answers HTTP scrapes (the reactor
+  // auto-detects them) and an optional dedicated port serves the same
+  // endpoints for scrapers that must not touch the data port.
+  reactor_.set_http_responder(make_registry_responder(
+      "net_shard_rounds_total" + label, "net_shard_timeouts_total" + label));
+  if (config_.http_port != 0) {
+    http_listener_ = std::make_unique<TcpListener>(config_.http_port);
+  }
   thread_ = std::thread{[this] { thread_main(); }};
 }
 
@@ -118,6 +130,7 @@ void ShardAggregator::kill() {
 
 void ShardAggregator::thread_main() {
   reactor_.listen(listener_);
+  if (http_listener_) reactor_.listen_also(*http_listener_);
   for (;;) {
     reactor_.poll_once(config_.poll_timeout);
     RoundCommand round_command;
@@ -156,6 +169,7 @@ void ShardAggregator::begin_round(RoundCommand command) {
   const std::size_t cohort_size = round_command_.cohort.size();
   const std::size_t psi_dim = round_command_.global_parameters->size();
   arena_.reset(cohort_size, psi_dim, round_command_.theta_dim);
+  arena_capacity_bytes_.set(static_cast<std::int64_t>(arena_.capacity_bytes()));
   slot_filled_.assign(cohort_size, false);
   pending_slots_.clear();
   slots_missing_ = 0;
@@ -211,6 +225,9 @@ void ShardAggregator::handle_message(Reactor::ConnectionId connection, Message&&
     case MessageType::RoundReply:
       handle_reply(connection, message);
       return;
+    case MessageType::TelemetryReport:
+      handle_telemetry(message);
+      return;
     default:
       // RoundRequest/Shutdown are server->client only; a peer sending them
       // upstream is confused but harmless. Ignore.
@@ -237,6 +254,20 @@ void ShardAggregator::handle_reply(Reactor::ConnectionId connection, const Messa
   slot_filled_[slot] = true;
   replies_total_.add(1);
   if (exact_) fold_ready_rows();
+}
+
+void ShardAggregator::handle_telemetry(const Message& message) {
+  // Observational-only by contract: decode failures count as corrupt traffic
+  // but never touch round state or the link (the frame CRC already passed).
+  TelemetryFrame report;
+  try {
+    report = decode_telemetry_report(message.payload);
+  } catch (const DecodeError&) {
+    corrupt_frames_total_.add(1);
+    return;
+  }
+  telemetry_reports_total_.add(1);
+  telemetry_events_total_.add(ingest_telemetry_report(report, obs::now_ns()));
 }
 
 void ShardAggregator::fold_ready_rows() {
@@ -316,6 +347,7 @@ void ShardAggregator::stop(bool graceful) {
   }
   reactor_.stop_listening();
   listener_.close();  // late joiners now get ECONNREFUSED instead of queueing
+  if (http_listener_) http_listener_->close();
   {
     util::MutexLock lock{mutex_};
     running_ = false;
@@ -363,7 +395,17 @@ HierarchicalServer::HierarchicalServer(
         milliseconds{static_cast<std::int64_t>(config_.reactor_idle_timeout_ms)};
     shard_config.psi_codec = config_.psi_codec;
     shard_config.psi_chunk = config_.psi_chunk;
+    if (config_.http_port != 0) {
+      shard_config.http_port =
+          static_cast<std::uint16_t>(config_.http_port + 1 + shard);
+    }
     shards_.push_back(std::make_unique<ShardAggregator>(shard_config, strategy_factory()));
+  }
+  if (config_.http_port != 0) {
+    http_server_ = std::make_unique<TelemetryHttpServer>(
+        config_.http_port,
+        make_registry_responder("net_root_rounds_total",
+                                "net_root_degraded_rounds_total"));
   }
   global_parameters_ = eval_classifier_->parameters_flat();
   auto& registry = obs::Registry::global();
@@ -416,6 +458,10 @@ void HierarchicalServer::kill_shard(std::size_t shard) {
 
 fl::RoundRecord HierarchicalServer::run_round(std::size_t round) {
   const std::uint64_t round_start_ns = obs::now_ns();
+  // Install the round's trace context before the first span so every local
+  // span — and, via RoundRequest, every remote one — carries the same id.
+  const std::uint64_t trace_id = obs::make_trace_id(config_.seed, round);
+  obs::set_trace_context({trace_id, 0, round});
   FEDGUARD_TRACE_SPAN("net.shard", "root-round:" + std::to_string(round));
   fl::RoundRecord record;
   record.round = round;
@@ -445,6 +491,7 @@ fl::RoundRecord HierarchicalServer::run_round(std::size_t round) {
   request.want_decoder = merge_strategy_->wants_decoders();
   request.psi_codec = config_.psi_codec;
   request.psi_chunk = config_.psi_chunk;
+  request.trace_id = trace_id;
   request.global_parameters = global_parameters_;
   const auto payload =
       std::make_shared<const std::vector<std::byte>>(encode_round_request(request));

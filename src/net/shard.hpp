@@ -34,6 +34,7 @@
 #include "models/classifier.hpp"
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
+#include "net/telemetry_http.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
@@ -55,6 +56,9 @@ struct ShardConfig {
   int listen_backlog = 1024;
   util::WireCodec psi_codec = util::WireCodec::Fp32;
   std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
+  /// Dedicated live-scrape port (0 = none). Either way the data port also
+  /// answers HTTP scrapes — the reactor auto-detects GET/HEAD prefixes.
+  std::uint16_t http_port = 0;
 };
 
 /// Edge aggregator: owns a listener + reactor + one cohort of clients and a
@@ -107,6 +111,7 @@ class ShardAggregator {
   void begin_round(RoundCommand command);
   void handle_message(Reactor::ConnectionId connection, Message&& message);
   void handle_reply(Reactor::ConnectionId connection, const Message& message);
+  void handle_telemetry(const Message& message);
   void fold_ready_rows();
   void finish_round_if_done();
   void publish_partial();
@@ -115,6 +120,7 @@ class ShardAggregator {
   ShardConfig config_;
   std::unique_ptr<defenses::AggregationStrategy> strategy_;
   TcpListener listener_;
+  std::unique_ptr<TcpListener> http_listener_;  // ShardConfig::http_port != 0
   Reactor reactor_;
 
   // ---- Reactor-thread-only round state (no locks needed) --------------------
@@ -149,6 +155,9 @@ class ShardAggregator {
   obs::Counter corrupt_frames_total_;
   obs::Counter rounds_total_;
   obs::Counter timeouts_total_;
+  obs::Counter telemetry_reports_total_;
+  obs::Counter telemetry_events_total_;
+  obs::Gauge arena_capacity_bytes_;
 
   std::thread thread_;  // last member: starts after everything is built
 };
@@ -167,6 +176,10 @@ struct HierarchicalServerConfig {
   std::size_t reactor_idle_timeout_ms = 0;  // 0 = no idle sweep
   util::WireCodec psi_codec = util::WireCodec::Fp32;
   std::size_t psi_chunk = util::kDefaultQ8ChunkSize;
+  /// Live scrape base port (0 = exposition off): the root serves http_port
+  /// via a standalone TelemetryHttpServer; shard i serves http_port + 1 + i
+  /// on its own reactor. Shard data ports additionally auto-detect scrapes.
+  std::uint16_t http_port = 0;
   /// Chaos hook: (shard, round) -> kill that shard at the round's start.
   std::function<bool(std::size_t, std::size_t)> shard_kill_predicate;
 };
@@ -208,6 +221,7 @@ class HierarchicalServer {
   void evaluate_round(fl::RoundRecord& record);
 
   HierarchicalServerConfig config_;
+  std::unique_ptr<TelemetryHttpServer> http_server_;  // config.http_port != 0
   std::vector<std::unique_ptr<ShardAggregator>> shards_;
   std::unique_ptr<defenses::AggregationStrategy> merge_strategy_;
   const data::Dataset& test_set_;

@@ -1,0 +1,54 @@
+#include "net/telemetry_http.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace fedguard::net {
+
+TelemetryHttpServer::TelemetryHttpServer(std::uint16_t port,
+                                         obs::HttpResponder responder)
+    : listener_{port}, reactor_{Reactor::Callbacks{}} {
+  reactor_.set_http_responder(std::move(responder));
+  reactor_.listen(listener_);
+  thread_ = std::thread{[this] { serve(); }};
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() {
+  stop_.store(true, std::memory_order_release);
+  reactor_.wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TelemetryHttpServer::serve() {
+  using namespace std::chrono_literals;
+  while (!stop_.load(std::memory_order_acquire)) {
+    try {
+      reactor_.poll_once(200ms);
+    } catch (const std::exception& error) {
+      // Scraping must never take the host down: log and keep serving.
+      util::log_warn("telemetry-http: %s", error.what());
+    }
+    // A scraper that connects but never finishes its request line must not
+    // pin a connection slot forever.
+    (void)reactor_.sweep_idle(10'000ms);
+  }
+  reactor_.stop_listening();
+}
+
+obs::HttpResponder make_registry_responder(const std::string& rounds_counter,
+                                           const std::string& degraded_counter) {
+  obs::HttpResponder responder;
+  responder.metrics_text = [] {
+    return obs::Registry::global().prometheus_text();
+  };
+  responder.metrics_json = [] { return obs::Registry::global().json_snapshot(); };
+  responder.healthz = [rounds_counter, degraded_counter] {
+    return obs::healthz_json(rounds_counter, degraded_counter);
+  };
+  return responder;
+}
+
+}  // namespace fedguard::net

@@ -73,6 +73,7 @@ RoundExporter::~RoundExporter() {
 
 void RoundExporter::on_round_end(std::size_t round_index) {
   const util::MutexLock lock{io_mutex_};
+  process_stats_.sample();
   if (!options_.metrics_path.empty()) {
     std::ofstream log{options_.metrics_path + ".jsonl", std::ios::app};
     if (log) {

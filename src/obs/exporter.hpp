@@ -15,11 +15,13 @@
 // duration of Federation::run()).
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -36,6 +38,13 @@ struct ObsOptions {
   // Histogram bucket upper bounds for histograms registered without explicit
   // bounds; empty keeps Registry::default_buckets().
   std::vector<double> histogram_buckets;
+  // Live scrape endpoint base port (obs_http_port key / --metrics-port flag);
+  // 0 disables. The root (or the in-process server) serves on this port and
+  // shard aggregator i serves on http_port + 1 + i — see
+  // docs/OBSERVABILITY.md § Live scrape endpoints. Hosted by the net layer
+  // (net::TelemetryHttpServer / reactor-attached responders), not by the
+  // RoundExporter.
+  std::uint16_t http_port = 0;
 
   [[nodiscard]] bool enabled() const noexcept {
     return !trace_path.empty() || !metrics_path.empty();
@@ -77,6 +86,9 @@ class RoundExporter {
   // so round_tick can be called from concurrent shard threads.
   util::Mutex io_mutex_;
   std::unique_ptr<TraceSession> trace_ FEDGUARD_PT_GUARDED_BY(io_mutex_);
+  // Sampled under io_mutex_ every round so the JSONL snapshot that follows
+  // carries fresh steady-state invariant gauges (rss/heap/arena).
+  ProcessStatsProbe process_stats_ FEDGUARD_GUARDED_BY(io_mutex_);
   bool installed_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace fedguard::obs {
 
@@ -120,6 +121,63 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
                                : it->second->value.load(std::memory_order_relaxed);
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  const util::MutexLock lock{mutex_};
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.emplace_back(name, cell->value.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+double estimate_quantile(std::span<const double> upper_bounds,
+                         std::span<const std::uint64_t> counts,
+                         double q) noexcept {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i >= upper_bounds.size()) {
+        // +Inf bucket: no upper edge to interpolate towards; report the
+        // highest finite bound (or 0 when there are no finite buckets).
+        return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper_bounds[i] - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterDeltaTracker::take(
+    const Registry& registry) {
+  std::vector<std::pair<std::string, std::uint64_t>> deltas;
+  for (const auto& [name, value] : registry.counter_values()) {
+    std::uint64_t& last = last_[name];
+    if (value > last) {
+      deltas.emplace_back(name, value - last);
+      last = value;
+    } else {
+      // zero_all() (tests/benches) may have reset the cell below our mark;
+      // re-anchor so later growth is reported against the new baseline.
+      last = value;
+    }
+  }
+  return deltas;
+}
+
 void Registry::set_default_buckets(std::vector<double> upper_bounds) {
   if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end())) {
     throw std::invalid_argument{"obs: default histogram buckets must be ascending"};
@@ -209,6 +267,19 @@ std::string Registry::json_snapshot() const {
     out << "],\"count\":" << cell->total.load(std::memory_order_relaxed)
         << ",\"sum\":";
     append_double(out, cell->sum.load(std::memory_order_relaxed));
+    // Quantile estimates come last so the stable prefix (le/counts/count/sum)
+    // pinned by older consumers is untouched.
+    std::vector<std::uint64_t> counts(cell->upper_bounds.size() + 1, 0);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = cell->counts[i].load(std::memory_order_relaxed);
+    }
+    for (const auto& [key, q] :
+         {std::pair<const char*, double>{"p50", 0.5},
+          std::pair<const char*, double>{"p90", 0.9},
+          std::pair<const char*, double>{"p99", 0.99}}) {
+      out << ",\"" << key << "\":";
+      append_double(out, estimate_quantile(cell->upper_bounds, counts, q));
+    }
     out << "}";
   }
   out << "}}";
@@ -222,6 +293,9 @@ void Registry::write_prometheus(const std::string& path) const {
 }
 
 void Registry::zero_all() {
+  // mutex_ serializes the whole reset against every exposition path (they all
+  // lock mutex_ too), so a concurrent scrape sees pre- or post-reset state,
+  // never a mix — see the contract note in the header.
   const util::MutexLock lock{mutex_};
   for (const auto& [name, cell] : counters_) cell->value.store(0);
   for (const auto& [name, cell] : gauges_) cell->value.store(0);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/thread_annotations.hpp"
@@ -150,6 +151,11 @@ class Registry {
   /// Current value of a counter by name; 0 when it was never registered.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
 
+  /// Snapshot of every registered counter as (name, value), sorted by name.
+  /// Feeds CounterDeltaTracker (telemetry relay) and ad-hoc health probes.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_values() const;
+
   /// Replace the bucket bounds used when histogram() gets no explicit bounds
   /// (wired from the obs_histogram_buckets descriptor key). Affects only
   /// histograms registered afterwards.
@@ -159,13 +165,26 @@ class Registry {
   /// Prometheus text exposition of every instrument, names sorted.
   [[nodiscard]] std::string prometheus_text() const;
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histogram entries additionally carry "p50"/"p90"/"p99" quantile
+  /// estimates (bucket-interpolated at exposition time, see
+  /// estimate_quantile) so soak/latency gates read percentiles directly.
   [[nodiscard]] std::string json_snapshot() const;
   /// Rewrite `path` with prometheus_text(). Throws std::runtime_error on I/O
   /// failure.
   void write_prometheus(const std::string& path) const;
 
   /// Zero every registered cell (values only; handles stay valid). Test and
-  /// bench isolation helper — not for use while instrumented threads run.
+  /// bench isolation helper.
+  ///
+  /// Reset-vs-scrape contract: zero_all() holds mutex_ for the whole reset and
+  /// every exposition (prometheus_text / json_snapshot / counter_value) holds
+  /// the same mutex, so a scrape observes either the fully pre-reset or the
+  /// fully post-reset state — never a half-zeroed snapshot (pinned by the
+  /// ZeroAllNeverExposesHalfZeroedSnapshot regression in tests/test_obs.cpp).
+  /// What stays relaxed: lock-free handle increments running concurrently with
+  /// the reset may land before or after it per-cell, so a histogram hit by a
+  /// concurrent observe() can transiently disagree between bucket counts and
+  /// total; quiesce instrumented threads when exact zeroes matter.
   void zero_all();
 
   /// The process-wide registry every built-in instrument registers with.
@@ -184,6 +203,29 @@ class Registry {
   std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_
       FEDGUARD_GUARDED_BY(mutex_);
   std::vector<double> default_buckets_ FEDGUARD_GUARDED_BY(mutex_);
+};
+
+/// Estimate the q-quantile (q in [0, 1]) of a histogram from its finite
+/// ascending `upper_bounds` and per-bucket (non-cumulative) `counts`
+/// (bounds.size() + 1 entries, trailing +Inf bucket). Linear interpolation
+/// inside the selected bucket, Prometheus-style: the first bucket
+/// interpolates from 0, and a rank landing in the +Inf bucket reports the
+/// highest finite bound. Returns 0 for an empty histogram.
+[[nodiscard]] double estimate_quantile(std::span<const double> upper_bounds,
+                                       std::span<const std::uint64_t> counts,
+                                       double q) noexcept;
+
+/// Tracks per-counter deltas between calls: take() returns every counter
+/// whose value grew since the previous take() (first call returns all
+/// non-zero counters). Used by the telemetry relay to ship per-round metric
+/// deltas upward without resetting the registry.
+class CounterDeltaTracker {
+ public:
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> take(
+      const Registry& registry);
+
+ private:
+  std::map<std::string, std::uint64_t> last_;
 };
 
 }  // namespace fedguard::obs

@@ -1,0 +1,56 @@
+#include "obs/process_stats.hpp"
+
+#include <cstdio>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace fedguard::obs {
+
+std::uint64_t read_rss_bytes() noexcept {
+#if defined(__unix__)
+  // /proc/self/statm: "size resident shared ..." in pages.
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int fields = std::fscanf(file, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(file);
+  if (fields != 2) return 0;
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(page_size);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t read_heap_allocated_bytes() noexcept {
+#if defined(__GLIBC__) && __GLIBC__ >= 2 && __GLIBC_MINOR__ >= 33
+  const struct mallinfo2 info = ::mallinfo2();
+  return static_cast<std::uint64_t>(info.uordblks);
+#else
+  return 0;
+#endif
+}
+
+ProcessStatsProbe::ProcessStatsProbe()
+    : rss_bytes_{Registry::global().gauge("obs_rss_bytes")},
+      heap_allocated_bytes_{
+          Registry::global().gauge("obs_heap_allocated_bytes")},
+      samples_{Registry::global().counter("obs_alloc_probe_samples_total")} {}
+
+void ProcessStatsProbe::sample() noexcept {
+  rss_bytes_.set(static_cast<std::int64_t>(read_rss_bytes()));
+  heap_allocated_bytes_.set(
+      static_cast<std::int64_t>(read_heap_allocated_bytes()));
+  samples_.add(1);
+}
+
+}  // namespace fedguard::obs

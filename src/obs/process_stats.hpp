@@ -1,0 +1,43 @@
+#pragma once
+// Steady-state process invariant gauges for the soak harness (ROADMAP item
+// 5): resident-set size, allocator heap footprint, and a sample counter,
+// snapshotted once per round by the RoundExporter so a long-running
+// federation's JSONL stream shows allocation growth (or, in a healthy
+// steady state, the absence of it) without attaching a profiler.
+//
+// Gauges (see docs/OBSERVABILITY.md § Invariant gauges):
+//   obs_rss_bytes                 resident set size from /proc/self/statm
+//   obs_heap_allocated_bytes      glibc mallinfo2 in-use bytes (0 elsewhere)
+//   obs_alloc_probe_samples_total samples taken (counter; proves liveness)
+//
+// The arena-capacity gauge (obs_arena_capacity_bytes) is set by the servers
+// that own an UpdateMatrix arena, not here — capacity is their state.
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace fedguard::obs {
+
+/// Current resident set size in bytes (Linux /proc/self/statm; 0 when the
+/// proc file is unavailable).
+[[nodiscard]] std::uint64_t read_rss_bytes() noexcept;
+
+/// Current allocator in-use bytes (glibc mallinfo2; 0 when unavailable).
+[[nodiscard]] std::uint64_t read_heap_allocated_bytes() noexcept;
+
+/// Pre-registered handles for the process gauges; sample() refreshes them.
+/// Cheap enough (one /proc read + one mallinfo call) to run every round.
+class ProcessStatsProbe {
+ public:
+  ProcessStatsProbe();
+
+  void sample() noexcept;
+
+ private:
+  Gauge rss_bytes_;
+  Gauge heap_allocated_bytes_;
+  Counter samples_;
+};
+
+}  // namespace fedguard::obs

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,48 @@ namespace fedguard::obs {
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
 class Span;
+
+/// Cross-process trace correlation context. The round driver (root server)
+/// derives trace_id from (run seed, round) via make_trace_id, installs the
+/// context process-wide for the duration of the round, and carries it to
+/// remote processes inside RoundRequest frames; every Span recorded while a
+/// context is installed is stamped with it (emitted as Perfetto args), which
+/// is what lets one round's client/shard/root spans be correlated across
+/// process boundaries. trace_id == 0 means "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t round = 0;
+};
+
+/// Install / clear / read the process-wide trace context. Fields are stored
+/// as independent relaxed atomics: rounds are sequenced by the driver, so a
+/// racing reader at a round boundary sees a harmless mix of two adjacent
+/// contexts at worst, never a torn value.
+void set_trace_context(const TraceContext& context) noexcept;
+void clear_trace_context() noexcept;
+[[nodiscard]] TraceContext current_trace_context() noexcept;
+
+/// Deterministic nonzero trace id for (seed, round): splitmix64 finalizer
+/// over the pair, so every process in the federation derives the same id for
+/// the same round without coordination.
+[[nodiscard]] std::uint64_t make_trace_id(std::uint64_t seed,
+                                          std::uint64_t round) noexcept;
+
+/// One drained trace event in wire-friendly form: absolute ts_ns in the
+/// recording process's clock domain (relay code rebases across hosts), pid 0
+/// meaning "the owning session's lane". Produced by TraceSession::take_events
+/// and consumed by TraceSession::ingest on the receiving side.
+struct TraceEventRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t round = 0;
+  int pid = 0;
+  int tid = 0;
+  char phase = 'B';
+};
 
 /// Owns the per-thread trace buffers and the output file for one recording.
 /// Constructing installs the session process-wide (spans start recording);
@@ -54,9 +97,31 @@ class TraceSession {
   /// Drain every thread buffer and rewrite the trace file with all events
   /// recorded so far. Safe to call while spans are being recorded, and safe
   /// to call from concurrent threads (flush_mutex_ serializes whole flushes).
+  /// A session constructed with an empty path collects events without writing
+  /// a file (relay-only mode: take_events is the sole consumer).
   void flush() FEDGUARD_EXCLUDES(flush_mutex_);
 
+  /// Drain the thread buffers and move out every event accumulated since the
+  /// previous take_events()/flush() — the telemetry-relay producer side.
+  /// Taken events will NOT appear in this session's own trace file; use a
+  /// relay-only (empty-path) session when the process also wants a local
+  /// trace.
+  [[nodiscard]] std::vector<TraceEventRecord> take_events()
+      FEDGUARD_EXCLUDES(flush_mutex_);
+
+  /// Append foreign events (already rebased into this process's now_ns()
+  /// clock domain by the caller) to the merged timeline. Each event's pid
+  /// lane is kept verbatim, which is how one root trace file shows client /
+  /// shard / root lanes side by side.
+  void ingest(std::span<const TraceEventRecord> events)
+      FEDGUARD_EXCLUDES(flush_mutex_);
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Perfetto pid lane for locally recorded events (default 1; the
+  /// distributed demo sets the real process id so merged traces keep one
+  /// lane per process).
+  void set_pid(int pid) noexcept { pid_ = pid; }
+  [[nodiscard]] int pid() const noexcept { return pid_; }
   /// Spans dropped to buffer overflow since construction (0 in healthy runs;
   /// raise events_per_thread or flush more often otherwise).
   [[nodiscard]] std::uint64_t dropped_spans() const noexcept;
@@ -70,7 +135,10 @@ class TraceSession {
     std::string name;
     std::string category;
     std::uint64_t ts_ns = 0;
+    std::uint64_t trace_id = 0;  // stamped from the installed TraceContext
+    std::uint64_t round = 0;
     char phase = 'B';
+    int pid = 0;  // 0 = this session's lane; ingested events carry their own
     int tid = 0;  // stamped from the owning buffer when drained
   };
   struct ThreadBuffer {
@@ -86,6 +154,8 @@ class TraceSession {
 
   [[nodiscard]] ThreadBuffer* buffer_for_current_thread()
       FEDGUARD_EXCLUDES(buffers_mutex_);
+  void drain_buffers_locked() FEDGUARD_REQUIRES(flush_mutex_)
+      FEDGUARD_EXCLUDES(buffers_mutex_);
   void write_file() FEDGUARD_REQUIRES(flush_mutex_);
 
   // Per-thread buffer cache, keyed by session epoch so a pointer from a
@@ -97,6 +167,7 @@ class TraceSession {
   std::size_t events_per_thread_;
   std::uint64_t epoch_ = 0;     // unique per session; keys thread-local caches
   std::uint64_t start_ns_ = 0;  // trace timestamps are relative to this
+  int pid_ = 1;                 // Perfetto lane for locally recorded events
   bool installed_ = false;
   // Lock order: flush_mutex_ -> buffers_mutex_ -> ThreadBuffer::mutex.
   // mutable: dropped_spans() is a const observer that must still lock.
@@ -107,6 +178,12 @@ class TraceSession {
   // Drained events, in flush order.
   std::vector<Event> flushed_ FEDGUARD_GUARDED_BY(flush_mutex_);
 };
+
+/// Ingest foreign (relayed) events into the currently installed session, if
+/// any; returns false when no session is active. Same quiescence contract as
+/// Span: callers must not outlive the session (both servers tear down their
+/// reactors before the exporter).
+bool ingest_into_active_session(std::span<const TraceEventRecord> events);
 
 /// RAII span: records a B event at construction and the matching E event at
 /// destruction on the same thread. Near-free when no session is installed.

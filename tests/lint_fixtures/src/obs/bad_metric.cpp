@@ -1,0 +1,14 @@
+// Fixture: registers a metric whose name is absent from the fixture tree's
+// docs/OBSERVABILITY.md, so span-category-docs must flag it. The documented
+// name below is clean; the dynamic registration carries no leading literal
+// and is exempt.
+#include <string>
+
+struct Registry {
+  int counter(const std::string&) { return 0; }
+  int gauge(const std::string&) { return 0; }
+};
+
+inline int documented(Registry& r) { return r.counter("net_frame_bytes_total"); }
+inline int undocumented(Registry& r) { return r.gauge("obs_widget_depth"); }
+inline int dynamic_name(Registry& r, const std::string& n) { return r.counter(n); }

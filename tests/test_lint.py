@@ -28,6 +28,7 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/fl/bad_stopwatch.cpp", 8, "no-raw-stopwatch"),
     ("src/models/bad_random.cpp", 9, "rng"),
     ("src/net/bad_span.cpp", 10, "span-category-docs"),
+    ("src/obs/bad_metric.cpp", 13, "span-category-docs"),  # undocumented metric
     ("src/net/reactor_blocking.cpp", 8, "no-blocking-socket"),
     ("src/net/reactor_blocking.cpp", 10, "no-blocking-socket"),
     ("src/nn/bad_intrinsics.cpp", 7, "no-raw-intrinsics"),

@@ -6,17 +6,27 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "net/socket.hpp"
+#include "net/telemetry_http.hpp"
 #include "obs/exporter.hpp"
+#include "obs/http_exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -355,6 +365,247 @@ TEST_F(ObsTest, TrafficCountersAreDeterministicAcrossKernelThreads) {
   EXPECT_EQ(one.download, one.from_history_download);
   EXPECT_EQ(four.upload, four.from_history_upload);
   EXPECT_EQ(four.download, four.from_history_download);
+}
+
+// ---- Quantile estimation -------------------------------------------------------
+
+TEST_F(ObsTest, EstimateQuantileMatchesHandMath) {
+  // Buckets (0,1], (1,2], (2,4], (4,+Inf) with counts 2, 2, 4, 0: total 8.
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts{2, 2, 4, 0};
+  // p50 → rank 4 → 2nd hit inside (1,2] (cumulative 2 before it):
+  // 1 + (4-2)/2 * (2-1) = 2.0.
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, counts, 0.50), 2.0);
+  // p25 → rank 2 → last hit of (0,1]: 0 + 2/2 * 1 = 1.0.
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, counts, 0.25), 1.0);
+  // p100 clamps to the last finite upper bound even with an empty +Inf tail.
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, counts, 1.0), 4.0);
+  // No observations → 0.
+  const std::vector<std::uint64_t> empty{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, empty, 0.5), 0.0);
+}
+
+TEST_F(ObsTest, JsonSnapshotCarriesQuantilesAfterSum) {
+  Registry registry;
+  Histogram hist = registry.histogram("q_seconds", std::vector<double>{1.0, 2.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  const std::string json = registry.json_snapshot();
+  // The pinned prefix (le/counts/count/sum) stays first; quantiles follow.
+  const auto sum_pos = json.find("\"sum\":");
+  const auto p50_pos = json.find("\"p50\":");
+  ASSERT_NE(sum_pos, std::string::npos);
+  ASSERT_NE(p50_pos, std::string::npos);
+  EXPECT_LT(sum_pos, p50_pos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+// ---- zero_all vs concurrent scrape ---------------------------------------------
+
+TEST_F(ObsTest, ZeroAllNeverExposesHalfZeroedSnapshot) {
+  // Contract (documented on Registry::zero_all): a scrape sees either the
+  // fully pre-reset or the fully post-reset registry, never a mix. All cells
+  // hold the same value, so any exposition mixing states is detectable.
+  Registry registry;
+  std::vector<Counter> counters;
+  counters.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    counters.push_back(registry.counter("race_c" + std::to_string(i) + "_total"));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> mixed{0};
+  std::thread scraper{[&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto values = registry.counter_values();
+      bool any_set = false;
+      bool any_zero = false;
+      for (const auto& [name, value] : values) {
+        (value != 0 ? any_set : any_zero) = true;
+      }
+      if (any_set && any_zero) mixed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    for (auto& counter : counters) counter.add(7);
+    registry.zero_all();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(mixed.load(), 0) << "scrape observed a half-zeroed registry";
+}
+
+// ---- Cross-process trace plumbing ----------------------------------------------
+
+TEST_F(ObsTest, TraceFileCarriesTraceContextArgs) {
+  const std::string path = temp_path("ctx_trace.json");
+  {
+    TraceSession session{path};
+    set_trace_context({make_trace_id(42, 3), 0, 3});
+    { Span span{"round", "round:3"}; }
+    set_trace_context({});
+  }
+  std::ifstream file{path};
+  std::string text{std::istreambuf_iterator<char>{file}, {}};
+  char expected[32];
+  std::snprintf(expected, sizeof expected, "%016llx",
+                static_cast<unsigned long long>(make_trace_id(42, 3)));
+  EXPECT_NE(text.find(std::string{"\"trace_id\":\""} + expected), std::string::npos);
+  EXPECT_NE(text.find("\"round\":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, MakeTraceIdIsSeedAndRoundSensitive) {
+  EXPECT_NE(make_trace_id(1, 0), make_trace_id(1, 1));
+  EXPECT_NE(make_trace_id(1, 0), make_trace_id(2, 0));
+  EXPECT_EQ(make_trace_id(7, 5), make_trace_id(7, 5));
+  EXPECT_NE(make_trace_id(0, 0), 0u) << "trace id 0 means 'none'";
+}
+
+TEST_F(ObsTest, TakeEventsIngestRoundTripKeepsForeignPidLane) {
+  std::vector<TraceEventRecord> shipped;
+  {
+    // Relay-only producer (empty path): events are only consumable via
+    // take_events, nothing is written at destruction.
+    TraceSession producer{std::string{}};
+    producer.set_pid(1234);
+    { Span span{"layer.forward", "0:linear"}; }
+    shipped = producer.take_events();
+    ASSERT_EQ(shipped.size(), 2u);  // B + E
+    EXPECT_EQ(shipped[0].pid, 1234);
+    EXPECT_TRUE(producer.take_events().empty()) << "take_events drains";
+  }
+  EXPECT_FALSE(ingest_into_active_session(shipped))
+      << "no active session: events are dropped, not crashed on";
+
+  const std::string path = temp_path("ingest_trace.json");
+  {
+    TraceSession consumer{path};
+    EXPECT_TRUE(ingest_into_active_session(shipped));
+  }
+  std::ifstream file{path};
+  std::string text{std::istreambuf_iterator<char>{file}, {}};
+  EXPECT_NE(text.find("\"pid\":1234"), std::string::npos)
+      << "ingested events keep the sender's pid lane";
+  EXPECT_NE(text.find("0:linear"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, CounterDeltaTrackerReturnsGrowthSinceLastTake) {
+  Registry registry;
+  Counter counter = registry.counter("delta_total");
+  counter.add(5);
+  CounterDeltaTracker tracker;
+  auto first = tracker.take(registry);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].second, 5u);
+  EXPECT_TRUE(tracker.take(registry).empty()) << "no growth, no entries";
+  counter.add(3);
+  auto second = tracker.take(registry);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].first, "delta_total");
+  EXPECT_EQ(second[0].second, 3u);
+}
+
+TEST_F(ObsTest, ProcessStatsProbeSamplesInvariantGauges) {
+  ProcessStatsProbe probe;
+  Registry& registry = Registry::global();
+  const std::uint64_t samples0 =
+      registry.counter_value("obs_alloc_probe_samples_total");
+  probe.sample();
+  EXPECT_EQ(registry.counter_value("obs_alloc_probe_samples_total"), samples0 + 1);
+#if defined(__unix__)
+  const std::string json = registry.json_snapshot();
+  const auto pos = json.find("\"obs_rss_bytes\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GT(std::stoll(json.substr(pos + 16)), 0) << "RSS reads nonzero on unix";
+#endif
+}
+
+// ---- HTTP exposition units -----------------------------------------------------
+
+std::span<const std::byte> bytes_of(std::string_view text) {
+  return std::as_bytes(std::span{text.data(), text.size()});
+}
+
+TEST_F(ObsTest, LooksLikeHttpAcceptsPrefixesAndRejectsFrames) {
+  EXPECT_TRUE(looks_like_http(bytes_of("G")));
+  EXPECT_TRUE(looks_like_http(bytes_of("GET /")));
+  EXPECT_TRUE(looks_like_http(bytes_of("HEAD /metrics")));
+  EXPECT_FALSE(looks_like_http(bytes_of("MNGF")));  // frame magic on the wire
+  EXPECT_FALSE(looks_like_http(bytes_of("POST /")));
+  EXPECT_FALSE(looks_like_http(bytes_of("GEX")));
+}
+
+TEST_F(ObsTest, ParseHttpRequestLifecycle) {
+  EXPECT_EQ(parse_http_request(bytes_of("GET /metr")).status,
+            HttpParseStatus::NeedMore);
+  const HttpRequest ready = parse_http_request(bytes_of("GET /metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_EQ(ready.status, HttpParseStatus::Ready);
+  EXPECT_EQ(ready.path, "/metrics");
+  EXPECT_EQ(parse_http_request(bytes_of("PUT /x HTTP/1.0\r\n\r\n")).status,
+            HttpParseStatus::Bad);
+  // Oversized preamble with no request-line terminator: Bad, not NeedMore.
+  const std::string oversized = "GET /" + std::string(kMaxHttpRequestBytes, 'a');
+  EXPECT_EQ(parse_http_request(bytes_of(oversized)).status, HttpParseStatus::Bad);
+}
+
+TEST_F(ObsTest, HttpResponseForRoutesEndpoints) {
+  HttpResponder responder;
+  responder.metrics_text = [] { return std::string{"up 1\n"}; };
+  const std::string ok = http_response_for(responder, "/metrics");
+  EXPECT_NE(ok.find("200"), std::string::npos);
+  EXPECT_NE(ok.find("up 1"), std::string::npos);
+  EXPECT_NE(http_response_for(responder, "/nope").find("404"), std::string::npos);
+  // /metrics.json has no callback wired: 503, not a crash.
+  EXPECT_NE(http_response_for(responder, "/metrics.json").find("503"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, HealthzJsonReportsProgressCounters) {
+  Registry& registry = Registry::global();
+  Counter rounds = registry.counter("healthz_rounds_total");
+  Counter degraded = registry.counter("healthz_degraded_total");
+  rounds.add(4);
+  degraded.add(1);
+  const std::string body =
+      healthz_json("healthz_rounds_total", "healthz_degraded_total");
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"rounds_completed\":4"), std::string::npos);
+  EXPECT_NE(body.find("\"degraded_rounds\":1"), std::string::npos);
+  // Empty degraded-counter name omits the field entirely.
+  EXPECT_EQ(healthz_json("healthz_rounds_total", "").find("degraded"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, TelemetryHttpServerAnswersLiveScrapes) {
+  Counter marker = Registry::global().counter("live_scrape_marker_total");
+  marker.add(9);
+  net::TelemetryHttpServer server{
+      0, net::make_registry_responder("live_scrape_marker_total", "")};
+  ASSERT_NE(server.port(), 0) << "ephemeral bind must report the real port";
+
+  const auto scrape = [&](const std::string& path) {
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1", server.port());
+    stream.set_receive_timeout(std::chrono::milliseconds{5000});
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    stream.send_all(std::as_bytes(std::span{request.data(), request.size()}));
+    std::string response;
+    std::byte chunk[2048];
+    std::size_t transferred = 0;
+    while (stream.read_some(chunk, transferred) == net::IoStatus::Ready) {
+      response.append(reinterpret_cast<const char*>(chunk), transferred);
+    }
+    return response;
+  };
+
+  const std::string metrics = scrape("/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("live_scrape_marker_total 9"), std::string::npos);
+  const std::string health = scrape("/healthz");
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"rounds_completed\":9"), std::string::npos);
+  EXPECT_NE(scrape("/nope").find("404"), std::string::npos);
 }
 
 }  // namespace

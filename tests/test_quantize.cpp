@@ -357,10 +357,10 @@ TEST(CodecNegotiation, UnknownCodecTagIsRejected) {
   util::Rng rng{0x9bbull};
   std::vector<std::byte> payload =
       net::encode_round_reply(make_reply(WireCodec::Fp32, 256, rng));
-  // Payload layout: u64 round | u32 client | u64 samples | u32 malicious |
-  // u32 codec tag | ψ | θ — the tag starts at byte 24.
+  // Payload layout: u64 round | u64 trace_id | u32 client | u64 samples |
+  // u32 malicious | u32 codec tag | ψ | θ — the tag starts at byte 32.
   const std::uint32_t bogus = 7;
-  std::memcpy(payload.data() + 24, &bogus, sizeof bogus);
+  std::memcpy(payload.data() + 32, &bogus, sizeof bogus);
   try {
     (void)net::decode_round_reply(payload);
     FAIL() << "bogus codec tag decoded";
